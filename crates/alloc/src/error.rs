@@ -1,0 +1,72 @@
+//! Error type for the allocation crate.
+
+use std::error::Error;
+use std::fmt;
+use vc2m_analysis::AnalysisError;
+use vc2m_model::ModelError;
+
+/// Error returned by allocation algorithms and allocation-result
+/// validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// The VM set was empty.
+    NoVms,
+    /// An underlying analysis failed.
+    Analysis(AnalysisError),
+    /// An underlying model constructor failed.
+    Model(ModelError),
+    /// A produced allocation violates an invariant (used by
+    /// [`SystemAllocation::verify`](crate::SystemAllocation::verify)).
+    InvalidAllocation {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::NoVms => write!(f, "at least one VM is required"),
+            AllocError::Analysis(e) => write!(f, "analysis error: {e}"),
+            AllocError::Model(e) => write!(f, "model error: {e}"),
+            AllocError::InvalidAllocation { detail } => {
+                write!(f, "invalid allocation: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Analysis(e) => Some(e),
+            AllocError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for AllocError {
+    fn from(e: AnalysisError) -> Self {
+        AllocError::Analysis(e)
+    }
+}
+
+impl From<ModelError> for AllocError {
+    fn from(e: ModelError) -> Self {
+        AllocError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(AllocError::NoVms.to_string().contains("VM"));
+        let e = AllocError::Analysis(AnalysisError::NotHarmonic);
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&AllocError::NoVms).is_none());
+    }
+}

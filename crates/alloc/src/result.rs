@@ -1,0 +1,342 @@
+//! Allocation results: the full system configuration an allocator
+//! produces.
+
+use crate::AllocError;
+use std::collections::HashSet;
+use std::fmt;
+use vc2m_analysis::core_check;
+use vc2m_model::{Alloc, Platform, VcpuSpec};
+
+/// One core's share of an allocation: which VCPUs run on it, and its
+/// cache/bandwidth partition counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreAssignment {
+    /// Indices into the allocation's VCPU list.
+    pub vcpus: Vec<usize>,
+    /// The core's cache/bandwidth allocation.
+    pub alloc: Alloc,
+}
+
+/// A complete allocation: the VCPUs (with their computed parameters),
+/// and per-core VCPU assignments plus resource partitions.
+///
+/// Produced by the solutions in [`solution`](crate::solution); consumed
+/// by the hypervisor simulator, which realizes it as periodic servers,
+/// CAT masks and bandwidth budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemAllocation {
+    vcpus: Vec<VcpuSpec>,
+    cores: Vec<CoreAssignment>,
+}
+
+impl SystemAllocation {
+    /// Assembles an allocation. Invariants are *not* checked here (the
+    /// heuristics build candidates incrementally); call
+    /// [`SystemAllocation::verify`] on the final result.
+    pub fn new(vcpus: Vec<VcpuSpec>, cores: Vec<CoreAssignment>) -> Self {
+        SystemAllocation { vcpus, cores }
+    }
+
+    /// The VCPUs with their computed parameters.
+    pub fn vcpus(&self) -> &[VcpuSpec] {
+        &self.vcpus
+    }
+
+    /// The per-core assignments.
+    pub fn cores(&self) -> &[CoreAssignment] {
+        &self.cores
+    }
+
+    /// Number of cores the allocation uses.
+    pub fn cores_used(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The VCPUs assigned to core `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn vcpus_on_core(&self, k: usize) -> impl Iterator<Item = &VcpuSpec> {
+        self.cores[k].vcpus.iter().map(move |&i| &self.vcpus[i])
+    }
+
+    /// Utilization of core `k` under its assigned allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn core_utilization(&self, k: usize) -> f64 {
+        core_check::core_utilization(self.vcpus_on_core(k), self.cores[k].alloc)
+    }
+
+    /// Whether every core passes the EDF schedulability test under its
+    /// assigned resources.
+    pub fn is_schedulable(&self) -> bool {
+        (0..self.cores.len()).all(|k| {
+            let vcpus: Vec<&VcpuSpec> = self.vcpus_on_core(k).collect();
+            core_check::core_schedulable(vcpus.iter().copied(), self.cores[k].alloc)
+        })
+    }
+
+    /// Verifies all structural invariants against `platform`:
+    ///
+    /// * every VCPU is assigned to exactly one core;
+    /// * no more cores are used than the platform has;
+    /// * each core's allocation lies in the platform's resource space;
+    /// * partition budgets hold: Σ cache ≤ C and Σ bandwidth ≤ B
+    ///   (disjointness across cores);
+    /// * every core is schedulable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidAllocation`] naming the first
+    /// violated invariant.
+    pub fn verify(&self, platform: &Platform) -> Result<(), AllocError> {
+        let space = platform.resources();
+        if self.cores.len() > platform.cores() {
+            return Err(AllocError::InvalidAllocation {
+                detail: format!(
+                    "{} cores used but the platform has {}",
+                    self.cores.len(),
+                    platform.cores()
+                ),
+            });
+        }
+        let mut seen = HashSet::new();
+        for (k, core) in self.cores.iter().enumerate() {
+            if space.check(core.alloc).is_err() {
+                return Err(AllocError::InvalidAllocation {
+                    detail: format!("core {k} allocation {} outside {space}", core.alloc),
+                });
+            }
+            for &i in &core.vcpus {
+                if i >= self.vcpus.len() {
+                    return Err(AllocError::InvalidAllocation {
+                        detail: format!("core {k} references unknown vcpu index {i}"),
+                    });
+                }
+                if !seen.insert(i) {
+                    return Err(AllocError::InvalidAllocation {
+                        detail: format!("vcpu index {i} assigned to more than one core"),
+                    });
+                }
+            }
+        }
+        if seen.len() != self.vcpus.len() {
+            return Err(AllocError::InvalidAllocation {
+                detail: format!(
+                    "{} of {} vcpus are unassigned",
+                    self.vcpus.len() - seen.len(),
+                    self.vcpus.len()
+                ),
+            });
+        }
+        let cache_total: u32 = self.cores.iter().map(|c| c.alloc.cache).sum();
+        if cache_total > space.cache_max() {
+            return Err(AllocError::InvalidAllocation {
+                detail: format!("cache overcommitted: {cache_total} > {}", space.cache_max()),
+            });
+        }
+        let bw_total: u32 = self.cores.iter().map(|c| c.alloc.bandwidth).sum();
+        if bw_total > space.bw_max() {
+            return Err(AllocError::InvalidAllocation {
+                detail: format!("bandwidth overcommitted: {bw_total} > {}", space.bw_max()),
+            });
+        }
+        if !self.is_schedulable() {
+            return Err(AllocError::InvalidAllocation {
+                detail: "some core fails the schedulability test".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SystemAllocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "allocation: {} vcpus on {} cores",
+            self.vcpus.len(),
+            self.cores.len()
+        )?;
+        for (k, core) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "  core {k}: {} vcpus, {}, u={:.3}",
+                core.vcpus.len(),
+                core.alloc,
+                self.core_utilization(k)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running a solution on a workload: schedulable (with
+/// the allocation) or not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationOutcome {
+    allocation: Option<SystemAllocation>,
+}
+
+impl AllocationOutcome {
+    /// A schedulable outcome carrying its allocation.
+    pub fn schedulable(allocation: SystemAllocation) -> Self {
+        AllocationOutcome {
+            allocation: Some(allocation),
+        }
+    }
+
+    /// An unschedulable outcome.
+    pub fn unschedulable() -> Self {
+        AllocationOutcome { allocation: None }
+    }
+
+    /// Whether the workload was deemed schedulable.
+    pub fn is_schedulable(&self) -> bool {
+        self.allocation.is_some()
+    }
+
+    /// The allocation, if schedulable.
+    pub fn allocation(&self) -> Option<&SystemAllocation> {
+        self.allocation.as_ref()
+    }
+
+    /// Consumes the outcome, returning the allocation if schedulable.
+    pub fn into_allocation(self) -> Option<SystemAllocation> {
+        self.allocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc2m_model::{BudgetSurface, Platform, TaskId, VcpuId, VmId};
+
+    fn vcpu(id: usize, period: f64, budget: f64) -> VcpuSpec {
+        let space = Platform::platform_a().resources();
+        VcpuSpec::new(
+            VcpuId(id),
+            VmId(0),
+            period,
+            BudgetSurface::flat(&space, budget).unwrap(),
+            vec![TaskId(id)],
+        )
+        .unwrap()
+    }
+
+    fn simple_allocation() -> SystemAllocation {
+        SystemAllocation::new(
+            vec![vcpu(0, 10.0, 4.0), vcpu(1, 10.0, 5.0)],
+            vec![
+                CoreAssignment {
+                    vcpus: vec![0],
+                    alloc: Alloc::new(10, 10),
+                },
+                CoreAssignment {
+                    vcpus: vec![1],
+                    alloc: Alloc::new(10, 10),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_allocation_verifies() {
+        let platform = Platform::platform_a();
+        let a = simple_allocation();
+        a.verify(&platform).unwrap();
+        assert!(a.is_schedulable());
+        assert_eq!(a.cores_used(), 2);
+        assert!((a.core_utilization(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_assignment_detected() {
+        let mut a = simple_allocation();
+        a.cores[1].vcpus = vec![0];
+        let err = a.verify(&Platform::platform_a()).unwrap_err();
+        assert!(
+            err.to_string().contains("more than one core")
+                || err.to_string().contains("unassigned")
+        );
+    }
+
+    #[test]
+    fn unassigned_vcpu_detected() {
+        let a = SystemAllocation::new(
+            vec![vcpu(0, 10.0, 4.0), vcpu(1, 10.0, 5.0)],
+            vec![CoreAssignment {
+                vcpus: vec![0],
+                alloc: Alloc::new(10, 10),
+            }],
+        );
+        assert!(a.verify(&Platform::platform_a()).is_err());
+    }
+
+    #[test]
+    fn cache_overcommit_detected() {
+        let mut a = simple_allocation();
+        a.cores[0].alloc = Alloc::new(12, 10);
+        a.cores[1].alloc = Alloc::new(12, 10);
+        let err = a.verify(&Platform::platform_a()).unwrap_err();
+        assert!(err.to_string().contains("cache overcommitted"));
+    }
+
+    #[test]
+    fn bw_overcommit_detected() {
+        let mut a = simple_allocation();
+        a.cores[0].alloc = Alloc::new(10, 12);
+        a.cores[1].alloc = Alloc::new(10, 12);
+        let err = a.verify(&Platform::platform_a()).unwrap_err();
+        assert!(err.to_string().contains("bandwidth overcommitted"));
+    }
+
+    #[test]
+    fn too_many_cores_detected() {
+        let a = SystemAllocation::new(
+            (0..5).map(|i| vcpu(i, 10.0, 1.0)).collect(),
+            (0..5)
+                .map(|i| CoreAssignment {
+                    vcpus: vec![i],
+                    alloc: Alloc::new(2, 2),
+                })
+                .collect(),
+        );
+        let err = a.verify(&Platform::platform_a()).unwrap_err();
+        assert!(err.to_string().contains("cores used"));
+    }
+
+    #[test]
+    fn unschedulable_core_detected() {
+        let a = SystemAllocation::new(
+            vec![vcpu(0, 10.0, 6.0), vcpu(1, 10.0, 6.0)],
+            vec![CoreAssignment {
+                vcpus: vec![0, 1],
+                alloc: Alloc::new(10, 10),
+            }],
+        );
+        assert!(!a.is_schedulable());
+        assert!(a.verify(&Platform::platform_a()).is_err());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let yes = AllocationOutcome::schedulable(simple_allocation());
+        assert!(yes.is_schedulable());
+        assert!(yes.allocation().is_some());
+        assert!(yes.into_allocation().is_some());
+        let no = AllocationOutcome::unschedulable();
+        assert!(!no.is_schedulable());
+        assert!(no.allocation().is_none());
+    }
+
+    #[test]
+    fn display_lists_cores() {
+        let s = simple_allocation().to_string();
+        assert!(s.contains("core 0"));
+        assert!(s.contains("core 1"));
+    }
+}

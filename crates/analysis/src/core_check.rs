@@ -1,0 +1,125 @@
+//! Per-core schedulability test for the hypervisor level.
+//!
+//! VCPUs placed on a core are scheduled by partitioned EDF as periodic
+//! servers with implicit deadlines. EDF is optimal on a uniprocessor,
+//! so a core with allocation `(c, b)` is schedulable iff
+//!
+//! 1. every VCPU's budget fits its period: Θⱼ(c,b) ≤ Πⱼ, and
+//! 2. the total CPU-bandwidth is at most one: Σⱼ Θⱼ(c,b)/Πⱼ ≤ 1.
+//!
+//! This is the "total utilization under the allocated cache and BW
+//! partitions is at most 1" test of the paper's Phase 2.
+
+use vc2m_model::{Alloc, VcpuSpec};
+
+/// Small tolerance absorbing floating-point accumulation in
+/// utilization sums.
+pub const UTILIZATION_EPS: f64 = 1e-9;
+
+/// Total CPU-bandwidth of `vcpus` under allocation `alloc`.
+///
+/// # Panics
+///
+/// Panics if `alloc` is outside the VCPUs' resource space.
+pub fn core_utilization<'a>(vcpus: impl IntoIterator<Item = &'a VcpuSpec>, alloc: Alloc) -> f64 {
+    vcpus.into_iter().map(|v| v.utilization(alloc)).sum()
+}
+
+/// Whether a core holding `vcpus` is schedulable under allocation
+/// `alloc`.
+///
+/// # Panics
+///
+/// Panics if `alloc` is outside the VCPUs' resource space.
+pub fn core_schedulable<'a>(
+    vcpus: impl IntoIterator<Item = &'a VcpuSpec> + Clone,
+    alloc: Alloc,
+) -> bool {
+    vcpus.clone().into_iter().all(|v| v.is_feasible_at(alloc))
+        && core_utilization(vcpus, alloc) <= 1.0 + UTILIZATION_EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc2m_model::{BudgetSurface, Platform, ResourceSpace, TaskId, VcpuId, VmId};
+
+    fn space() -> ResourceSpace {
+        Platform::platform_a().resources()
+    }
+
+    fn vcpu(id: usize, period: f64, budget: f64) -> VcpuSpec {
+        VcpuSpec::new(
+            VcpuId(id),
+            VmId(0),
+            period,
+            BudgetSurface::flat(&space(), budget).unwrap(),
+            vec![TaskId(id)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_core_is_schedulable() {
+        assert!(core_schedulable(std::iter::empty(), space().reference()));
+        assert_eq!(
+            core_utilization(std::iter::empty(), space().reference()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let a = vcpu(0, 10.0, 2.0);
+        let b = vcpu(1, 20.0, 8.0);
+        let u = core_utilization([&a, &b], space().reference());
+        assert!((u - 0.6).abs() < 1e-12);
+        assert!(core_schedulable([&a, &b], space().reference()));
+    }
+
+    #[test]
+    fn exactly_full_core_is_schedulable() {
+        let a = vcpu(0, 10.0, 5.0);
+        let b = vcpu(1, 10.0, 5.0);
+        assert!(core_schedulable([&a, &b], space().reference()));
+    }
+
+    #[test]
+    fn overfull_core_is_not() {
+        let a = vcpu(0, 10.0, 6.0);
+        let b = vcpu(1, 10.0, 5.0);
+        assert!(!core_schedulable([&a, &b], space().reference()));
+    }
+
+    #[test]
+    fn infeasible_vcpu_fails_even_with_low_total() {
+        // Budget exceeds period at the minimum allocation.
+        let surface =
+            BudgetSurface::from_fn(
+                &space(),
+                |a| {
+                    if a == space().minimum() {
+                        15.0
+                    } else {
+                        1.0
+                    }
+                },
+            )
+            .unwrap();
+        let v = VcpuSpec::new(VcpuId(0), VmId(0), 10.0, surface, vec![TaskId(0)]).unwrap();
+        assert!(!core_schedulable([&v], space().minimum()));
+        assert!(core_schedulable([&v], space().reference()));
+    }
+
+    #[test]
+    fn allocation_changes_verdict() {
+        // Budget 12 at minimum (infeasible), 2 at reference.
+        let surface = BudgetSurface::from_fn(&space(), |a| {
+            2.0 + 10.0 * (1.0 - f64::from(a.cache - 2) / 18.0)
+        })
+        .unwrap();
+        let v = VcpuSpec::new(VcpuId(0), VmId(0), 10.0, surface, vec![TaskId(0)]).unwrap();
+        assert!(!core_schedulable([&v], space().minimum()));
+        assert!(core_schedulable([&v], space().reference()));
+    }
+}

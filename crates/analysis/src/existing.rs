@@ -1,0 +1,258 @@
+//! The existing compositional analysis (periodic resource model).
+//!
+//! This is the prior state of the art the paper compares against
+//! (reference \[13\]): a VCPU serving a taskset is abstracted as a
+//! periodic resource Γ = (Π, Θ), with Θ the minimal budget such that
+//! the taskset's EDF demand never exceeds Γ's worst-case supply. The
+//! resulting bandwidth Θ/Π can far exceed the taskset's utilization —
+//! the *abstraction overhead* (5.5× for the introduction's example
+//! task) that the flattening and well-regulated strategies remove.
+//!
+//! Two variants are provided, matching the evaluated solutions:
+//!
+//! * [`existing_vcpu`] — allocation-aware: Θ(c,b) is computed from the
+//!   WCETs eᵢ(c,b) for every cell (used by *Heuristic (existing
+//!   CSA)*);
+//! * [`existing_vcpu_worst_case`] — allocation-oblivious: WCETs are
+//!   taken at the worst corner (no cache, worst-case bandwidth:
+//!   eᵢ(Cmin, Bmin)) and the budget surface is flat (used by
+//!   *Baseline (existing CSA)*).
+
+use crate::AnalysisError;
+use vc2m_model::{BudgetSurface, Task, TaskSet, VcpuId, VcpuSpec, VmId};
+use vc2m_sched::dbf::Demand;
+use vc2m_sched::sbf::min_budget;
+
+/// Sentinel multiplier marking an infeasible cell: the budget is set
+/// to `INFEASIBLE_FACTOR · Π`, which fails both the per-VCPU
+/// feasibility check and any per-core utilization test.
+const INFEASIBLE_FACTOR: f64 = 2.0;
+
+/// Candidate divisors for the VCPU period search: Π ∈ {pₘᵢₙ/k}.
+/// Smaller server periods track the demand more closely and shrink the
+/// abstraction overhead (at the cost of more frequent replenishment);
+/// searching over a small harmonic ladder is the standard
+/// bandwidth-minimization step of compositional analysis — and the
+/// reason the existing-CSA solutions are by far the slowest to analyze
+/// (the paper's Figure 4).
+const PERIOD_DIVISORS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Picks the candidate VCPU period minimizing the periodic-resource
+/// bandwidth for `demand` (ties broken toward larger periods, which
+/// cost fewer context switches at run time).
+fn best_period(demand: &Demand, p_min: f64) -> f64 {
+    let mut best = p_min;
+    let mut best_bandwidth = f64::INFINITY;
+    for divisor in PERIOD_DIVISORS {
+        let period = p_min / divisor;
+        let bandwidth = match min_budget(demand, period) {
+            Some(theta) => theta / period,
+            None => f64::INFINITY,
+        };
+        if bandwidth + 1e-12 < best_bandwidth {
+            best_bandwidth = bandwidth;
+            best = period;
+        }
+    }
+    best
+}
+
+/// Builds a VCPU for `taskset` under the existing compositional
+/// analysis, with the VCPU period Π = min pᵢ and, for each allocation
+/// `(c, b)`, the minimal periodic-resource budget for the WCETs
+/// eᵢ(c,b).
+///
+/// Cells where no budget ≤ Π suffices are marked infeasible (budget
+/// 2Π), so allocation algorithms reject them via the utilization test.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::EmptyTaskset`] for an empty taskset.
+pub fn existing_vcpu(id: VcpuId, vm: VmId, taskset: &TaskSet) -> Result<VcpuSpec, AnalysisError> {
+    if taskset.is_empty() {
+        return Err(AnalysisError::EmptyTaskset);
+    }
+    let p_min = taskset.min_period().expect("taskset is non-empty");
+    let space = *taskset
+        .iter()
+        .next()
+        .expect("taskset is non-empty")
+        .wcet_surface()
+        .space();
+    // Select the server period at the reference allocation, then use it
+    // consistently for every cell (a VCPU has one period).
+    let reference_demand = Demand::new(
+        taskset
+            .iter()
+            .map(|t| (t.period(), t.reference_wcet()))
+            .collect(),
+    )
+    .expect("task parameters are validated at construction");
+    let period = best_period(&reference_demand, p_min);
+    let budget = BudgetSurface::from_fn(&space, |alloc| {
+        let demand = Demand::new(
+            taskset
+                .iter()
+                .map(|t| (t.period(), t.wcet(alloc)))
+                .collect(),
+        )
+        .expect("task parameters are validated at construction");
+        min_budget(&demand, period).unwrap_or(INFEASIBLE_FACTOR * period)
+    })?;
+    let tasks = taskset.iter().map(Task::id).collect();
+    Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
+}
+
+/// Builds a VCPU for `taskset` under the existing analysis with the
+/// *Baseline* solution's resource assumptions: every task runs with
+/// its worst-case WCET (no cache allocated, worst-case bandwidth —
+/// the `(Cmin, Bmin)` corner of its surface), and the resulting budget
+/// is the same for every allocation.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::EmptyTaskset`] for an empty taskset.
+pub fn existing_vcpu_worst_case(
+    id: VcpuId,
+    vm: VmId,
+    taskset: &TaskSet,
+) -> Result<VcpuSpec, AnalysisError> {
+    if taskset.is_empty() {
+        return Err(AnalysisError::EmptyTaskset);
+    }
+    let p_min = taskset.min_period().expect("taskset is non-empty");
+    let space = *taskset
+        .iter()
+        .next()
+        .expect("taskset is non-empty")
+        .wcet_surface()
+        .space();
+    let demand = Demand::new(
+        taskset
+            .iter()
+            .map(|t| (t.period(), t.wcet_surface().at_minimum()))
+            .collect(),
+    )
+    .expect("task parameters are validated at construction");
+    let period = best_period(&demand, p_min);
+    let theta = min_budget(&demand, period).unwrap_or(INFEASIBLE_FACTOR * period);
+    let budget = BudgetSurface::flat(&space, theta)?;
+    let tasks = taskset.iter().map(Task::id).collect();
+    Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc2m_model::{Alloc, Platform, ResourceSpace, Task, TaskId, WcetSurface};
+
+    fn space() -> ResourceSpace {
+        Platform::platform_a().resources()
+    }
+
+    fn task(id: usize, period: f64, wcet: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            period,
+            WcetSurface::flat(&space(), wcet).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_has_5_5x_overhead_at_the_task_period() {
+        // The introduction's example: a (10, 1) task on a *period-10*
+        // periodic resource needs budget 5.5 — checked against the raw
+        // periodic-resource model (the period search below shrinks the
+        // overhead but cannot remove it).
+        let demand = Demand::new(vec![(10.0, 1.0)]).unwrap();
+        let theta = min_budget(&demand, 10.0).expect("feasible");
+        assert!((theta - 5.5).abs() < 1e-6, "got {theta}");
+    }
+
+    #[test]
+    fn period_search_shrinks_but_never_removes_the_overhead() {
+        let ts: TaskSet = std::iter::once(task(0, 10.0, 1.0)).collect();
+        let v = existing_vcpu(VcpuId(0), VmId(0), &ts).unwrap();
+        // The search picks a finer server period than the task's.
+        assert!(v.period() < 10.0);
+        let bandwidth = v.reference_utilization();
+        assert!(
+            bandwidth < 0.55,
+            "period search should beat the period-10 bandwidth, got {bandwidth}"
+        );
+        assert!(
+            bandwidth > 0.1 + 1e-9,
+            "abstraction overhead cannot vanish entirely, got {bandwidth}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_never_below_overhead_free() {
+        // The existing analysis can never beat the utilization bound:
+        // its CPU-bandwidth Θ/Π is at least the taskset utilization at
+        // every allocation (budgets themselves are incomparable since
+        // the period search may pick a different Π).
+        let ts: TaskSet = vec![task(0, 10.0, 1.0), task(1, 20.0, 4.0)]
+            .into_iter()
+            .collect();
+        let v = existing_vcpu(VcpuId(0), VmId(0), &ts).unwrap();
+        let reg = crate::regulated::regulated_vcpu(VcpuId(1), VmId(0), &ts).unwrap();
+        for alloc in space().iter() {
+            assert!(
+                v.utilization(alloc) >= reg.utilization(alloc) - 1e-9,
+                "existing CSA beat the utilization bound at {alloc}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_aware_budget_shrinks_with_resources() {
+        let surface = WcetSurface::from_fn(&space(), |a| 0.5 + 2.0 / f64::from(a.cache)).unwrap();
+        let t = Task::new(TaskId(0), 10.0, surface).unwrap();
+        let ts: TaskSet = std::iter::once(t).collect();
+        let v = existing_vcpu(VcpuId(0), VmId(0), &ts).unwrap();
+        assert!(v.budget(Alloc::new(2, 1)) > v.budget(Alloc::new(20, 20)));
+    }
+
+    #[test]
+    fn infeasible_cells_marked() {
+        // WCET equals period at the minimum corner: demand too high for
+        // any budget there once a second task is added.
+        let surface =
+            WcetSurface::from_fn(&space(), |a| if a == space().minimum() { 9.0 } else { 1.0 })
+                .unwrap();
+        let t0 = Task::new(TaskId(0), 10.0, surface.clone()).unwrap();
+        let t1 = Task::new(TaskId(1), 10.0, surface).unwrap();
+        let ts: TaskSet = vec![t0, t1].into_iter().collect();
+        let v = existing_vcpu(VcpuId(0), VmId(0), &ts).unwrap();
+        assert!(!v.is_feasible_at(space().minimum()));
+        assert!(v.is_feasible_at(space().reference()));
+    }
+
+    #[test]
+    fn worst_case_variant_is_flat_and_pessimistic() {
+        let surface = WcetSurface::from_fn(&space(), |a| 0.5 + 2.0 / f64::from(a.cache)).unwrap();
+        let t = Task::new(TaskId(0), 10.0, surface).unwrap();
+        let ts: TaskSet = std::iter::once(t).collect();
+        let aware = existing_vcpu(VcpuId(0), VmId(0), &ts).unwrap();
+        let baseline = existing_vcpu_worst_case(VcpuId(1), VmId(0), &ts).unwrap();
+        // Flat: same budget everywhere.
+        assert_eq!(
+            baseline.budget(Alloc::new(2, 1)),
+            baseline.budget(Alloc::new(20, 20))
+        );
+        // And at the reference allocation it is at least as pessimistic
+        // as the allocation-aware variant.
+        assert!(baseline.budget(space().reference()) >= aware.budget(space().reference()) - 1e-9);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            existing_vcpu(VcpuId(0), VmId(0), &TaskSet::new()),
+            Err(AnalysisError::EmptyTaskset)
+        ));
+        assert!(existing_vcpu_worst_case(VcpuId(0), VmId(0), &TaskSet::new()).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Theorem 1: the flattening strategy.
+//!
+//! Map each task to its own VCPU and synchronize their releases. The
+//! VCPU inherits the task's period and WCET surface verbatim:
+//! Πⱼ = pᵢ, Θⱼ(c,b) = eᵢ(c,b). Since the task is alone on its VCPU and
+//! released exactly when the VCPU is, the task executes iff the VCPU
+//! does — so the task is schedulable whenever the VCPU is, and the
+//! VCPU's bandwidth equals the task's utilization exactly: the
+//! abstraction overhead is zero.
+
+use crate::AnalysisError;
+use vc2m_model::{Task, VcpuId, VcpuSpec, VmSpec};
+
+/// Builds the dedicated VCPU for a single task (Theorem 1).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Model`] if the resulting VCPU parameters
+/// are rejected (cannot happen for a valid [`Task`], since the task's
+/// own constructor enforces `e*ᵢ ≤ pᵢ`).
+pub fn flatten_task(
+    id: VcpuId,
+    vm: vc2m_model::VmId,
+    task: &Task,
+) -> Result<VcpuSpec, AnalysisError> {
+    Ok(VcpuSpec::new(
+        id,
+        vm,
+        task.period(),
+        task.wcet_surface().clone(),
+        vec![task.id()],
+    )?)
+}
+
+/// Flattens a whole VM: one VCPU per task, with VCPU ids assigned
+/// consecutively starting at `first_id`.
+///
+/// # Errors
+///
+/// * [`AnalysisError::TooManyTasks`] if the VM's VCPU cap is smaller
+///   than its task count (the assumption of the direct-mapping
+///   strategy; use the well-regulated analysis instead).
+pub fn flatten_vm(vm: &VmSpec, first_id: usize) -> Result<Vec<VcpuSpec>, AnalysisError> {
+    if !vm.supports_flattening() {
+        return Err(AnalysisError::TooManyTasks {
+            tasks: vm.tasks().len(),
+            max_vcpus: vm.max_vcpus(),
+        });
+    }
+    vm.tasks()
+        .iter()
+        .enumerate()
+        .map(|(offset, task)| flatten_task(VcpuId(first_id + offset), vm.id(), task))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc2m_model::{Alloc, Platform, Task, TaskId, TaskSet, VmId, WcetSurface};
+
+    fn space() -> vc2m_model::ResourceSpace {
+        Platform::platform_a().resources()
+    }
+
+    fn task(id: usize, period: f64, wcet: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            period,
+            WcetSurface::flat(&space(), wcet).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vcpu_inherits_task_parameters_exactly() {
+        let t = task(3, 10.0, 1.0);
+        let v = flatten_task(VcpuId(7), VmId(1), &t).unwrap();
+        assert_eq!(v.period(), 10.0);
+        assert_eq!(v.tasks(), &[TaskId(3)]);
+        assert_eq!(v.vm(), VmId(1));
+        for alloc in space().iter() {
+            assert_eq!(v.budget(alloc), t.wcet(alloc));
+        }
+        // Zero abstraction overhead: bandwidth == utilization.
+        assert_eq!(v.reference_utilization(), t.reference_utilization());
+    }
+
+    #[test]
+    fn allocation_dependent_surface_is_preserved() {
+        let surface =
+            WcetSurface::from_fn(&space(), |a| 2.0 + 10.0 / f64::from(a.cache + a.bandwidth))
+                .unwrap();
+        let t = Task::new(TaskId(0), 20.0, surface).unwrap();
+        let v = flatten_task(VcpuId(0), VmId(0), &t).unwrap();
+        assert_eq!(v.budget(Alloc::new(2, 1)), t.wcet(Alloc::new(2, 1)));
+        assert!(v.budget(Alloc::new(2, 1)) > v.budget(Alloc::new(20, 20)));
+    }
+
+    #[test]
+    fn flatten_vm_assigns_consecutive_ids() {
+        let ts: TaskSet = (0..3).map(|i| task(i, 100.0, 10.0)).collect();
+        let vm = VmSpec::new(VmId(0), ts).unwrap();
+        let vcpus = flatten_vm(&vm, 5).unwrap();
+        let ids: Vec<usize> = vcpus.iter().map(|v| v.id().index()).collect();
+        assert_eq!(ids, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn vcpu_cap_enforced() {
+        let ts: TaskSet = (0..3).map(|i| task(i, 100.0, 10.0)).collect();
+        let vm = VmSpec::with_max_vcpus(VmId(0), ts, 2).unwrap();
+        assert!(matches!(
+            flatten_vm(&vm, 0),
+            Err(AnalysisError::TooManyTasks {
+                tasks: 3,
+                max_vcpus: 2
+            })
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 4 — analysis running time.
+//!
+//! The paper measures the wall-clock running time of each solution's
+//! analysis as taskset utilization grows, finding that the
+//! overhead-free solutions stay under ~3 s while the existing-CSA
+//! solutions climb toward 25 s.
+//!
+//! Reproduction target: the *ordering* — overhead-free (and
+//! flattening) analyses are far cheaper than existing-CSA analyses,
+//! and the existing-CSA cost grows quickly with utilization (more
+//! tasks → more VCPUs → more 380-cell periodic-resource-model budget
+//! searches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vc2m::prelude::*;
+
+fn workload(utilization: f64, seed: u64) -> Vec<VmSpec> {
+    let platform = Platform::platform_a();
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(utilization, UtilizationDist::Uniform),
+        seed,
+    );
+    vec![VmSpec::new(VmId(0), generator.generate()).expect("non-empty taskset")]
+}
+
+fn bench_analysis_runtime(c: &mut Criterion) {
+    let platform = Platform::platform_a();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for &utilization in &[0.5, 1.0, 1.5] {
+        let vms = workload(utilization, 0xF164);
+        for solution in Solution::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(short(solution), format!("u{utilization}")),
+                &vms,
+                |b, vms| b.iter(|| black_box(solution.allocate(vms, &platform, 1))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn short(s: Solution) -> &'static str {
+    match s {
+        Solution::HeuristicFlattening => "flattening",
+        Solution::HeuristicOverheadFree => "overhead_free",
+        Solution::HeuristicExisting => "heuristic_existing",
+        Solution::EvenlyPartition => "evenly_partition",
+        Solution::Baseline => "baseline",
+        Solution::Auto => "auto",
+    }
+}
+
+criterion_group!(benches, bench_analysis_runtime);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates Figure 3: schedulability on Platform A under the three
+//! bimodal task-utilization distributions.
+//!
+//! ```text
+//! cargo run --release -p vc2m-bench --bin fig3 -- light          # quick
+//! cargo run --release -p vc2m-bench --bin fig3 -- medium --full  # paper scale
+//! cargo run --release -p vc2m-bench --bin fig3 -- all
+//! ```
+//!
+//! Reproduction target: the ordering of the five solutions is the same
+//! as in Figure 2 for every distribution.
+
+use vc2m::prelude::*;
+use vc2m::sweep::{run_sweep_parallel, SweepConfig};
+use vc2m_bench::{first_arg, full_scale_requested, write_results};
+
+fn run_distribution(label: &str, dist: UtilizationDist, full: bool) {
+    let platform = Platform::platform_a();
+    let config = if full {
+        SweepConfig::paper(platform, dist)
+    } else {
+        SweepConfig::quick(platform, dist)
+    };
+    println!(
+        "\nFigure 3 ({dist}): {} — {} tasksets/point{}",
+        platform,
+        config.tasksets_per_point,
+        if full {
+            " (paper scale)"
+        } else {
+            " (quick preset)"
+        }
+    );
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let results = run_sweep_parallel(&config, threads, |done, total| {
+        eprint!("\r  point {done}/{total}");
+        if done == total {
+            eprintln!();
+        }
+    });
+    println!("{results}");
+    let name = format!("fig3_{label}.csv");
+    let path = write_results(&name, &results.fractions_csv());
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let full = full_scale_requested();
+    let which = first_arg().unwrap_or_else(|| "light".to_string());
+    match which.as_str() {
+        "light" => run_distribution("light", UtilizationDist::BimodalLight, full),
+        "medium" => run_distribution("medium", UtilizationDist::BimodalMedium, full),
+        "heavy" => run_distribution("heavy", UtilizationDist::BimodalHeavy, full),
+        "all" => {
+            run_distribution("light", UtilizationDist::BimodalLight, full);
+            run_distribution("medium", UtilizationDist::BimodalMedium, full);
+            run_distribution("heavy", UtilizationDist::BimodalHeavy, full);
+        }
+        other => {
+            eprintln!("unknown distribution '{other}': expected light, medium, heavy or all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates Figure 4: average analysis running time per taskset
+//! versus taskset reference utilization, for the five solutions on
+//! Platform A.
+//!
+//! ```text
+//! cargo run --release -p vc2m-bench --bin fig4            # quick preset
+//! cargo run --release -p vc2m-bench --bin fig4 -- --full  # paper scale
+//! ```
+//!
+//! Reproduction targets: the overhead-free solutions stay fast and
+//! flat; the existing-CSA solutions are orders of magnitude slower and
+//! climb with utilization (the paper reports < 3 s vs up to 25 s).
+
+use vc2m::prelude::*;
+use vc2m::sweep::{run_sweep_parallel, SweepConfig};
+use vc2m_bench::{full_scale_requested, write_results};
+
+fn main() {
+    let platform = Platform::platform_a();
+    let config = if full_scale_requested() {
+        SweepConfig::paper(platform, UtilizationDist::Uniform)
+    } else {
+        SweepConfig::quick(platform, UtilizationDist::Uniform)
+    };
+    println!(
+        "Figure 4: analysis running time on {} ({} tasksets/point)",
+        platform, config.tasksets_per_point
+    );
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let results = run_sweep_parallel(&config, threads, |done, total| {
+        eprint!("\r  point {done}/{total}");
+        if done == total {
+            eprintln!();
+        }
+    });
+
+    println!("\naverage running time per taskset (seconds):\n");
+    print!("{:>6}", "u*");
+    for s in results.solutions() {
+        print!(" {:>12}", shorten(s.name()));
+    }
+    println!();
+    for (i, row) in results.rows().iter().enumerate() {
+        print!("{:>6.2}", row.utilization);
+        for s in results.solutions().to_vec() {
+            print!(" {:>12.6}", results.cell(i, s).avg_runtime_s());
+        }
+        println!();
+    }
+
+    let path = write_results("fig4.csv", &results.runtimes_csv());
+    println!("\nwrote {}", path.display());
+}
+
+fn shorten(name: &str) -> String {
+    name.chars().take(12).collect()
+}

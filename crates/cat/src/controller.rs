@@ -1,0 +1,242 @@
+//! The physical CAT controller: COS registers and per-core COS
+//! assignment.
+
+use crate::{CacheMask, CatError};
+use std::fmt;
+
+/// Index of a class-of-service register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CosId(pub u32);
+
+impl fmt::Display for CosId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COS{}", self.0)
+    }
+}
+
+/// A simulated CAT controller.
+///
+/// Real CAT hardware exposes a small array of COS registers, each
+/// holding a capacity bitmask, and a per-core register selecting which
+/// COS the core's memory accesses are tagged with. The controller
+/// mirrors that structure:
+///
+/// * `set_mask` programs a COS register (an `IA32_L3_MASK_n` write);
+/// * `assign` points a core at a COS (an `IA32_PQR_ASSOC` write);
+/// * `mask_of_core` resolves the effective mask of a core.
+///
+/// At reset every COS covers the full cache and every core uses COS 0,
+/// matching the hardware's power-on state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatController {
+    masks: Vec<CacheMask>,
+    core_cos: Vec<CosId>,
+    total_partitions: u32,
+}
+
+impl CatController {
+    /// Creates a controller for `cores` cores, `cos_count` COS
+    /// registers and a cache of `total_partitions` partitions, in the
+    /// reset state (all masks full, all cores on COS 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatError::InvalidMask`] if `total_partitions` is zero,
+    /// or an `InvalidMask` describing the problem if `cos_count` or
+    /// `cores` is zero.
+    pub fn new(cores: usize, cos_count: u32, total_partitions: u32) -> Result<Self, CatError> {
+        if cores == 0 || cos_count == 0 {
+            return Err(CatError::InvalidMask {
+                detail: "controller needs at least one core and one COS".into(),
+            });
+        }
+        let full = CacheMask::full(total_partitions)?;
+        Ok(CatController {
+            masks: vec![full; cos_count as usize],
+            core_cos: vec![CosId(0); cores],
+            total_partitions,
+        })
+    }
+
+    /// Number of COS registers.
+    pub fn cos_count(&self) -> u32 {
+        self.masks.len() as u32
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_cos.len()
+    }
+
+    /// Total cache partitions.
+    pub fn total_partitions(&self) -> u32 {
+        self.total_partitions
+    }
+
+    /// Programs COS register `cos` with `mask`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CatError::UnknownCos`] if `cos` is out of range.
+    /// * [`CatError::OutOfRange`] if the mask belongs to a different
+    ///   cache geometry.
+    pub fn set_mask(&mut self, cos: CosId, mask: CacheMask) -> Result<(), CatError> {
+        if mask.total() != self.total_partitions {
+            return Err(CatError::OutOfRange {
+                start: mask.start(),
+                len: mask.ways(),
+                total: self.total_partitions,
+            });
+        }
+        let slot = self
+            .masks
+            .get_mut(cos.0 as usize)
+            .ok_or(CatError::UnknownCos { cos: cos.0 })?;
+        *slot = mask;
+        Ok(())
+    }
+
+    /// Reads COS register `cos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatError::UnknownCos`] if `cos` is out of range.
+    pub fn mask(&self, cos: CosId) -> Result<CacheMask, CatError> {
+        self.masks
+            .get(cos.0 as usize)
+            .copied()
+            .ok_or(CatError::UnknownCos { cos: cos.0 })
+    }
+
+    /// Points `core` at COS `cos`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CatError::UnknownCore`] if `core` is out of range.
+    /// * [`CatError::UnknownCos`] if `cos` is out of range.
+    pub fn assign(&mut self, core: usize, cos: CosId) -> Result<(), CatError> {
+        if cos.0 as usize >= self.masks.len() {
+            return Err(CatError::UnknownCos { cos: cos.0 });
+        }
+        let slot = self
+            .core_cos
+            .get_mut(core)
+            .ok_or(CatError::UnknownCore { core })?;
+        *slot = cos;
+        Ok(())
+    }
+
+    /// The COS a core currently uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatError::UnknownCore`] if `core` is out of range.
+    pub fn cos_of_core(&self, core: usize) -> Result<CosId, CatError> {
+        self.core_cos
+            .get(core)
+            .copied()
+            .ok_or(CatError::UnknownCore { core })
+    }
+
+    /// The effective capacity mask of a core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatError::UnknownCore`] if `core` is out of range.
+    pub fn mask_of_core(&self, core: usize) -> Result<CacheMask, CatError> {
+        let cos = self.cos_of_core(core)?;
+        self.mask(cos)
+    }
+
+    /// Whether every pair of distinct cores currently has
+    /// non-overlapping masks — the cache-isolation invariant vC²M's
+    /// allocation establishes.
+    pub fn cores_isolated(&self) -> bool {
+        let masks: Vec<CacheMask> = self
+            .core_cos
+            .iter()
+            .map(|cos| self.masks[cos.0 as usize])
+            .collect();
+        for i in 0..masks.len() {
+            for j in (i + 1)..masks.len() {
+                if masks[i].overlaps(&masks[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> CatController {
+        CatController::new(4, 8, 20).unwrap()
+    }
+
+    #[test]
+    fn reset_state_is_full_masks_cos0() {
+        let c = controller();
+        assert_eq!(c.cos_count(), 8);
+        assert_eq!(c.cores(), 4);
+        for core in 0..4 {
+            assert_eq!(c.cos_of_core(core).unwrap(), CosId(0));
+            assert_eq!(c.mask_of_core(core).unwrap().ways(), 20);
+        }
+        assert!(!c.cores_isolated(), "reset state shares the full cache");
+    }
+
+    #[test]
+    fn program_and_resolve() {
+        let mut c = controller();
+        c.set_mask(CosId(1), CacheMask::new(0, 10, 20).unwrap())
+            .unwrap();
+        c.set_mask(CosId(2), CacheMask::new(10, 10, 20).unwrap())
+            .unwrap();
+        c.assign(0, CosId(1)).unwrap();
+        c.assign(1, CosId(2)).unwrap();
+        assert_eq!(c.mask_of_core(0).unwrap().start(), 0);
+        assert_eq!(c.mask_of_core(1).unwrap().start(), 10);
+    }
+
+    #[test]
+    fn isolation_invariant() {
+        let mut c = CatController::new(2, 4, 20).unwrap();
+        c.set_mask(CosId(0), CacheMask::new(0, 10, 20).unwrap())
+            .unwrap();
+        c.set_mask(CosId(1), CacheMask::new(10, 10, 20).unwrap())
+            .unwrap();
+        c.assign(0, CosId(0)).unwrap();
+        c.assign(1, CosId(1)).unwrap();
+        assert!(c.cores_isolated());
+        // Point both cores at the same COS: isolation broken.
+        c.assign(1, CosId(0)).unwrap();
+        assert!(!c.cores_isolated());
+    }
+
+    #[test]
+    fn errors() {
+        let mut c = controller();
+        assert!(matches!(
+            c.mask(CosId(99)),
+            Err(CatError::UnknownCos { cos: 99 })
+        ));
+        assert!(matches!(
+            c.assign(99, CosId(0)),
+            Err(CatError::UnknownCore { core: 99 })
+        ));
+        assert!(matches!(
+            c.assign(0, CosId(99)),
+            Err(CatError::UnknownCos { .. })
+        ));
+        let foreign = CacheMask::new(0, 4, 12).unwrap();
+        assert!(matches!(
+            c.set_mask(CosId(0), foreign),
+            Err(CatError::OutOfRange { .. })
+        ));
+        assert!(CatController::new(0, 4, 20).is_err());
+        assert!(CatController::new(4, 0, 20).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for cache-allocation operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by CAT/vCAT operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatError {
+    /// A capacity bitmask was empty, non-contiguous, or narrower than
+    /// the hardware minimum.
+    InvalidMask {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A mask or partition range exceeded the cache geometry.
+    OutOfRange {
+        /// First partition index requested.
+        start: u32,
+        /// Number of partitions requested.
+        len: u32,
+        /// Total partitions available.
+        total: u32,
+    },
+    /// A COS identifier was not present in the controller.
+    UnknownCos {
+        /// The missing COS index.
+        cos: u32,
+    },
+    /// A core index was out of range for the controller.
+    UnknownCore {
+        /// The offending core index.
+        core: usize,
+    },
+    /// Requested per-core partition counts do not fit in the cache.
+    Overcommitted {
+        /// Sum of requested partitions.
+        requested: u32,
+        /// Total partitions available.
+        total: u32,
+    },
+    /// A virtual partition index fell outside the VM's vCAT domain.
+    VirtualOutOfRange {
+        /// The offending virtual index.
+        virtual_index: u32,
+        /// Size of the domain's virtual space.
+        domain_size: u32,
+    },
+}
+
+impl fmt::Display for CatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatError::InvalidMask { detail } => write!(f, "invalid cache mask: {detail}"),
+            CatError::OutOfRange { start, len, total } => write!(
+                f,
+                "partition range [{start}, {end}) exceeds cache size {total}",
+                end = start + len
+            ),
+            CatError::UnknownCos { cos } => write!(f, "unknown class of service {cos}"),
+            CatError::UnknownCore { core } => write!(f, "unknown core index {core}"),
+            CatError::Overcommitted { requested, total } => write!(
+                f,
+                "requested {requested} partitions but the cache has only {total}"
+            ),
+            CatError::VirtualOutOfRange {
+                virtual_index,
+                domain_size,
+            } => write!(
+                f,
+                "virtual partition {virtual_index} outside domain of size {domain_size}"
+            ),
+        }
+    }
+}
+
+impl Error for CatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CatError::OutOfRange {
+            start: 18,
+            len: 4,
+            total: 20,
+        };
+        assert_eq!(
+            e.to_string(),
+            "partition range [18, 22) exceeds cache size 20"
+        );
+        assert!(CatError::UnknownCos { cos: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<CatError>();
+    }
+}

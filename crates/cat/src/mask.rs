@@ -1,0 +1,169 @@
+//! CAT capacity bitmasks.
+
+use crate::CatError;
+use std::fmt;
+
+/// A CAT capacity bitmask (CBM): a contiguous, non-empty run of cache
+/// ways/partitions, stored as `[start, start + len)` over a cache of
+/// `total` partitions.
+///
+/// Intel CAT requires capacity masks to be contiguous; this type makes
+/// non-contiguous masks unrepresentable instead of validating them at
+/// use sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheMask {
+    start: u32,
+    len: u32,
+    total: u32,
+}
+
+impl CacheMask {
+    /// Creates the mask covering partitions `[start, start + len)` of a
+    /// cache with `total` partitions.
+    ///
+    /// # Errors
+    ///
+    /// * [`CatError::InvalidMask`] if `len` is zero (hardware forbids
+    ///   empty CBMs).
+    /// * [`CatError::OutOfRange`] if the run does not fit in the cache.
+    pub fn new(start: u32, len: u32, total: u32) -> Result<Self, CatError> {
+        if len == 0 {
+            return Err(CatError::InvalidMask {
+                detail: "capacity mask must cover at least one partition".into(),
+            });
+        }
+        if start.checked_add(len).is_none_or(|end| end > total) {
+            return Err(CatError::OutOfRange { start, len, total });
+        }
+        Ok(CacheMask { start, len, total })
+    }
+
+    /// The mask covering the whole cache (the power-on default COS0
+    /// state on real hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatError::InvalidMask`] if `total` is zero.
+    pub fn full(total: u32) -> Result<Self, CatError> {
+        CacheMask::new(0, total, total)
+    }
+
+    /// First partition covered.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Number of partitions covered (the mask's *ways*).
+    pub fn ways(&self) -> u32 {
+        self.len
+    }
+
+    /// One past the last partition covered.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+
+    /// Total partitions in the underlying cache.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// The raw bitmask value as hardware would hold it (bit `i` set iff
+    /// partition `i` is covered). Only available for caches of ≤ 64
+    /// partitions, which covers all real CAT hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has more than 64 partitions.
+    pub fn bits(&self) -> u64 {
+        assert!(
+            self.total <= 64,
+            "bitmask representation limited to 64 partitions"
+        );
+        if self.len == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << self.len) - 1) << self.start
+        }
+    }
+
+    /// Whether this mask covers partition `index`.
+    pub fn contains(&self, index: u32) -> bool {
+        (self.start..self.end()).contains(&index)
+    }
+
+    /// Whether this mask shares any partition with `other`.
+    ///
+    /// Overlapping masks mean the two owners can evict each other's
+    /// lines — exactly the interference vC²M's isolation eliminates.
+    pub fn overlaps(&self, other: &CacheMask) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+impl fmt::Display for CacheMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})/{}", self.start, self.end(), self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(CacheMask::new(0, 0, 20).is_err());
+        assert!(CacheMask::new(18, 4, 20).is_err());
+        assert!(CacheMask::new(0, 21, 20).is_err());
+        assert!(CacheMask::new(19, 1, 20).is_ok());
+        assert!(
+            CacheMask::new(u32::MAX, 2, u32::MAX).is_err(),
+            "overflow guarded"
+        );
+    }
+
+    #[test]
+    fn geometry() {
+        let m = CacheMask::new(4, 6, 20).unwrap();
+        assert_eq!(m.start(), 4);
+        assert_eq!(m.ways(), 6);
+        assert_eq!(m.end(), 10);
+        assert!(m.contains(4));
+        assert!(m.contains(9));
+        assert!(!m.contains(10));
+    }
+
+    #[test]
+    fn full_mask() {
+        let m = CacheMask::full(20).unwrap();
+        assert_eq!(m.ways(), 20);
+        assert_eq!(m.bits(), (1u64 << 20) - 1);
+        assert!(CacheMask::full(0).is_err());
+    }
+
+    #[test]
+    fn bit_representation() {
+        let m = CacheMask::new(2, 3, 20).unwrap();
+        assert_eq!(m.bits(), 0b11100);
+        let whole = CacheMask::full(64).unwrap();
+        assert_eq!(whole.bits(), u64::MAX);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = CacheMask::new(0, 6, 20).unwrap();
+        let b = CacheMask::new(6, 6, 20).unwrap();
+        let c = CacheMask::new(5, 2, 20).unwrap();
+        assert!(!a.overlaps(&b), "adjacent masks do not overlap");
+        assert!(!b.overlaps(&a));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn display_shows_range() {
+        assert_eq!(CacheMask::new(4, 6, 20).unwrap().to_string(), "[4, 10)/20");
+    }
+}

@@ -1,0 +1,167 @@
+//! Partition plans: per-core partition counts → disjoint physical
+//! masks.
+
+use crate::{CacheMask, CatController, CatError, CosId};
+
+/// A concrete, isolated layout of the shared cache: one contiguous
+/// mask per core, pairwise disjoint.
+///
+/// This is the bridge between the allocation algorithms (which decide
+/// *how many* partitions each core gets) and the CAT substrate (which
+/// needs *which* partitions). The layout packs cores left-to-right,
+/// which is exactly how the paper's prototype programs vCAT: disjoint
+/// consecutive regions per core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    masks: Vec<CacheMask>,
+    total: u32,
+}
+
+impl PartitionPlan {
+    /// Builds a plan giving core `k` the next `counts[k]` consecutive
+    /// partitions of a cache with `total` partitions.
+    ///
+    /// # Errors
+    ///
+    /// * [`CatError::Overcommitted`] if the counts sum to more than
+    ///   `total`.
+    /// * [`CatError::InvalidMask`] if any count is zero.
+    pub fn contiguous(total: u32, counts: &[u32]) -> Result<Self, CatError> {
+        let requested: u32 = counts.iter().sum();
+        if requested > total {
+            return Err(CatError::Overcommitted { requested, total });
+        }
+        let mut masks = Vec::with_capacity(counts.len());
+        let mut cursor = 0;
+        for &count in counts {
+            masks.push(CacheMask::new(cursor, count, total)?);
+            cursor += count;
+        }
+        Ok(PartitionPlan { masks, total })
+    }
+
+    /// Number of cores covered by the plan.
+    pub fn cores(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Total partitions in the cache.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// The mask assigned to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn mask_for_core(&self, core: usize) -> CacheMask {
+        self.masks[core]
+    }
+
+    /// Number of partitions left unassigned by the plan.
+    pub fn unused_partitions(&self) -> u32 {
+        self.total - self.masks.iter().map(CacheMask::ways).sum::<u32>()
+    }
+
+    /// Whether all per-core masks are pairwise disjoint. True by
+    /// construction for [`PartitionPlan::contiguous`]; exposed so
+    /// integration tests can assert the invariant end-to-end.
+    pub fn is_isolated(&self) -> bool {
+        for i in 0..self.masks.len() {
+            for j in (i + 1)..self.masks.len() {
+                if self.masks[i].overlaps(&self.masks[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Programs a [`CatController`] with this plan: COS `k` gets core
+    /// `k`'s mask, and core `k` is pointed at COS `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CatError`] if the controller has fewer
+    /// cores or COS registers than the plan needs, or a different cache
+    /// geometry.
+    pub fn program(&self, controller: &mut CatController) -> Result<(), CatError> {
+        for (core, &mask) in self.masks.iter().enumerate() {
+            let cos = CosId(core as u32);
+            controller.set_mask(cos, mask)?;
+            controller.assign(core, cos)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates `(core_index, mask)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, CacheMask)> + '_ {
+        self.masks.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_left_to_right() {
+        let plan = PartitionPlan::contiguous(20, &[6, 6, 8]).unwrap();
+        assert_eq!(plan.mask_for_core(0).start(), 0);
+        assert_eq!(plan.mask_for_core(1).start(), 6);
+        assert_eq!(plan.mask_for_core(2).start(), 12);
+        assert_eq!(plan.mask_for_core(2).end(), 20);
+        assert_eq!(plan.unused_partitions(), 0);
+        assert!(plan.is_isolated());
+    }
+
+    #[test]
+    fn partial_use_leaves_slack() {
+        let plan = PartitionPlan::contiguous(20, &[2, 2]).unwrap();
+        assert_eq!(plan.unused_partitions(), 16);
+        assert!(plan.is_isolated());
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        assert!(matches!(
+            PartitionPlan::contiguous(20, &[10, 11]),
+            Err(CatError::Overcommitted {
+                requested: 21,
+                total: 20
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        assert!(PartitionPlan::contiguous(20, &[4, 0]).is_err());
+    }
+
+    #[test]
+    fn programs_controller_isolated() {
+        let plan = PartitionPlan::contiguous(20, &[5, 5, 5, 5]).unwrap();
+        let mut ctl = CatController::new(4, 8, 20).unwrap();
+        plan.program(&mut ctl).unwrap();
+        assert!(ctl.cores_isolated());
+        assert_eq!(ctl.mask_of_core(3).unwrap().start(), 15);
+    }
+
+    #[test]
+    fn programming_too_small_controller_fails() {
+        let plan = PartitionPlan::contiguous(20, &[5, 5, 5, 5]).unwrap();
+        let mut ctl = CatController::new(2, 8, 20).unwrap();
+        assert!(matches!(
+            plan.program(&mut ctl),
+            Err(CatError::UnknownCore { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_yields_all_cores() {
+        let plan = PartitionPlan::contiguous(12, &[4, 4, 4]).unwrap();
+        let collected: Vec<(usize, u32)> = plan.iter().map(|(c, m)| (c, m.ways())).collect();
+        assert_eq!(collected, vec![(0, 4), (1, 4), (2, 4)]);
+    }
+}

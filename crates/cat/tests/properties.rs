@@ -1,0 +1,87 @@
+//! Property-based tests for the cache-allocation substrate.
+
+use proptest::prelude::*;
+use vc2m_cat::{CacheMask, CatController, CosId, PartitionPlan, VcatDomain};
+
+proptest! {
+    #[test]
+    fn contiguous_plans_are_always_isolated(
+        total in 4u32..64,
+        counts in proptest::collection::vec(1u32..8, 1..8),
+    ) {
+        let requested: u32 = counts.iter().sum();
+        match PartitionPlan::contiguous(total, &counts) {
+            Ok(plan) => {
+                prop_assert!(requested <= total);
+                prop_assert!(plan.is_isolated());
+                prop_assert_eq!(plan.unused_partitions(), total - requested);
+                // Every partition covered at most once.
+                let mut owners = vec![0u32; total as usize];
+                for (_, mask) in plan.iter() {
+                    for p in mask.start()..mask.end() {
+                        owners[p as usize] += 1;
+                    }
+                }
+                prop_assert!(owners.iter().all(|&o| o <= 1));
+            }
+            Err(_) => prop_assert!(requested > total),
+        }
+    }
+
+    #[test]
+    fn masks_overlap_iff_ranges_intersect(
+        total in 8u32..64,
+        s1 in 0u32..56,
+        l1 in 1u32..8,
+        s2 in 0u32..56,
+        l2 in 1u32..8,
+    ) {
+        prop_assume!(s1 + l1 <= total && s2 + l2 <= total);
+        let a = CacheMask::new(s1, l1, total).unwrap();
+        let b = CacheMask::new(s2, l2, total).unwrap();
+        let intersects = s1 < s2 + l2 && s2 < s1 + l1;
+        prop_assert_eq!(a.overlaps(&b), intersects);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a), "overlap must be symmetric");
+        if total <= 64 {
+            // Bit-level cross-check.
+            prop_assert_eq!(a.bits() & b.bits() != 0, intersects);
+        }
+    }
+
+    #[test]
+    fn vcat_translations_stay_inside_the_domain(
+        total in 8u32..64,
+        dom_start in 0u32..32,
+        dom_size in 1u32..16,
+        v_start in 0u32..16,
+        v_len in 1u32..16,
+    ) {
+        prop_assume!(dom_start + dom_size <= total);
+        let domain = VcatDomain::new(dom_start, dom_size, total).unwrap();
+        match domain.translate(v_start, v_len) {
+            Ok(mask) => {
+                prop_assert!(v_start + v_len <= dom_size);
+                let region = domain.physical_mask();
+                prop_assert!(mask.start() >= region.start());
+                prop_assert!(mask.end() <= region.end());
+            }
+            Err(_) => prop_assert!(v_start + v_len > dom_size),
+        }
+    }
+
+    #[test]
+    fn programming_a_plan_keeps_controller_isolated(
+        counts in proptest::collection::vec(1u32..6, 1..8),
+    ) {
+        let total = 64u32;
+        prop_assume!(counts.iter().sum::<u32>() <= total);
+        let plan = PartitionPlan::contiguous(total, &counts).unwrap();
+        let mut ctl = CatController::new(counts.len(), counts.len() as u32, total).unwrap();
+        plan.program(&mut ctl).unwrap();
+        prop_assert!(ctl.cores_isolated());
+        for (core, mask) in plan.iter() {
+            prop_assert_eq!(ctl.mask_of_core(core).unwrap(), mask);
+            prop_assert_eq!(ctl.cos_of_core(core).unwrap(), CosId(core as u32));
+        }
+    }
+}

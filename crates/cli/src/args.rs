@@ -1,0 +1,221 @@
+//! Hand-rolled `--flag value` argument parsing.
+
+use crate::CliError;
+use vc2m::alloc::Solution;
+use vc2m::model::Platform;
+use vc2m::workload::UtilizationDist;
+
+/// Parsed `--key value` options plus bare `--switches`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Options {
+    /// Parses `argv` into options.
+    ///
+    /// Every token must be a `--flag`; flags followed by a non-flag
+    /// token consume it as their value, others are switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on a bare non-flag token.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut options = Options::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(flag) = token.strip_prefix("--") else {
+                return Err(CliError::new(format!(
+                    "unexpected argument '{token}' (flags start with --)"
+                )));
+            };
+            if flag.is_empty() {
+                return Err(CliError::new("empty flag '--'"));
+            }
+            match argv.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    options.pairs.push((flag.to_string(), value.clone()));
+                    i += 2;
+                }
+                _ => {
+                    options.switches.push(flag.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(options)
+    }
+
+    /// The raw string value of `flag`, if present.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the bare switch `--flag` was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+
+    /// Parses `flag` as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] if the value does not parse.
+    pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::new(format!("invalid value '{raw}' for --{flag}"))),
+        }
+    }
+
+    /// The platform selected by `--platform` (default A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for anything but `a`, `b` or `c`.
+    pub fn platform(&self) -> Result<Platform, CliError> {
+        match self.value("platform").unwrap_or("a") {
+            "a" | "A" => Ok(Platform::platform_a()),
+            "b" | "B" => Ok(Platform::platform_b()),
+            "c" | "C" => Ok(Platform::platform_c()),
+            other => Err(CliError::new(format!(
+                "unknown platform '{other}' (expected a, b or c)"
+            ))),
+        }
+    }
+
+    /// The distribution selected by `--distribution` (default uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for an unknown name.
+    pub fn distribution(&self) -> Result<UtilizationDist, CliError> {
+        match self.value("distribution").unwrap_or("uniform") {
+            "uniform" => Ok(UtilizationDist::Uniform),
+            "light" | "bimodal-light" => Ok(UtilizationDist::BimodalLight),
+            "medium" | "bimodal-medium" => Ok(UtilizationDist::BimodalMedium),
+            "heavy" | "bimodal-heavy" => Ok(UtilizationDist::BimodalHeavy),
+            other => Err(CliError::new(format!(
+                "unknown distribution '{other}' (expected uniform, light, medium or heavy)"
+            ))),
+        }
+    }
+
+    /// The solutions selected by `--solution` (default all five).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for an unknown name.
+    pub fn solutions(&self) -> Result<Vec<Solution>, CliError> {
+        match self.value("solution").unwrap_or("all") {
+            "all" => Ok(Solution::ALL.to_vec()),
+            "flattening" | "flatten" => Ok(vec![Solution::HeuristicFlattening]),
+            "overhead-free" | "ovh-free" | "regulated" => Ok(vec![Solution::HeuristicOverheadFree]),
+            "existing" | "heur-existing" => Ok(vec![Solution::HeuristicExisting]),
+            "evenly" | "even" | "evenly-partition" => Ok(vec![Solution::EvenlyPartition]),
+            "baseline" => Ok(vec![Solution::Baseline]),
+            "auto" | "vc2m" => Ok(vec![Solution::Auto]),
+            other => Err(CliError::new(format!(
+                "unknown solution '{other}' (expected flattening, overhead-free, existing, \
+                 evenly, baseline, auto or all)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Options, CliError> {
+        let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Options::parse(&argv)
+    }
+
+    #[test]
+    fn pairs_and_switches() {
+        let o = parse(&["--utilization", "1.5", "--full", "--seed", "7"]).unwrap();
+        assert_eq!(o.value("utilization"), Some("1.5"));
+        assert_eq!(o.value("seed"), Some("7"));
+        assert!(o.switch("full"));
+        assert!(!o.switch("quick"));
+        assert_eq!(o.parse_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(o.parse_or("missing", 3u64).unwrap(), 3);
+    }
+
+    #[test]
+    fn later_values_win() {
+        let o = parse(&["--seed", "1", "--seed", "2"]).unwrap();
+        assert_eq!(o.value("seed"), Some("2"));
+    }
+
+    #[test]
+    fn bare_token_rejected() {
+        assert!(parse(&["oops"]).is_err());
+        assert!(parse(&["--"]).is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_value() {
+        let o = parse(&["--seed", "banana"]).unwrap();
+        assert!(o.parse_or("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn platform_selection() {
+        assert_eq!(parse(&[]).unwrap().platform().unwrap().cores(), 4);
+        assert_eq!(
+            parse(&["--platform", "b"])
+                .unwrap()
+                .platform()
+                .unwrap()
+                .cores(),
+            6
+        );
+        assert_eq!(
+            parse(&["--platform", "c"])
+                .unwrap()
+                .platform()
+                .unwrap()
+                .cache_partitions(),
+            12
+        );
+        assert!(parse(&["--platform", "z"]).unwrap().platform().is_err());
+    }
+
+    #[test]
+    fn distribution_selection() {
+        assert_eq!(
+            parse(&["--distribution", "heavy"])
+                .unwrap()
+                .distribution()
+                .unwrap(),
+            UtilizationDist::BimodalHeavy
+        );
+        assert!(parse(&["--distribution", "wat"])
+            .unwrap()
+            .distribution()
+            .is_err());
+    }
+
+    #[test]
+    fn solution_selection() {
+        assert_eq!(parse(&[]).unwrap().solutions().unwrap().len(), 5);
+        assert_eq!(
+            parse(&["--solution", "baseline"])
+                .unwrap()
+                .solutions()
+                .unwrap(),
+            vec![Solution::Baseline]
+        );
+        assert!(parse(&["--solution", "wat"]).unwrap().solutions().is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The CLI subcommands.
+
+use crate::args::Options;
+use crate::{io_error, CliError};
+use std::io::Write;
+use vc2m::model::{Alloc, Platform, SimDuration, TaskSet, VmSpec};
+use vc2m::prelude::*;
+use vc2m::sweep::{run_sweep_parallel, SweepConfig};
+
+/// `vc2m platforms`: lists the built-in evaluation platforms.
+pub fn platforms(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "{:<4} {:<44} modeled on", "name", "geometry").map_err(io_error)?;
+    for (name, platform, cpu) in [
+        ("a", Platform::platform_a(), "Intel Xeon E5-2618L v3"),
+        ("b", Platform::platform_b(), "Intel Xeon D-1528"),
+        ("c", Platform::platform_c(), "Intel Xeon D-1518"),
+    ] {
+        writeln!(out, "{:<4} {:<44} {cpu}", name, platform.to_string()).map_err(io_error)?;
+    }
+    Ok(())
+}
+
+/// `vc2m benchmarks`: lists the benchmark profiles and their slowdown
+/// landmarks on the selected platform.
+pub fn benchmarks(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let options = Options::parse(argv)?;
+    let platform = options.platform()?;
+    let space = platform.resources();
+    let even = Alloc::new(
+        (space.cache_max() / platform.cores() as u32).max(space.cache_min()),
+        (space.bw_max() / platform.cores() as u32).max(space.bw_min()),
+    );
+    writeln!(
+        out,
+        "{:<14} {:>8} {:>10} {:>8}",
+        "benchmark", "s(max)", "s(even)", "mem%"
+    )
+    .map_err(io_error)?;
+    for benchmark in ParsecBenchmark::ALL {
+        let profile = benchmark.profile();
+        let surface = profile.slowdown_surface(&space);
+        writeln!(
+            out,
+            "{:<14} {:>8.2} {:>10.2} {:>7.0}%",
+            benchmark.name(),
+            surface.max_slowdown(),
+            surface.at(even),
+            profile.memory_intensity() * 100.0
+        )
+        .map_err(io_error)?;
+    }
+    writeln!(
+        out,
+        "\ns(max): slowdown at ({}, {}); s(even): at the even split {even}",
+        space.cache_min(),
+        space.bw_min()
+    )
+    .map_err(io_error)?;
+    Ok(())
+}
+
+/// Workload parameters shared by `analyze` and `simulate`.
+struct Workload {
+    platform: Platform,
+    tasks: TaskSet,
+    vms: Vec<VmSpec>,
+    seed: u64,
+}
+
+fn build_workload(options: &Options) -> Result<Workload, CliError> {
+    let platform = options.platform()?;
+    let utilization: f64 = options.parse_or("utilization", 1.0)?;
+    if !utilization.is_finite() || utilization <= 0.0 {
+        return Err(CliError::new("utilization must be positive"));
+    }
+    let seed: u64 = options.parse_or("seed", 42)?;
+    let vm_count: usize = options.parse_or("vms", 1)?;
+    if vm_count == 0 {
+        return Err(CliError::new("--vms must be at least 1"));
+    }
+    let distribution = options.distribution()?;
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(utilization, distribution).with_vm_count(vm_count),
+        seed,
+    );
+    let vms = generator.generate_vms();
+    let tasks: TaskSet = vms
+        .iter()
+        .flat_map(|vm| vm.tasks().iter().cloned())
+        .collect();
+    Ok(Workload {
+        platform,
+        tasks,
+        vms,
+        seed,
+    })
+}
+
+/// `vc2m analyze`: generates a workload and allocates it with the
+/// selected solutions.
+pub fn analyze(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let options = Options::parse(argv)?;
+    let workload = build_workload(&options)?;
+    let solutions = options.solutions()?;
+    writeln!(
+        out,
+        "workload: {} tasks in {} VMs, u* = {:.3} on {}",
+        workload.tasks.len(),
+        workload.vms.len(),
+        workload.tasks.reference_utilization(),
+        workload.platform
+    )
+    .map_err(io_error)?;
+    for solution in solutions {
+        let outcome = solution.allocate(&workload.vms, &workload.platform, workload.seed);
+        match outcome.allocation() {
+            Some(allocation) => {
+                writeln!(out, "\n{}: schedulable", solution.name()).map_err(io_error)?;
+                write!(out, "{allocation}").map_err(io_error)?;
+            }
+            None => {
+                writeln!(out, "\n{}: NOT schedulable", solution.name()).map_err(io_error)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `vc2m simulate`: allocates, then validates the allocation on the
+/// simulated hypervisor.
+pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let options = Options::parse(argv)?;
+    let workload = build_workload(&options)?;
+    let horizon_ms: f64 = options.parse_or("horizon-ms", 2500.0)?;
+    if !horizon_ms.is_finite() || horizon_ms <= 0.0 {
+        return Err(CliError::new("--horizon-ms must be positive"));
+    }
+    let solutions = options.solutions()?;
+    for solution in solutions {
+        let outcome = solution.allocate(&workload.vms, &workload.platform, workload.seed);
+        let Some(allocation) = outcome.allocation() else {
+            writeln!(
+                out,
+                "{}: NOT schedulable (skipping simulation)",
+                solution.name()
+            )
+            .map_err(io_error)?;
+            continue;
+        };
+        let gantt = options.switch("gantt");
+        let config = SimConfig::default()
+            .with_horizon(SimDuration::from_ms(horizon_ms))
+            .with_supply_recording(gantt);
+        let report = HypervisorSim::new(&workload.platform, allocation, &workload.tasks, config)
+            .map_err(|e| CliError::new(format!("simulation build failed: {e}")))?
+            .run();
+        writeln!(
+            out,
+            "{}: {} cores, {}",
+            solution.name(),
+            allocation.cores_used(),
+            if report.all_deadlines_met() {
+                format!("all deadlines met over {} jobs", report.jobs_completed)
+            } else {
+                format!("{} DEADLINE MISSES", report.deadline_misses.len())
+            }
+        )
+        .map_err(io_error)?;
+        if gantt {
+            use vc2m::model::SimTime;
+            let window_end = SimTime::from_ms(horizon_ms.min(200.0));
+            write!(
+                out,
+                "{}",
+                vc2m::hypervisor::gantt::render(
+                    &report.supply_logs,
+                    SimTime::ZERO,
+                    window_end,
+                    100
+                )
+            )
+            .map_err(io_error)?;
+        }
+    }
+    Ok(())
+}
+
+/// `vc2m isolation`: the Section 3.3 WCET-impact study.
+pub fn isolation(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use rand::SeedableRng;
+    use vc2m::hypervisor::interference::{measure, InterferenceConfig};
+    let options = Options::parse(argv)?;
+    let platform = options.platform()?;
+    let space = platform.resources();
+    let co_runners: usize = options.parse_or("co-runners", 3)?;
+    let runs: usize = options.parse_or("runs", 25)?;
+    if runs == 0 {
+        return Err(CliError::new("--runs must be at least 1"));
+    }
+    let seed: u64 = options.parse_or("seed", 42)?;
+    let cache = (space.cache_max() * 3 / 5).max(space.cache_min());
+    let bw = (space.bw_max() * 3 / 5).max(space.bw_min());
+    let alloc = Alloc::new(cache, bw);
+    let config = InterferenceConfig {
+        co_runners,
+        runs,
+        ..InterferenceConfig::default()
+    };
+    writeln!(
+        out,
+        "isolation study on {platform}: vC2M allocation {alloc}, {co_runners} co-runners, {runs} runs\n"
+    )
+    .map_err(io_error)?;
+    writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>10}",
+        "benchmark", "isolated", "shared", "reduction"
+    )
+    .map_err(io_error)?;
+    for benchmark in ParsecBenchmark::ALL {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let m = measure(&benchmark.profile(), &space, alloc, &config, &mut rng);
+        writeln!(
+            out,
+            "{:<14} {:>12.3} {:>12.3} {:>9.2}x",
+            benchmark.name(),
+            m.isolated.max().unwrap_or(f64::NAN),
+            m.shared.max().unwrap_or(f64::NAN),
+            m.wcet_reduction().unwrap_or(f64::NAN)
+        )
+        .map_err(io_error)?;
+    }
+    Ok(())
+}
+
+/// `vc2m sweep`: a Figure 2/3-style schedulability sweep.
+pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let options = Options::parse(argv)?;
+    let platform = options.platform()?;
+    let distribution = options.distribution()?;
+    let mut config = if options.switch("full") {
+        SweepConfig::paper(platform, distribution)
+    } else {
+        SweepConfig::quick(platform, distribution)
+    };
+    config.solutions = options.solutions()?;
+    config.base_seed = options.parse_or("seed", config.base_seed)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = options.parse_or("threads", default_threads)?;
+    if threads == 0 {
+        return Err(CliError::new("--threads must be at least 1"));
+    }
+
+    let results = run_sweep_parallel(&config, threads, |_, _| {});
+    write!(out, "{results}").map_err(io_error)?;
+    for solution in results.solutions().to_vec() {
+        if let Some(u) = results.breakdown_utilization(solution) {
+            writeln!(out, "breakdown {:<40} {u:.2}", solution.name()).map_err(io_error)?;
+        }
+    }
+    if let Some(path) = options.value("out") {
+        std::fs::write(path, results.fractions_csv())
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote {path}").map_err(io_error)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: impl FnOnce(&mut dyn Write) -> Result<(), CliError>) -> String {
+        let mut buf = Vec::new();
+        f(&mut buf).expect("command succeeds");
+        String::from_utf8(buf).expect("utf8")
+    }
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn platforms_lists_three() {
+        let out = run(platforms);
+        assert!(out.contains("Xeon E5-2618L"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn benchmarks_lists_thirteen() {
+        let out = run(|w| benchmarks(&argv(&[]), w));
+        assert!(out.contains("canneal"));
+        assert!(out.contains("swaptions"));
+        // Header + 13 benchmarks + blank + footnote.
+        assert!(out.lines().count() >= 15);
+    }
+
+    #[test]
+    fn analyze_light_workload_schedulable_everywhere() {
+        let out = run(|w| analyze(&argv(&["--utilization", "0.3", "--seed", "1"]), w));
+        assert!(out.contains("workload:"));
+        assert_eq!(out.matches("schedulable").count(), 5, "{out}");
+        assert!(!out.contains("NOT schedulable"), "{out}");
+    }
+
+    #[test]
+    fn analyze_single_solution() {
+        let out = run(|w| {
+            analyze(
+                &argv(&["--utilization", "0.3", "--solution", "baseline"]),
+                w,
+            )
+        });
+        assert!(out.contains("Baseline (existing CSA)"));
+        assert!(!out.contains("flattening"));
+    }
+
+    #[test]
+    fn simulate_reports_deadlines() {
+        let out = run(|w| {
+            simulate(
+                &argv(&[
+                    "--utilization",
+                    "0.4",
+                    "--solution",
+                    "flattening",
+                    "--horizon-ms",
+                    "1200",
+                ]),
+                w,
+            )
+        });
+        assert!(out.contains("all deadlines met"), "{out}");
+    }
+
+    #[test]
+    fn sweep_quick_single_solution() {
+        let out = run(|w| sweep(&argv(&["--solution", "flattening", "--threads", "2"]), w));
+        assert!(out.contains("flatten"));
+        assert!(out.contains("breakdown"));
+    }
+
+    #[test]
+    fn isolation_lists_reductions() {
+        let out = run(|w| isolation(&argv(&["--runs", "5"]), w));
+        assert!(out.contains("canneal"));
+        assert!(out.contains("reduction"));
+        assert_eq!(out.matches('x').count() >= 13, true);
+    }
+
+    #[test]
+    fn bad_options_are_reported() {
+        let mut buf = Vec::new();
+        assert!(analyze(&argv(&["--utilization", "-1"]), &mut buf).is_err());
+        assert!(analyze(&argv(&["--vms", "0"]), &mut buf).is_err());
+        assert!(simulate(&argv(&["--horizon-ms", "0"]), &mut buf).is_err());
+        assert!(sweep(&argv(&["--threads", "0"]), &mut buf).is_err());
+        assert!(isolation(&argv(&["--runs", "0"]), &mut buf).is_err());
+    }
+}

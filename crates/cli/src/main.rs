@@ -1,0 +1,8 @@
+//! Entry point of the `vc2m` command-line tool.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    let code = vc2m_cli::run(&argv, &mut stdout);
+    std::process::exit(code);
+}

@@ -1,0 +1,500 @@
+//! The schedulability-experiment engine behind Figures 2–4.
+//!
+//! A *sweep* generates random tasksets at each target reference
+//! utilization (0.1 to 2.0 in the paper, 50 tasksets per point),
+//! analyzes every taskset with each of the five solutions, and records
+//! the fraction of schedulable tasksets (Figures 2 and 3) and the
+//! analysis running time (Figure 4). The same tasksets are presented
+//! to every solution, as in the paper.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+use vc2m_alloc::Solution;
+use vc2m_model::{Platform, VmId, VmSpec};
+use vc2m_workload::{TasksetConfig, TasksetGenerator, UtilizationDist};
+
+/// Inclusive floating-point range with step, e.g.
+/// `utilization_steps(0.1, 2.0, 0.05)` for the paper's x-axis.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or `to < from`.
+pub fn utilization_steps(from: f64, to: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0, "step must be positive");
+    assert!(to >= from, "need to >= from");
+    let n = ((to - from) / step).round() as usize;
+    (0..=n).map(|i| from + i as f64 * step).collect()
+}
+
+/// Configuration of a schedulability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// The platform (Figures 2a/2b/2c use Platforms A/B/C).
+    pub platform: Platform,
+    /// Task utilization distribution (Figure 3 uses the bimodals).
+    pub distribution: UtilizationDist,
+    /// The taskset reference utilizations to sweep.
+    pub utilizations: Vec<f64>,
+    /// Independent tasksets per utilization point (50 in the paper).
+    pub tasksets_per_point: usize,
+    /// The solutions to compare.
+    pub solutions: Vec<Solution>,
+    /// Base RNG seed; every (point, taskset) pair derives its own.
+    pub base_seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper's full experimental scale: utilization 0.1..2.0 step
+    /// 0.05, 50 tasksets per point, all five solutions (1950 tasksets,
+    /// each analyzed five ways — expect minutes of compute in release
+    /// mode, dominated by the existing-CSA solutions).
+    pub fn paper(platform: Platform, distribution: UtilizationDist) -> Self {
+        SweepConfig {
+            platform,
+            distribution,
+            utilizations: utilization_steps(0.1, 2.0, 0.05),
+            tasksets_per_point: 50,
+            solutions: Solution::ALL.to_vec(),
+            base_seed: 0xDAC_2019,
+        }
+    }
+
+    /// A scaled-down sweep (step 0.2, 8 tasksets per point) that
+    /// reproduces the curves' shape in seconds. Used by examples and
+    /// smoke benches.
+    pub fn quick(platform: Platform, distribution: UtilizationDist) -> Self {
+        SweepConfig {
+            platform,
+            distribution,
+            utilizations: utilization_steps(0.2, 2.0, 0.2),
+            tasksets_per_point: 8,
+            solutions: Solution::ALL.to_vec(),
+            base_seed: 0xDAC_2019,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Returns a copy restricted to the given solutions.
+    pub fn with_solutions(mut self, solutions: Vec<Solution>) -> Self {
+        self.solutions = solutions;
+        self
+    }
+}
+
+/// Aggregate result for one (utilization, solution) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepCell {
+    /// Tasksets deemed schedulable.
+    pub schedulable: usize,
+    /// Tasksets analyzed.
+    pub total: usize,
+    /// Total analysis wall-clock time over all tasksets in the cell.
+    pub runtime: Duration,
+}
+
+impl SweepCell {
+    /// Fraction of schedulable tasksets (0 if the cell is empty).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.schedulable as f64 / self.total as f64
+        }
+    }
+
+    /// Mean analysis time per taskset, in seconds.
+    pub fn avg_runtime_s(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.runtime.as_secs_f64() / self.total as f64
+        }
+    }
+}
+
+/// One row of a sweep: a utilization point with one cell per solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The taskset reference utilization of this point.
+    pub utilization: f64,
+    /// One cell per configured solution, in configuration order.
+    pub cells: Vec<SweepCell>,
+}
+
+/// The complete result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    solutions: Vec<Solution>,
+    rows: Vec<SweepRow>,
+}
+
+impl SweepResults {
+    /// The solutions, in column order.
+    pub fn solutions(&self) -> &[Solution] {
+        &self.solutions
+    }
+
+    /// The rows, in utilization order.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// The cell for `solution` at row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution was not part of the sweep or the row is
+    /// out of range.
+    pub fn cell(&self, row: usize, solution: Solution) -> &SweepCell {
+        let col = self
+            .solutions
+            .iter()
+            .position(|&s| s == solution)
+            .expect("solution was part of the sweep");
+        &self.rows[row].cells[col]
+    }
+
+    /// The *breakdown utilization* of a solution: the largest swept
+    /// utilization at which every taskset was still schedulable
+    /// (the paper: "the utilization after which tasksets start to
+    /// become unschedulable"). `None` if even the smallest point had
+    /// failures.
+    pub fn breakdown_utilization(&self, solution: Solution) -> Option<f64> {
+        let col = self
+            .solutions
+            .iter()
+            .position(|&s| s == solution)
+            .expect("solution was part of the sweep");
+        self.rows
+            .iter()
+            .take_while(|row| row.cells[col].fraction() >= 1.0 - 1e-12)
+            .last()
+            .map(|row| row.utilization)
+    }
+
+    /// Serializes the schedulable fractions as CSV
+    /// (`utilization,<solution>...`).
+    pub fn fractions_csv(&self) -> String {
+        let mut out = String::from("utilization");
+        for s in &self.solutions {
+            out.push(',');
+            out.push_str(s.name());
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:.2}", row.utilization));
+            for cell in &row.cells {
+                out.push_str(&format!(",{:.4}", cell.fraction()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the average running times (seconds) as CSV.
+    pub fn runtimes_csv(&self) -> String {
+        let mut out = String::from("utilization");
+        for s in &self.solutions {
+            out.push(',');
+            out.push_str(s.name());
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:.2}", row.utilization));
+            for cell in &row.cells {
+                out.push_str(&format!(",{:.6}", cell.avg_runtime_s()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SweepResults {
+    /// Renders the schedulable-fraction table with one column per
+    /// solution.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>6}", "u*")?;
+        for s in &self.solutions {
+            write!(f, " {:>9}", short_name(*s))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:>6.2}", row.utilization)?;
+            for cell in &row.cells {
+                write!(f, " {:>9.2}", cell.fraction())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn short_name(s: Solution) -> &'static str {
+    match s {
+        Solution::HeuristicFlattening => "flatten",
+        Solution::HeuristicOverheadFree => "ovh-free",
+        Solution::HeuristicExisting => "heur-csa",
+        Solution::EvenlyPartition => "even",
+        Solution::Baseline => "baseline",
+        Solution::Auto => "auto",
+    }
+}
+
+/// Runs a sweep, invoking `progress` after each utilization point with
+/// `(points_done, points_total)`.
+pub fn run_sweep_with_progress(
+    config: &SweepConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> SweepResults {
+    let mut rows = Vec::with_capacity(config.utilizations.len());
+    for pi in 0..config.utilizations.len() {
+        rows.push(sweep_point(config, pi));
+        progress(pi + 1, config.utilizations.len());
+    }
+    SweepResults {
+        solutions: config.solutions.clone(),
+        rows,
+    }
+}
+
+/// Runs a sweep silently.
+pub fn run_sweep(config: &SweepConfig) -> SweepResults {
+    run_sweep_with_progress(config, |_, _| {})
+}
+
+/// Runs a sweep with the utilization points distributed over
+/// `threads` worker threads.
+///
+/// Results are **identical** to [`run_sweep`]: every `(point,
+/// repetition)` pair derives its own seed, so the partitioning cannot
+/// change any outcome — only the wall-clock time. `progress` is called
+/// from worker threads as points complete (total order of calls is
+/// nondeterministic, the `(done, total)` counts are monotone).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a worker thread panics.
+pub fn run_sweep_parallel(
+    config: &SweepConfig,
+    threads: usize,
+    progress: impl Fn(usize, usize) + Sync,
+) -> SweepResults {
+    assert!(threads > 0, "need at least one thread");
+    let total = config.utilizations.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let mut rows: Vec<Option<SweepRow>> = Vec::new();
+    rows.resize_with(total, || None);
+    let rows_mutex = std::sync::Mutex::new(&mut rows);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(|| loop {
+                let pi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if pi >= total {
+                    break;
+                }
+                let row = sweep_point(config, pi);
+                {
+                    let mut rows = rows_mutex.lock().expect("no poisoned workers");
+                    rows[pi] = Some(row);
+                }
+                let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                progress(d, total);
+            });
+        }
+    });
+
+    SweepResults {
+        solutions: config.solutions.clone(),
+        rows: rows
+            .into_iter()
+            .map(|r| r.expect("all points computed"))
+            .collect(),
+    }
+}
+
+/// Computes one utilization point of a sweep (all repetitions, all
+/// solutions). Deterministic in `(config.base_seed, point_index)`.
+fn sweep_point(config: &SweepConfig, point_index: usize) -> SweepRow {
+    let utilization = config.utilizations[point_index];
+    let mut cells = vec![SweepCell::default(); config.solutions.len()];
+    for rep in 0..config.tasksets_per_point {
+        let seed = config
+            .base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((point_index as u64) << 32)
+            .wrapping_add(rep as u64);
+        let mut generator = TasksetGenerator::new(
+            config.platform.resources(),
+            TasksetConfig::new(utilization, config.distribution),
+            seed,
+        );
+        let tasks = generator.generate();
+        let vms = vec![VmSpec::new(VmId(0), tasks).expect("generated taskset is non-empty")];
+        for (ci, &solution) in config.solutions.iter().enumerate() {
+            let start = Instant::now();
+            let outcome = solution.allocate(&vms, &config.platform, seed);
+            let elapsed = start.elapsed();
+            cells[ci].total += 1;
+            cells[ci].runtime += elapsed;
+            if outcome.is_schedulable() {
+                cells[ci].schedulable += 1;
+            }
+        }
+    }
+    SweepRow { utilization, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_cover_range_inclusively() {
+        let s = utilization_steps(0.1, 2.0, 0.05);
+        assert_eq!(s.len(), 39);
+        assert!((s[0] - 0.1).abs() < 1e-12);
+        assert!((s[38] - 2.0).abs() < 1e-9);
+        assert_eq!(utilization_steps(1.0, 1.0, 0.5), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let _ = utilization_steps(0.1, 2.0, 0.0);
+    }
+
+    #[test]
+    fn cell_math() {
+        let cell = SweepCell {
+            schedulable: 3,
+            total: 4,
+            runtime: Duration::from_millis(200),
+        };
+        assert_eq!(cell.fraction(), 0.75);
+        assert!((cell.avg_runtime_s() - 0.05).abs() < 1e-12);
+        assert_eq!(SweepCell::default().fraction(), 0.0);
+    }
+
+    #[test]
+    fn tiny_sweep_has_expected_shape() {
+        let config = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.3, 3.0],
+            tasksets_per_point: 3,
+            solutions: vec![Solution::HeuristicFlattening, Solution::Baseline],
+            base_seed: 7,
+        };
+        let results = run_sweep(&config);
+        assert_eq!(results.rows().len(), 2);
+        // Utilization 0.3 on 4 cores: everything schedulable under
+        // flattening.
+        assert_eq!(
+            results.cell(0, Solution::HeuristicFlattening).fraction(),
+            1.0
+        );
+        // Utilization 3.0 with slowdown ≥ 1: baseline cannot schedule.
+        assert_eq!(results.cell(1, Solution::Baseline).fraction(), 0.0);
+        // Flattening dominates the baseline everywhere.
+        for row in 0..2 {
+            assert!(
+                results.cell(row, Solution::HeuristicFlattening).fraction()
+                    >= results.cell(row, Solution::Baseline).fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_utilization_detects_cliff() {
+        let config = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.3, 0.6],
+            tasksets_per_point: 2,
+            solutions: vec![Solution::HeuristicFlattening],
+            base_seed: 3,
+        };
+        let results = run_sweep(&config);
+        let breakdown = results.breakdown_utilization(Solution::HeuristicFlattening);
+        assert!(breakdown.is_some());
+        assert!(breakdown.unwrap() >= 0.3);
+    }
+
+    #[test]
+    fn csv_serialization() {
+        let config = SweepConfig {
+            platform: Platform::platform_c(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.4],
+            tasksets_per_point: 1,
+            solutions: vec![Solution::Baseline],
+            base_seed: 1,
+        };
+        let results = run_sweep(&config);
+        let csv = results.fractions_csv();
+        assert!(csv.starts_with("utilization,Baseline (existing CSA)\n"));
+        assert!(csv.lines().count() == 2);
+        assert!(results.runtimes_csv().contains("0.40,"));
+        let display = results.to_string();
+        assert!(display.contains("baseline"));
+    }
+
+    #[test]
+    fn progress_callback_fires_per_point() {
+        let config = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.2, 0.4, 0.6],
+            tasksets_per_point: 1,
+            solutions: vec![Solution::HeuristicFlattening],
+            base_seed: 1,
+        };
+        let mut calls = Vec::new();
+        let _ = run_sweep_with_progress(&config, |done, total| calls.push((done, total)));
+        assert_eq!(calls, vec![(1, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let config = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.4, 0.8, 1.2],
+            tasksets_per_point: 2,
+            solutions: vec![Solution::HeuristicFlattening, Solution::Baseline],
+            base_seed: 13,
+        };
+        let serial = run_sweep(&config);
+        let parallel = run_sweep_parallel(&config, 3, |_, _| {});
+        assert_eq!(serial.fractions_csv(), parallel.fractions_csv());
+        assert_eq!(serial.solutions(), parallel.solutions());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let config = SweepConfig::quick(Platform::platform_a(), UtilizationDist::Uniform);
+        let _ = run_sweep_parallel(&config, 0, |_, _| {});
+    }
+
+    #[test]
+    fn determinism() {
+        let config = SweepConfig::quick(Platform::platform_a(), UtilizationDist::Uniform)
+            .with_solutions(vec![Solution::HeuristicFlattening])
+            .with_seed(5);
+        let mut small = config;
+        small.utilizations = vec![0.5, 1.0];
+        small.tasksets_per_point = 2;
+        let a = run_sweep(&small);
+        let b = run_sweep(&small);
+        assert_eq!(a.fractions_csv(), b.fractions_csv());
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation configuration.
+
+use vc2m_model::SimDuration;
+
+/// Whether vC²M's cache and bandwidth isolation is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationMode {
+    /// Cache partitions are disjoint per core and the bandwidth
+    /// regulator enforces per-core budgets (the vC²M configuration).
+    Isolated,
+    /// No partitioning, no regulation: concurrent tasks contend for
+    /// the shared cache and memory bus (the configuration the paper's
+    /// Section 3.3 study compares against).
+    Shared,
+}
+
+/// Configuration of a hypervisor simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// How long to simulate. The default of 10 s covers more than two
+    /// hyperperiods of the paper's workloads (periods ≤ 1100 ms with
+    /// synchronized releases, so the first hyperperiod after time zero
+    /// is the critical one).
+    pub horizon: SimDuration,
+    /// The bandwidth-regulation period (the paper uses a small
+    /// configurable interval, e.g. 1 ms — the default).
+    pub regulation_period: SimDuration,
+    /// Isolation mode (default: isolated, the vC²M configuration).
+    pub isolation: IsolationMode,
+    /// Memory requests issued per millisecond of execution by each
+    /// task, as a fraction of its core's per-period budget rate.
+    /// The default of 0 disables traffic generation: WCET surfaces
+    /// already internalize bandwidth stalls (they are measured *under*
+    /// regulation), so validation runs must not double-charge them.
+    /// Interference studies set this to exercise the regulator.
+    pub traffic_fraction: f64,
+    /// Whether VCPU first releases are synchronized with their tasks'
+    /// first releases (the Section 3.2 hypercall; default true).
+    /// Disabling it reproduces the classical unsynchronized setting in
+    /// which a task can be released just after its VCPU's budget was
+    /// exhausted.
+    pub synchronize_releases: bool,
+    /// Capacity of the event trace kept for debugging (0 disables).
+    pub trace_capacity: usize,
+    /// Whether to record each VCPU's exact execution intervals for
+    /// well-regulated supply verification
+    /// (see [`SupplyLog`](crate::SupplyLog)). Off by default — logs
+    /// grow with the number of preemptions.
+    pub record_supply: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: SimDuration::from_ms(10_000.0),
+            regulation_period: SimDuration::from_ms(1.0),
+            isolation: IsolationMode::Isolated,
+            traffic_fraction: 0.0,
+            synchronize_releases: true,
+            trace_capacity: 0,
+            record_supply: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with a different horizon.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Returns a copy with traffic generation at `fraction` of each
+    /// core's budget rate (> 1 forces throttling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or non-finite.
+    pub fn with_traffic_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "traffic fraction must be non-negative, got {fraction}"
+        );
+        self.traffic_fraction = fraction;
+        self
+    }
+
+    /// Returns a copy with the given trace capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Returns a copy with release synchronization toggled.
+    pub fn with_release_synchronization(mut self, on: bool) -> Self {
+        self.synchronize_releases = on;
+        self
+    }
+
+    /// Returns a copy with supply recording toggled.
+    pub fn with_supply_recording(mut self, on: bool) -> Self {
+        self.record_supply = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.horizon, SimDuration::from_ms(10_000.0));
+        assert_eq!(c.regulation_period, SimDuration::from_ms(1.0));
+        assert_eq!(c.isolation, IsolationMode::Isolated);
+        assert_eq!(c.traffic_fraction, 0.0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::default()
+            .with_horizon(SimDuration::from_ms(500.0))
+            .with_traffic_fraction(1.5)
+            .with_trace_capacity(128);
+        assert_eq!(c.horizon.as_ms(), 500.0);
+        assert_eq!(c.traffic_fraction, 1.5);
+        assert_eq!(c.trace_capacity, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_traffic_rejected() {
+        let _ = SimConfig::default().with_traffic_fraction(-0.1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Energy accounting: idling vs spinning throttled cores.
+//!
+//! The paper's regulator *idles* a core for the rest of the regulation
+//! period once its bandwidth budget is exhausted, and argues this is
+//! more energy-efficient than MemGuard's approach of keeping the core
+//! busy. This module quantifies that claim: the simulator tracks how
+//! long each core spent executing tasks, sitting throttled, and
+//! sitting idle; [`EnergyModel::joules`] converts those durations into
+//! energy under either throttling policy.
+
+use std::fmt;
+
+/// What a throttled core does until the refiller wakes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThrottlePolicy {
+    /// vC²M: the hypervisor de-schedules the VCPU and the core enters
+    /// an idle (low-power) state.
+    Idle,
+    /// MemGuard-style: the core spins at full power until the budget
+    /// is replenished.
+    Busy,
+}
+
+/// Per-core power draw in the two states, in watts.
+///
+/// The defaults (24 W busy, 8 W idle per core) are illustrative
+/// server-class figures; only the *ratio* matters for the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Power while executing (or spinning), in watts.
+    pub busy_watts: f64,
+    /// Power in the idle state, in watts.
+    pub idle_watts: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            busy_watts: 24.0,
+            idle_watts: 8.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either power is negative/non-finite or
+    /// `idle_watts > busy_watts`.
+    pub fn new(busy_watts: f64, idle_watts: f64) -> Self {
+        assert!(
+            busy_watts.is_finite() && busy_watts >= 0.0,
+            "busy watts must be non-negative, got {busy_watts}"
+        );
+        assert!(
+            idle_watts.is_finite() && (0.0..=busy_watts).contains(&idle_watts),
+            "idle watts must lie in [0, busy], got {idle_watts}"
+        );
+        EnergyModel {
+            busy_watts,
+            idle_watts,
+        }
+    }
+
+    /// Energy of one core over a window, given how it spent the time.
+    ///
+    /// `busy_ms` is task execution, `throttled_ms` is time spent
+    /// bandwidth-throttled, and the remainder of `total_ms` is idle.
+    /// Under [`ThrottlePolicy::Idle`] throttled time costs idle power;
+    /// under [`ThrottlePolicy::Busy`] it costs busy power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_ms + throttled_ms` exceeds `total_ms`.
+    pub fn joules(
+        &self,
+        policy: ThrottlePolicy,
+        busy_ms: f64,
+        throttled_ms: f64,
+        total_ms: f64,
+    ) -> f64 {
+        assert!(
+            busy_ms + throttled_ms <= total_ms + 1e-6,
+            "busy {busy_ms} + throttled {throttled_ms} exceeds window {total_ms}"
+        );
+        let idle_ms = (total_ms - busy_ms - throttled_ms).max(0.0);
+        let throttled_watts = match policy {
+            ThrottlePolicy::Idle => self.idle_watts,
+            ThrottlePolicy::Busy => self.busy_watts,
+        };
+        (busy_ms * self.busy_watts + throttled_ms * throttled_watts + idle_ms * self.idle_watts)
+            / 1e3
+    }
+}
+
+impl fmt::Display for EnergyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}W busy / {}W idle", self.busy_watts, self.idle_watts)
+    }
+}
+
+/// Per-core time accounting exported by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoreTime {
+    /// Milliseconds spent executing tasks.
+    pub busy_ms: f64,
+    /// Milliseconds spent bandwidth-throttled.
+    pub throttled_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_policy_charges_idle_power_for_throttled_time() {
+        let m = EnergyModel::new(20.0, 5.0);
+        // 100 ms window: 40 busy, 30 throttled, 30 idle.
+        let idle = m.joules(ThrottlePolicy::Idle, 40.0, 30.0, 100.0);
+        let busy = m.joules(ThrottlePolicy::Busy, 40.0, 30.0, 100.0);
+        assert!((idle - (40.0 * 20.0 + 60.0 * 5.0) / 1e3).abs() < 1e-9);
+        assert!((busy - (70.0 * 20.0 + 30.0 * 5.0) / 1e3).abs() < 1e-9);
+        assert!(idle < busy);
+        // The saving is exactly the throttled time × power gap.
+        assert!((busy - idle - 30.0 * 15.0 / 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_throttling_makes_policies_equal() {
+        let m = EnergyModel::default();
+        let a = m.joules(ThrottlePolicy::Idle, 50.0, 0.0, 100.0);
+        let b = m.joules(ThrottlePolicy::Busy, 50.0, 0.0, 100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window")]
+    fn overfull_window_panics() {
+        EnergyModel::default().joules(ThrottlePolicy::Idle, 80.0, 30.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle watts")]
+    fn idle_above_busy_rejected() {
+        let _ = EnergyModel::new(10.0, 12.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EnergyModel::default().to_string(), "24W busy / 8W idle");
+    }
+}

@@ -1,0 +1,326 @@
+//! Well-regulated supply verification (Theorem 2's premise).
+//!
+//! A VCPU is *well-regulated* iff it executes at time `t` exactly when
+//! it executes at `t + k·Π` for every k — its supply pattern repeats
+//! each period. The paper claims (Section 3.2) that periodic servers +
+//! harmonic periods + a common release offset + the deterministic EDF
+//! tie-break produce well-regulated VCPUs; Theorem 2's overhead-free
+//! budget rests on that claim.
+//!
+//! This module checks the claim *empirically*: [`SupplyLog`] records
+//! the exact execution intervals of one VCPU during a simulation, and
+//! [`SupplyLog::regulation_violation`] folds every interval into the
+//! VCPU's period and reports the first position where two periods
+//! disagree. The hypervisor records logs when
+//! [`SimConfig::record_supply`](crate::SimConfig) is enabled.
+
+use vc2m_model::{SimDuration, SimTime};
+
+/// The execution intervals a single VCPU received on its core.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupplyLog {
+    /// Server period in nanoseconds.
+    period_ns: u64,
+    /// First release (pattern phase origin) in nanoseconds.
+    origin_ns: u64,
+    /// Closed-open execution intervals `[start, end)`, in ns,
+    /// non-overlapping and sorted.
+    intervals: Vec<(u64, u64)>,
+}
+
+/// A detected violation of the well-regulated property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegulationViolation {
+    /// Offset within the period (ns) where two periods disagree.
+    pub offset_ns: u64,
+    /// Index of a period during which the VCPU ran at `offset_ns`.
+    pub running_period: u64,
+    /// Index of a period during which it did not.
+    pub idle_period: u64,
+}
+
+impl SupplyLog {
+    /// Creates an empty log for a server with the given period and
+    /// first release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(period: SimDuration, origin: SimTime) -> Self {
+        assert!(period.as_ns() > 0, "period must be positive");
+        SupplyLog {
+            period_ns: period.as_ns(),
+            origin_ns: origin.as_ns(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Records an execution interval `[start, end)`.
+    ///
+    /// Adjacent intervals are merged. Intervals must be appended in
+    /// time order (the simulator's event order guarantees this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty, precedes the origin, or
+    /// overlaps the previously recorded one.
+    pub fn record(&mut self, start: SimTime, end: SimTime) {
+        let (s, e) = (start.as_ns(), end.as_ns());
+        assert!(s < e, "interval must be non-empty");
+        assert!(s >= self.origin_ns, "interval precedes the first release");
+        if let Some(last) = self.intervals.last_mut() {
+            assert!(s >= last.1, "intervals must be appended in order");
+            if s == last.1 {
+                last.1 = e;
+                return;
+            }
+        }
+        self.intervals.push((s, e));
+    }
+
+    /// Number of recorded (merged) intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total supply over the log, in nanoseconds.
+    pub fn total_supply_ns(&self) -> u64 {
+        self.intervals.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// The server period.
+    pub fn period(&self) -> SimDuration {
+        SimDuration(self.period_ns)
+    }
+
+    /// The pattern origin (first release).
+    pub fn origin(&self) -> SimTime {
+        SimTime(self.origin_ns)
+    }
+
+    /// Iterates the recorded execution intervals as
+    /// `(start, end)` instants, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        self.intervals
+            .iter()
+            .map(|&(s, e)| (SimTime(s), SimTime(e)))
+    }
+
+    /// Number of *complete* periods covered by the log (only complete
+    /// periods participate in the regulation check).
+    pub fn complete_periods(&self, horizon: SimTime) -> u64 {
+        horizon.as_ns().saturating_sub(self.origin_ns) / self.period_ns
+    }
+
+    /// Checks the well-regulated property over all complete periods up
+    /// to `horizon`: folds every execution interval into `[0, Π)` and
+    /// verifies that each period ran at exactly the same offsets.
+    ///
+    /// Offsets are compared at `tolerance` granularity — analysis
+    /// budgets are real-valued while the simulator is nanosecond-
+    /// quantized, so the boundary of a supply interval may wobble by a
+    /// few nanoseconds between periods.
+    ///
+    /// Returns the first violation found, or `None` if the supply is
+    /// well-regulated.
+    pub fn regulation_violation(
+        &self,
+        horizon: SimTime,
+        tolerance: SimDuration,
+    ) -> Option<RegulationViolation> {
+        let periods = self.complete_periods(horizon);
+        if periods < 2 {
+            return None; // nothing to compare
+        }
+        // Per-period folded interval lists.
+        let mut folded: Vec<Vec<(u64, u64)>> = vec![Vec::new(); periods as usize];
+        for &(s, e) in &self.intervals {
+            // Clip to complete periods.
+            let end_of_complete = self.origin_ns + periods * self.period_ns;
+            let e = e.min(end_of_complete);
+            if s >= e {
+                continue;
+            }
+            let mut cursor = s;
+            while cursor < e {
+                let rel = cursor - self.origin_ns;
+                let period_idx = rel / self.period_ns;
+                let offset = rel % self.period_ns;
+                let room = self.period_ns - offset;
+                let span = (e - cursor).min(room);
+                folded[period_idx as usize].push((offset, offset + span));
+                cursor += span;
+            }
+        }
+        // Compare every period's pattern to period 0's.
+        let tol = tolerance.as_ns();
+        let reference = &folded[0];
+        for (idx, pattern) in folded.iter().enumerate().skip(1) {
+            if let Some(offset) = first_mismatch(reference, pattern, self.period_ns, tol) {
+                // Determine which side was running at the mismatch.
+                let ref_running = covers(reference, offset);
+                return Some(RegulationViolation {
+                    offset_ns: offset,
+                    running_period: if ref_running { 0 } else { idx as u64 },
+                    idle_period: if ref_running { idx as u64 } else { 0 },
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Whether `intervals` (sorted, disjoint) cover the point `x`.
+fn covers(intervals: &[(u64, u64)], x: u64) -> bool {
+    intervals.iter().any(|&(s, e)| s <= x && x < e)
+}
+
+/// First offset where two folded patterns disagree by more than `tol`,
+/// scanning the merged boundary set.
+fn first_mismatch(a: &[(u64, u64)], b: &[(u64, u64)], period: u64, tol: u64) -> Option<u64> {
+    // Sample at midpoints between all boundaries: the coverage of both
+    // patterns is constant between consecutive boundaries.
+    let mut bounds: Vec<u64> = a
+        .iter()
+        .chain(b)
+        .flat_map(|&(s, e)| [s, e])
+        .chain([0, period])
+        .collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi - lo <= 2 * tol {
+            continue; // boundary wobble inside the tolerance band
+        }
+        let mid = lo + (hi - lo) / 2;
+        if covers(a, mid) != covers(b, mid) {
+            return Some(mid);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(period_ms: f64) -> SupplyLog {
+        SupplyLog::new(SimDuration::from_ms(period_ms), SimTime::ZERO)
+    }
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_ms(v)
+    }
+
+    const TOL: SimDuration = SimDuration(1_000);
+
+    #[test]
+    fn perfectly_periodic_supply_is_well_regulated() {
+        let mut l = log(10.0);
+        for k in 0..5 {
+            let base = k as f64 * 10.0;
+            l.record(ms(base + 2.0), ms(base + 6.0));
+        }
+        assert_eq!(l.regulation_violation(ms(50.0), TOL), None);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.total_supply_ns(), 5 * 4_000_000);
+    }
+
+    #[test]
+    fn shifted_period_is_detected() {
+        let mut l = log(10.0);
+        l.record(ms(2.0), ms(6.0));
+        l.record(ms(12.0), ms(16.0));
+        // Third period: supply shifted by 3 ms.
+        l.record(ms(25.0), ms(29.0));
+        let v = l.regulation_violation(ms(30.0), TOL).expect("must detect");
+        assert!(v.running_period == 0 || v.idle_period == 0);
+    }
+
+    #[test]
+    fn split_supply_matching_pattern_is_fine() {
+        // Supply split into two chunks per period, same offsets.
+        let mut l = log(10.0);
+        for k in 0..4 {
+            let base = k as f64 * 10.0;
+            l.record(ms(base + 1.0), ms(base + 2.5));
+            l.record(ms(base + 7.0), ms(base + 9.0));
+        }
+        assert_eq!(l.regulation_violation(ms(40.0), TOL), None);
+    }
+
+    #[test]
+    fn nanosecond_wobble_is_tolerated() {
+        let mut l = log(10.0);
+        l.record(ms(2.0), ms(6.0));
+        // Boundary off by 400 ns in the second period.
+        l.record(SimTime(12_000_400), SimTime(16_000_000));
+        assert_eq!(l.regulation_violation(ms(20.0), TOL), None);
+        // But a 100 µs shift is caught.
+        let mut l = log(10.0);
+        l.record(ms(2.0), ms(6.0));
+        l.record(ms(12.1), ms(16.0));
+        assert!(l.regulation_violation(ms(20.0), TOL).is_some());
+    }
+
+    #[test]
+    fn incomplete_trailing_period_is_ignored() {
+        let mut l = log(10.0);
+        l.record(ms(2.0), ms(6.0));
+        l.record(ms(12.0), ms(16.0));
+        // Partial third period with different supply: clipped away at
+        // horizon 20.
+        l.record(ms(21.0), ms(22.0));
+        assert_eq!(l.regulation_violation(ms(20.0), TOL), None);
+    }
+
+    #[test]
+    fn interval_spanning_a_boundary_folds_into_both_periods() {
+        // Supply [8, 12) = [8, 10) in period 0 and [0, 2) in period 1:
+        // period 0 lacks [0, 2) and period 1 lacks [8, 10) → violation.
+        let mut l = log(10.0);
+        l.record(ms(8.0), ms(12.0));
+        // Make period 1 complete by adding its tail supply [18, 20).
+        l.record(ms(18.0), ms(20.0));
+        assert!(l.regulation_violation(ms(20.0), TOL).is_some());
+    }
+
+    #[test]
+    fn adjacent_records_merge() {
+        let mut l = log(10.0);
+        l.record(ms(1.0), ms(2.0));
+        l.record(ms(2.0), ms(3.0));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn single_period_has_nothing_to_violate() {
+        let mut l = log(10.0);
+        l.record(ms(0.0), ms(1.0));
+        assert_eq!(l.regulation_violation(ms(10.0), TOL), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_records_panic() {
+        let mut l = log(10.0);
+        l.record(ms(5.0), ms(6.0));
+        l.record(ms(1.0), ms(2.0));
+    }
+
+    #[test]
+    fn origin_shifts_the_fold() {
+        // Same absolute intervals, origin at 3 ms: offsets fold
+        // relative to 3.
+        let mut l = SupplyLog::new(SimDuration::from_ms(10.0), ms(3.0));
+        l.record(ms(5.0), ms(7.0)); // offset [2, 4) of period 0
+        l.record(ms(15.0), ms(17.0)); // offset [2, 4) of period 1
+        assert_eq!(l.regulation_violation(ms(23.0), TOL), None);
+    }
+}

@@ -1,0 +1,881 @@
+//! The discrete-event hypervisor simulation.
+//!
+//! Realizes a [`SystemAllocation`] as a running two-level system:
+//!
+//! * each physical core runs the VCPUs assigned to it under
+//!   partitioned EDF with the paper's deterministic tie-break
+//!   (deadline, then period, then VCPU index);
+//! * each VCPU is a **periodic server** — its budget replenishes every
+//!   period, drains while it runs (even when its tasks are idle, which
+//!   is what makes the supply pattern *well-regulated*), and is lost at
+//!   the period boundary;
+//! * tasks inside a VCPU run under EDF (for implicit deadlines this is
+//!   FIFO per task with earliest-deadline-first across tasks);
+//! * the CAT partition plan and the bandwidth regulator are programmed
+//!   from the allocation; task memory traffic (when enabled) drains
+//!   per-core request budgets, and overflow throttles the core — the
+//!   core idles until the refiller's next period.
+//!
+//! Execution requirements are the allocation-dependent WCETs
+//! `eᵢ(c, b)` of each task's core — exactly the quantities the
+//! analyses reason about — so a run is a direct check of the analyses'
+//! verdicts: an allocation declared schedulable must produce zero
+//! deadline misses.
+
+use crate::config::{IsolationMode, SimConfig};
+use crate::probes::Probes;
+use crate::report::{DeadlineMiss, HandlerKind, SimReport};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use vc2m_alloc::SystemAllocation;
+use vc2m_cat::{CatController, PartitionPlan};
+use vc2m_membw::{budget_requests_per_period, BwRegulator, RegulatorConfig, ThrottleAction};
+use vc2m_model::{
+    Alloc, BudgetSurface, Platform, SimDuration, SimTime, Task, TaskId, TaskSet, WcetSurface,
+};
+use vc2m_sched::server::{PeriodicServer, ServerState};
+use vc2m_simcore::{EventQueue, MinAvgMax, TraceBuffer};
+
+/// Error building a simulation from an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimBuildError {
+    /// A task referenced by the allocation was missing from the task
+    /// table.
+    UnknownTask {
+        /// The missing task id.
+        task: TaskId,
+    },
+    /// A VCPU's budget exceeds its period at its core's allocation —
+    /// the allocation is infeasible and cannot be realized as a
+    /// periodic server.
+    InfeasibleBudget {
+        /// Index of the offending VCPU in the allocation.
+        vcpu: usize,
+    },
+    /// The allocation failed CAT programming (overcommitted
+    /// partitions).
+    Cat(vc2m_cat::CatError),
+}
+
+impl fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimBuildError::UnknownTask { task } => {
+                write!(f, "allocation references unknown task {task}")
+            }
+            SimBuildError::InfeasibleBudget { vcpu } => {
+                write!(
+                    f,
+                    "vcpu #{vcpu} has budget exceeding its period at its core's allocation"
+                )
+            }
+            SimBuildError::Cat(e) => write!(f, "cache programming failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimBuildError {}
+
+impl From<vc2m_cat::CatError> for SimBuildError {
+    fn from(e: vc2m_cat::CatError) -> Self {
+        SimBuildError::Cat(e)
+    }
+}
+
+/// A pending job of a task.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    index: u64,
+    release: SimTime,
+    deadline: SimTime,
+    remaining: SimDuration,
+}
+
+#[derive(Debug)]
+struct SimTask {
+    id: TaskId,
+    period: SimDuration,
+    exec: SimDuration,
+    /// The full WCET surface, for dynamic reallocations.
+    wcet_surface: WcetSurface,
+    /// First-release offset (the delay L between task initialization
+    /// and first release of Section 3.2).
+    offset: SimDuration,
+    vcpu: usize,
+    /// Memory requests per millisecond of execution.
+    request_rate: f64,
+    /// Pending jobs, oldest first (FIFO = EDF for implicit deadlines).
+    pending: Vec<Job>,
+    next_index: u64,
+    response: MinAvgMax,
+}
+
+#[derive(Debug)]
+struct SimVcpu {
+    server: PeriodicServer,
+    tasks: Vec<usize>,
+    core: usize,
+    /// The full budget surface, for dynamic reallocations.
+    budget_surface: BudgetSurface,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    vcpu: usize,
+    task: Option<usize>,
+    start: SimTime,
+}
+
+#[derive(Debug)]
+struct SimCore {
+    vcpus: Vec<usize>,
+    running: Option<Running>,
+    generation: u64,
+    throttled: bool,
+    /// When the current throttle began (for time accounting).
+    throttled_since: Option<SimTime>,
+    last_vcpu: Option<usize>,
+    /// Nanoseconds spent executing tasks.
+    busy_ns: u64,
+    /// Nanoseconds spent bandwidth-throttled.
+    throttled_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A planned run segment on a core ended (completion, budget
+    /// exhaustion, server deadline, or traffic overflow).
+    SegmentEnd { core: usize, generation: u64 },
+    /// A VCPU's period boundary: replenish its budget.
+    ServerReplenish { vcpu: usize },
+    /// The bandwidth refiller's period boundary.
+    Refill,
+    /// A scheduled dynamic reallocation (vCAT-style mode change).
+    Reallocate { index: usize },
+    /// A task releases its next job.
+    JobRelease { task: usize },
+    /// A job's deadline passes: check for a miss.
+    DeadlineCheck { task: usize, job: u64 },
+}
+
+// Same-instant ordering: account run segments first, then replenish
+// CPU budgets, then refill bandwidth, then release jobs, then check
+// deadlines.
+const PRIO_SEGMENT_END: u64 = 0;
+const PRIO_REPLENISH: u64 = 1;
+const PRIO_REFILL: u64 = 2;
+const PRIO_REALLOC: u64 = 2;
+const PRIO_RELEASE: u64 = 3;
+const PRIO_DEADLINE: u64 = 4;
+
+/// Numeric-residue tolerance at a deadline: real-valued budgets meet
+/// integer-nanosecond time, so up to ~a microsecond of a job can
+/// remain at its deadline purely from rounding. See the
+/// `DeadlineCheck` handler.
+const MISS_TOLERANCE: SimDuration = SimDuration(1_000);
+
+/// The simulated hypervisor (see the [crate docs](crate) for the
+/// model).
+#[derive(Debug)]
+pub struct HypervisorSim {
+    config: SimConfig,
+    tasks: Vec<SimTask>,
+    vcpus: Vec<SimVcpu>,
+    cores: Vec<SimCore>,
+    queue: EventQueue<Event>,
+    regulator: BwRegulator,
+    /// Fractional memory-request carry per core (exact long-run
+    /// traffic accounting).
+    traffic_carry: Vec<f64>,
+    /// Current per-core allocations (change under dynamic
+    /// reallocation).
+    core_allocs: Vec<Alloc>,
+    /// Scheduled dynamic reallocations: (time, core, new allocation).
+    reallocations: Vec<(SimTime, usize, Alloc)>,
+    /// Platform geometry, needed to validate reallocations.
+    platform: Platform,
+    #[allow(dead_code)] // programmed for fidelity; queried by tests
+    cat: CatController,
+    probes: Probes,
+    trace: TraceBuffer<String>,
+    /// Per-VCPU execution logs (only when config.record_supply).
+    supply_logs: Vec<Option<crate::regulation::SupplyLog>>,
+    misses: Vec<DeadlineMiss>,
+    jobs_completed: u64,
+    jobs_released: u64,
+    throttle_events: u64,
+    context_switches: u64,
+}
+
+impl HypervisorSim {
+    /// Builds a simulation of `allocation` running `tasks` on
+    /// `platform`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimBuildError::UnknownTask`] if the allocation references a
+    ///   task not present in `tasks`.
+    /// * [`SimBuildError::InfeasibleBudget`] if some VCPU's budget
+    ///   exceeds its period at its core's allocation.
+    /// * [`SimBuildError::Cat`] if the cache plan cannot be programmed.
+    pub fn new(
+        platform: &Platform,
+        allocation: &SystemAllocation,
+        tasks: &TaskSet,
+        config: SimConfig,
+    ) -> Result<Self, SimBuildError> {
+        let by_id: HashMap<TaskId, &Task> = tasks.iter().map(|t| (t.id(), t)).collect();
+        let core_count = allocation.cores_used().max(1);
+
+        // Cache plan: disjoint contiguous masks per core (isolated
+        // mode) or the full cache for everyone (shared mode).
+        let mut cat = CatController::new(
+            core_count,
+            core_count.max(1) as u32,
+            platform.cache_partitions(),
+        )?;
+        if config.isolation == IsolationMode::Isolated && allocation.cores_used() > 0 {
+            let counts: Vec<u32> = allocation.cores().iter().map(|c| c.alloc.cache).collect();
+            PartitionPlan::contiguous(platform.cache_partitions(), &counts)?.program(&mut cat)?;
+        }
+
+        // Bandwidth regulator: per-core request budgets from the
+        // allocation (isolated mode only).
+        let regulation_ms = config.regulation_period.as_ms();
+        let mut regulator = BwRegulator::new(
+            RegulatorConfig::new(core_count, regulation_ms).expect("validated config"),
+        );
+        if config.isolation == IsolationMode::Isolated {
+            for (k, core) in allocation.cores().iter().enumerate() {
+                let budget = budget_requests_per_period(
+                    core.alloc.bandwidth,
+                    platform.bw_partition_mbps(),
+                    regulation_ms,
+                );
+                regulator
+                    .set_budget(k, budget)
+                    .expect("core index is in range");
+            }
+        }
+
+        // Task and VCPU tables.
+        let mut sim_tasks: Vec<SimTask> = Vec::new();
+        let mut sim_vcpus: Vec<SimVcpu> = Vec::new();
+        let mut cores: Vec<SimCore> = Vec::new();
+        for (k, core) in allocation.cores().iter().enumerate() {
+            let mut core_vcpus = Vec::new();
+            // Traffic rates are defined relative to the *enforced*
+            // budget; in shared mode there is no regulation and no
+            // request accounting.
+            let budget_rate = if config.isolation == IsolationMode::Isolated {
+                regulator.budget(k).unwrap_or(u64::MAX) as f64 / regulation_ms
+            } else {
+                0.0
+            };
+            for &vi in &core.vcpus {
+                let spec = &allocation.vcpus()[vi];
+                let period = SimDuration::from_ms(spec.period());
+                let budget_ms = spec.budget(core.alloc);
+                if budget_ms > spec.period() + 1e-9 {
+                    return Err(SimBuildError::InfeasibleBudget { vcpu: vi });
+                }
+                let budget = SimDuration::from_ms(budget_ms.min(spec.period()));
+                let mut task_indices = Vec::new();
+                for &tid in spec.tasks() {
+                    let task = by_id
+                        .get(&tid)
+                        .ok_or(SimBuildError::UnknownTask { task: tid })?;
+                    task_indices.push(sim_tasks.len());
+                    sim_tasks.push(SimTask {
+                        id: tid,
+                        period: SimDuration::from_ms(task.period()),
+                        exec: SimDuration::from_ms(task.wcet(core.alloc)),
+                        wcet_surface: task.wcet_surface().clone(),
+                        offset: SimDuration::ZERO,
+                        vcpu: sim_vcpus.len(),
+                        request_rate: config.traffic_fraction * budget_rate,
+                        pending: Vec::new(),
+                        next_index: 0,
+                        response: MinAvgMax::new(),
+                    });
+                }
+                core_vcpus.push(sim_vcpus.len());
+                sim_vcpus.push(SimVcpu {
+                    server: PeriodicServer::new(spec.id(), period, budget, SimTime::ZERO),
+                    tasks: task_indices,
+                    core: k,
+                    budget_surface: spec.budget_surface().clone(),
+                });
+            }
+            cores.push(SimCore {
+                vcpus: core_vcpus,
+                running: None,
+                generation: 0,
+                throttled: false,
+                throttled_since: None,
+                last_vcpu: None,
+                busy_ns: 0,
+                throttled_ns: 0,
+            });
+        }
+
+        let trace = TraceBuffer::with_capacity(config.trace_capacity);
+        let supply_logs = vec![None; sim_vcpus.len()];
+        let core_count = cores.len();
+        Ok(HypervisorSim {
+            config,
+            tasks: sim_tasks,
+            vcpus: sim_vcpus,
+            cores,
+            queue: EventQueue::new(),
+            regulator,
+            traffic_carry: vec![0.0; core_count],
+            core_allocs: allocation.cores().iter().map(|c| c.alloc).collect(),
+            reallocations: Vec::new(),
+            platform: *platform,
+            cat,
+            probes: Probes::new(),
+            trace,
+            supply_logs,
+            misses: Vec::new(),
+            jobs_completed: 0,
+            jobs_released: 0,
+            throttle_events: 0,
+            context_switches: 0,
+        })
+    }
+
+    /// Runs the simulation and also returns the retained event trace
+    /// (useful for debugging scheduling behavior; enable tracing via
+    /// [`SimConfig::with_trace_capacity`]).
+    pub fn run_traced(mut self) -> (SimReport, Vec<(vc2m_model::SimTime, String)>) {
+        let report = self.run_inner();
+        let trace = self
+            .trace
+            .iter()
+            .map(|r| (r.time, r.payload.clone()))
+            .collect();
+        (report, trace)
+    }
+
+    /// Runs the simulation to the configured horizon and produces the
+    /// report.
+    pub fn run(mut self) -> SimReport {
+        self.run_inner()
+    }
+
+    /// Sets a task's first-release offset: the task is initialized at
+    /// time zero but releases its first job `offset_ms` later (the
+    /// delay `L` of Section 3.2's release-synchronization hypercall).
+    ///
+    /// When [`SimConfig::synchronize_releases`] is on (the default),
+    /// each VCPU's first release is aligned with the earliest offset
+    /// among its tasks — the hypercall's effect. When off, VCPUs are
+    /// released at time zero regardless, exposing the abstraction
+    /// overhead the paper eliminates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not part of the simulated system or the
+    /// offset is negative/non-finite.
+    pub fn with_task_offset(mut self, task: TaskId, offset_ms: f64) -> Self {
+        let index = self
+            .tasks
+            .iter()
+            .position(|t| t.id == task)
+            .unwrap_or_else(|| panic!("unknown task {task}"));
+        self.tasks[index].offset = SimDuration::from_ms(offset_ms);
+        self
+    }
+
+    /// Schedules a dynamic reallocation: at `at_ms`, core `core`
+    /// switches to `alloc` (a vCAT-style mode change). VCPU budgets
+    /// and task WCETs follow their surfaces at the new allocation;
+    /// budgets exceeding the VCPU period are clamped to it (the core
+    /// is then overloaded and will miss deadlines — visible in the
+    /// report). In-flight jobs keep their remaining work; new releases
+    /// use the new WCET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range, the allocation lies outside
+    /// the platform's resource space, or the total partition budgets
+    /// would be overcommitted at the switch (checked when the event
+    /// fires, against the allocations current at that moment).
+    pub fn with_reallocation(mut self, at_ms: f64, core: usize, alloc: Alloc) -> Self {
+        assert!(core < self.cores.len(), "unknown core {core}");
+        self.platform
+            .resources()
+            .check(alloc)
+            .unwrap_or_else(|e| panic!("invalid reallocation: {e}"));
+        self.reallocations
+            .push((SimTime::from_ms(at_ms), core, alloc));
+        self
+    }
+
+    fn run_inner(&mut self) -> SimReport {
+        // Release synchronization (Section 3.2): align each VCPU's
+        // first release with its earliest task release.
+        if self.config.synchronize_releases {
+            for v in 0..self.vcpus.len() {
+                let earliest = self.vcpus[v]
+                    .tasks
+                    .iter()
+                    .map(|&t| self.tasks[t].offset)
+                    .min()
+                    .unwrap_or(SimDuration::ZERO);
+                if earliest > SimDuration::ZERO {
+                    self.vcpus[v]
+                        .server
+                        .synchronize_release(SimTime::ZERO + earliest);
+                }
+            }
+        }
+        if self.config.record_supply {
+            for v in 0..self.vcpus.len() {
+                let server = &self.vcpus[v].server;
+                self.supply_logs[v] = Some(crate::regulation::SupplyLog::new(
+                    server.period(),
+                    server.release(),
+                ));
+            }
+        }
+        // Initial events: task releases at their offsets, server
+        // replenishments at the first period boundaries, the refiller.
+        for t in 0..self.tasks.len() {
+            let offset = self.tasks[t].offset;
+            self.queue.push(
+                SimTime::ZERO + offset,
+                PRIO_RELEASE,
+                Event::JobRelease { task: t },
+            );
+        }
+        for v in 0..self.vcpus.len() {
+            let deadline = self.vcpus[v].server.deadline();
+            self.queue
+                .push(deadline, PRIO_REPLENISH, Event::ServerReplenish { vcpu: v });
+        }
+        if self.config.isolation == IsolationMode::Isolated && !self.cores.is_empty() {
+            self.queue.push(
+                SimTime::ZERO + self.config.regulation_period,
+                PRIO_REFILL,
+                Event::Refill,
+            );
+        }
+        for index in 0..self.reallocations.len() {
+            let (at, _, _) = self.reallocations[index];
+            self.queue
+                .push(at, PRIO_REALLOC, Event::Reallocate { index });
+        }
+
+        let horizon = SimTime::ZERO + self.config.horizon;
+        while let Some(&time) = self.queue.peek_time().as_ref() {
+            if time > horizon {
+                break;
+            }
+            let (now, _, event) = self.queue.pop().expect("peeked non-empty");
+            self.handle(now, event);
+        }
+
+        SimReport {
+            deadline_misses: std::mem::take(&mut self.misses),
+            jobs_completed: self.jobs_completed,
+            jobs_released: self.jobs_released,
+            throttle_events: self.throttle_events,
+            context_switches: self.context_switches,
+            handler_overheads: std::mem::take(&mut self.probes).into_map(),
+            response_times: self
+                .tasks
+                .iter()
+                .map(|t| (t.id, t.response.clone()))
+                .collect(),
+            supply_logs: self
+                .vcpus
+                .iter()
+                .zip(std::mem::take(&mut self.supply_logs))
+                .filter_map(|(v, log)| log.map(|l| (v.server.id(), l)))
+                .collect(),
+            core_times: self
+                .cores
+                .iter()
+                .map(|c| crate::energy::CoreTime {
+                    busy_ms: c.busy_ns as f64 / 1e6,
+                    throttled_ms: c.throttled_ns as f64 / 1e6,
+                })
+                .collect(),
+            horizon_ms: self.config.horizon.as_ms(),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::SegmentEnd { core, generation } => {
+                if self.cores[core].generation != generation {
+                    return; // stale: the segment was already preempted
+                }
+                self.suspend(core, now);
+                self.schedule(core, now);
+            }
+            Event::ServerReplenish { vcpu } => {
+                let core = self.vcpus[vcpu].core;
+                // If this server is mid-segment, close the segment
+                // first (its unused budget is lost at the boundary).
+                if self.cores[core].running.is_some_and(|r| r.vcpu == vcpu) {
+                    self.suspend(core, now);
+                }
+                self.probes.time(HandlerKind::CpuBudgetReplenish, || {
+                    self.vcpus[vcpu].server.replenish(now);
+                });
+                let next = self.vcpus[vcpu].server.deadline();
+                self.queue
+                    .push(next, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
+                self.trace(now, format!("replenish {}", self.vcpus[vcpu].server.id()));
+                self.schedule(core, now);
+            }
+            Event::Refill => {
+                // Close in-flight segments of traffic-generating tasks
+                // so their requests are charged to the period that just
+                // ended, not lumped into a later one.
+                let mut suspended = Vec::new();
+                for core in 0..self.cores.len() {
+                    let generates_traffic = self.cores[core]
+                        .running
+                        .and_then(|r| r.task)
+                        .is_some_and(|t| self.tasks[t].request_rate > 0.0);
+                    if generates_traffic {
+                        self.suspend(core, now);
+                        suspended.push(core);
+                    }
+                }
+                let woken = self
+                    .probes
+                    .time(HandlerKind::BwReplenish, || self.regulator.replenish_all());
+                for core in woken {
+                    self.cores[core].throttled = false;
+                    if let Some(since) = self.cores[core].throttled_since.take() {
+                        self.cores[core].throttled_ns += now.since(since).as_ns();
+                    }
+                    self.trace(now, format!("unthrottle core {core}"));
+                }
+                suspended.extend((0..self.cores.len()).filter(|&c| !self.cores[c].throttled));
+                suspended.sort_unstable();
+                suspended.dedup();
+                for core in suspended {
+                    self.schedule(core, now);
+                }
+                self.queue.push(
+                    now + self.config.regulation_period,
+                    PRIO_REFILL,
+                    Event::Refill,
+                );
+            }
+            Event::Reallocate { index } => {
+                let (_, core, alloc) = self.reallocations[index];
+                self.apply_reallocation(core, alloc, now);
+            }
+            Event::JobRelease { task } => {
+                let (deadline, index) = {
+                    let t = &mut self.tasks[task];
+                    let index = t.next_index;
+                    t.next_index += 1;
+                    let deadline = now + t.period;
+                    t.pending.push(Job {
+                        index,
+                        release: now,
+                        deadline,
+                        remaining: t.exec,
+                    });
+                    (deadline, index)
+                };
+                self.jobs_released += 1;
+                let period = self.tasks[task].period;
+                self.queue
+                    .push(now + period, PRIO_RELEASE, Event::JobRelease { task });
+                self.queue.push(
+                    deadline,
+                    PRIO_DEADLINE,
+                    Event::DeadlineCheck { task, job: index },
+                );
+                let core = self.vcpus[self.tasks[task].vcpu].core;
+                // A new job may preempt the current guest-level choice.
+                self.schedule(core, now);
+            }
+            Event::DeadlineCheck { task, job } => {
+                // Account the in-flight segment (only if it is this very
+                // job) so completions that land exactly on the deadline
+                // are not scored as misses.
+                let core = self.vcpus[self.tasks[task].vcpu].core;
+                let running_this_job = self.cores[core]
+                    .running
+                    .is_some_and(|r| r.task == Some(task));
+                if running_this_job {
+                    self.suspend(core, now);
+                }
+                // Budgets are real-valued (Θ = Π·ΣU) while simulated
+                // time is integer nanoseconds, so a job can be left
+                // with a few nanoseconds of numeric residue at its
+                // deadline. Anything below the tolerance (1 µs, i.e.
+                // 10⁻⁵ of the shortest paper-scale period) counts as
+                // completed on time and is retired here.
+                let position = self.tasks[task].pending.iter().position(|j| j.index == job);
+                if let Some(pos) = position {
+                    if self.tasks[task].pending[pos].remaining <= MISS_TOLERANCE {
+                        let done = self.tasks[task].pending.remove(pos);
+                        let response = now.since(done.release).as_ms();
+                        self.tasks[task].response.record(response);
+                        self.jobs_completed += 1;
+                    } else {
+                        self.misses.push(DeadlineMiss {
+                            task: self.tasks[task].id,
+                            job,
+                            deadline: now,
+                        });
+                        self.trace(now, format!("MISS {} job {job}", self.tasks[task].id));
+                    }
+                }
+                if running_this_job {
+                    self.schedule(core, now);
+                }
+            }
+        }
+    }
+
+    /// Closes the current run segment on `core`: consumes server
+    /// budget, advances the running job, accounts memory traffic, and
+    /// (on overflow) throttles the core.
+    fn suspend(&mut self, core: usize, now: SimTime) {
+        let Some(run) = self.cores[core].running.take() else {
+            return;
+        };
+        self.cores[core].generation += 1;
+        let elapsed = now.since(run.start);
+        self.vcpus[run.vcpu].server.stop_running(elapsed);
+        if elapsed > SimDuration::ZERO {
+            if let Some(log) = &mut self.supply_logs[run.vcpu] {
+                log.record(run.start, now);
+            }
+            if run.task.is_some() {
+                self.cores[core].busy_ns += elapsed.as_ns();
+            }
+        }
+        if let Some(task) = run.task {
+            let completed = {
+                let t = &mut self.tasks[task];
+                let job = t.pending.first_mut().expect("running task has a job");
+                job.remaining = job.remaining.saturating_sub(elapsed);
+                if job.remaining == SimDuration::ZERO {
+                    let job = t.pending.remove(0);
+                    let response = now.since(job.release).as_ms();
+                    t.response.record(response);
+                    true
+                } else {
+                    false
+                }
+            };
+            if completed {
+                self.jobs_completed += 1;
+            }
+            // Memory traffic of this segment, with a fractional carry
+            // per core so long-run request counts are exact.
+            let rate = self.tasks[task].request_rate;
+            if rate > 0.0 && elapsed > SimDuration::ZERO {
+                let total = rate * elapsed.as_ms() + self.traffic_carry[core];
+                let requests = total.floor();
+                self.traffic_carry[core] = total - requests;
+                let action = self
+                    .regulator
+                    .record_requests(core, requests as u64)
+                    .expect("core index is in range");
+                if action == ThrottleAction::Throttle {
+                    self.probes.time(HandlerKind::Throttle, || {
+                        self.cores[core].throttled = true;
+                    });
+                    self.cores[core].throttled_since = Some(now);
+                    self.throttle_events += 1;
+                    self.trace(now, format!("throttle core {core}"));
+                }
+            }
+        }
+    }
+
+    /// The scheduler: picks the highest-priority ready server on
+    /// `core` (deadline, period, index), and within it the
+    /// earliest-deadline pending job, preempting as needed.
+    fn schedule(&mut self, core: usize, now: SimTime) {
+        if self.cores[core].throttled {
+            // Throttled cores idle until the refiller wakes them.
+            if self.cores[core].running.is_some() {
+                self.suspend(core, now);
+            }
+            return;
+        }
+        let current = self.cores[core].running;
+        let choice = self.probes.time(HandlerKind::Scheduling, || {
+            let mut best: Option<(u64, u64, usize)> = None; // (deadline, period, vcpu)
+            for &v in &self.cores[core].vcpus {
+                let server = &self.vcpus[v].server;
+                let ready = match server.state() {
+                    ServerState::Ready => true,
+                    ServerState::Running => current.is_some_and(|r| r.vcpu == v),
+                    ServerState::Depleted => false,
+                };
+                // A server exactly at its period boundary waits for its
+                // replenishment event (same instant, later priority);
+                // a server whose (synchronized) first release lies in
+                // the future is not active yet.
+                if !ready || server.deadline() <= now || server.release() > now {
+                    continue;
+                }
+                let key = (server.deadline().as_ns(), server.period().as_ns(), v);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            best.map(|(_, _, v)| v)
+        });
+        let Some(next_vcpu) = choice else {
+            // Nothing runnable: idle the core.
+            if current.is_some() {
+                self.suspend(core, now);
+            }
+            return;
+        };
+        let next_task = self.pick_job(next_vcpu);
+        if let Some(run) = current {
+            if run.vcpu == next_vcpu && run.task == next_task {
+                return; // no change
+            }
+            self.suspend(core, now);
+        }
+        self.start(core, next_vcpu, next_task, now);
+    }
+
+    /// The earliest-deadline pending job among a VCPU's tasks.
+    fn pick_job(&self, vcpu: usize) -> Option<usize> {
+        self.vcpus[vcpu]
+            .tasks
+            .iter()
+            .filter_map(|&t| self.tasks[t].pending.first().map(|j| (j.deadline, t)))
+            .min()
+            .map(|(_, t)| t)
+    }
+
+    /// Starts a run segment for `vcpu` (running `task`'s head job, or
+    /// idling its budget away) and plans the segment's end.
+    fn start(&mut self, core: usize, vcpu: usize, task: Option<usize>, now: SimTime) {
+        let is_switch = self.cores[core].last_vcpu != Some(vcpu);
+        self.probes.time(HandlerKind::ContextSwitch, || {
+            self.cores[core].last_vcpu = Some(vcpu);
+        });
+        if is_switch {
+            self.context_switches += 1;
+        }
+
+        let server = &mut self.vcpus[vcpu].server;
+        server.start_running();
+        let mut limit = server.remaining_budget();
+        // Budget not used by the period boundary is lost.
+        limit = limit.min(server.deadline().saturating_since(now));
+        if let Some(t) = task {
+            let job = self.tasks[t].pending.first().expect("picked job exists");
+            limit = limit.min(job.remaining);
+            // Traffic overflow caps the segment just past the throttle
+            // point (one extra request and one extra nanosecond, so the
+            // overflow is guaranteed to fire rather than land short of
+            // the boundary by rounding).
+            let rate = self.tasks[t].request_rate;
+            if rate > 0.0 {
+                let remaining = self
+                    .regulator
+                    .remaining(core)
+                    .expect("core index is in range");
+                let to_overflow_ms =
+                    (remaining as f64 + 1.0 - self.traffic_carry[core]).max(0.0) / rate;
+                let cap = SimDuration(vc2m_model::ms_to_ns(to_overflow_ms) + 1);
+                limit = limit.min(cap);
+            }
+        }
+        let generation = self.cores[core].generation;
+        self.cores[core].running = Some(Running {
+            vcpu,
+            task,
+            start: now,
+        });
+        self.queue.push(
+            now + limit,
+            PRIO_SEGMENT_END,
+            Event::SegmentEnd { core, generation },
+        );
+        self.trace(
+            now,
+            format!(
+                "run {} task {:?} for {}",
+                self.vcpus[vcpu].server.id(),
+                task.map(|t| self.tasks[t].id),
+                limit
+            ),
+        );
+    }
+
+    /// Applies a dynamic reallocation to `core` (see
+    /// [`HypervisorSim::with_reallocation`]).
+    fn apply_reallocation(&mut self, core: usize, alloc: Alloc, now: SimTime) {
+        // Validate the global partition budgets with the new value in
+        // place.
+        let space = self.platform.resources();
+        let mut cache_total = 0u32;
+        let mut bw_total = 0u32;
+        for (k, a) in self.core_allocs.iter().enumerate() {
+            let effective = if k == core { alloc } else { *a };
+            cache_total += effective.cache;
+            bw_total += effective.bandwidth;
+        }
+        assert!(
+            cache_total <= space.cache_max() && bw_total <= space.bw_max(),
+            "reallocation overcommits partitions (cache {cache_total}/{}, bw {bw_total}/{})",
+            space.cache_max(),
+            space.bw_max()
+        );
+
+        // Close the in-flight segment so consumption is accounted at
+        // the old parameters.
+        self.suspend(core, now);
+        self.core_allocs[core] = alloc;
+
+        // Reprogram the bandwidth regulator.
+        if self.config.isolation == IsolationMode::Isolated {
+            let budget = budget_requests_per_period(
+                alloc.bandwidth,
+                self.platform.bw_partition_mbps(),
+                self.config.regulation_period.as_ms(),
+            );
+            self.regulator
+                .set_budget(core, budget)
+                .expect("core index is in range");
+        }
+
+        // New VCPU budgets and task WCETs from the surfaces. Task
+        // request rates are left unchanged: a task's memory demand is a
+        // property of the task, so tightening the budget makes the old
+        // traffic rate throttle-prone — exactly the regulator's job.
+        for vi in self.cores[core].vcpus.clone() {
+            let period = self.vcpus[vi].server.period();
+            let budget_ms = self.vcpus[vi].budget_surface.at(alloc);
+            let budget = SimDuration::from_ms(budget_ms).min(period);
+            self.vcpus[vi].server.set_full_budget(budget);
+            for ti in self.vcpus[vi].tasks.clone() {
+                let wcet = self.tasks[ti].wcet_surface.at(alloc);
+                self.tasks[ti].exec = SimDuration::from_ms(wcet);
+            }
+        }
+        self.trace(now, format!("reallocate core {core} to {alloc}"));
+        self.schedule(core, now);
+    }
+
+    fn trace(&mut self, now: SimTime, message: String) {
+        if self.trace.is_enabled() {
+            self.trace.push(now, message);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the hypervisor simulator.
+
+use proptest::prelude::*;
+use vc2m_alloc::{CoreAssignment, SystemAllocation};
+use vc2m_hypervisor::{HypervisorSim, SimConfig};
+use vc2m_model::{
+    Alloc, BudgetSurface, Platform, SimDuration, Task, TaskId, TaskSet, VcpuId, VcpuSpec, VmId,
+    WcetSurface,
+};
+
+fn space() -> vc2m_model::ResourceSpace {
+    Platform::platform_a().resources()
+}
+
+/// Builds a single-core system of single-task VCPUs with the given
+/// `(period, wcet)` pairs, flattening-style (budget = WCET).
+fn flattened_system(specs: &[(f64, f64)]) -> (SystemAllocation, TaskSet) {
+    let mut tasks = TaskSet::new();
+    let mut vcpus = Vec::new();
+    for (i, &(p, e)) in specs.iter().enumerate() {
+        tasks.push(Task::new(TaskId(i), p, WcetSurface::flat(&space(), e).unwrap()).unwrap());
+        vcpus.push(
+            VcpuSpec::new(
+                VcpuId(i),
+                VmId(0),
+                p,
+                BudgetSurface::flat(&space(), e).unwrap(),
+                vec![TaskId(i)],
+            )
+            .unwrap(),
+        );
+    }
+    let allocation = SystemAllocation::new(
+        vcpus,
+        vec![CoreAssignment {
+            vcpus: (0..specs.len()).collect(),
+            alloc: Alloc::new(10, 10),
+        }],
+    );
+    (allocation, tasks)
+}
+
+/// Harmonic `(period, wcet)` specs with total utilization ≤ 1.
+fn arb_feasible_harmonic_specs() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        5.0f64..20.0,
+        proptest::collection::vec((0u32..3, 0.01f64..0.3), 1..5),
+    )
+        .prop_map(|(base, raw)| {
+            // Scale utilizations so the total is at most ~0.95.
+            let total: f64 = raw.iter().map(|&(_, u)| u).sum();
+            let scale = if total > 0.95 { 0.95 / total } else { 1.0 };
+            raw.into_iter()
+                .map(|(exp, u)| {
+                    let p = base * f64::from(1u32 << exp);
+                    (p, (u * scale * p).max(0.001))
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn feasible_flattened_systems_never_miss(specs in arb_feasible_harmonic_specs()) {
+        let (allocation, tasks) = flattened_system(&specs);
+        prop_assume!(allocation.is_schedulable());
+        let horizon = SimDuration::from_ms(500.0);
+        let report = HypervisorSim::new(
+            &Platform::platform_a(),
+            &allocation,
+            &tasks,
+            SimConfig::default().with_horizon(horizon),
+        )
+        .expect("realizable")
+        .run();
+        prop_assert!(
+            report.all_deadlines_met(),
+            "misses: {:?}",
+            report.deadline_misses
+        );
+        prop_assert_eq!(report.throttle_events, 0, "no traffic configured");
+    }
+
+    #[test]
+    fn job_accounting_is_conserved(specs in arb_feasible_harmonic_specs()) {
+        let (allocation, tasks) = flattened_system(&specs);
+        prop_assume!(allocation.is_schedulable());
+        let report = HypervisorSim::new(
+            &Platform::platform_a(),
+            &allocation,
+            &tasks,
+            SimConfig::default().with_horizon(SimDuration::from_ms(300.0)),
+        )
+        .expect("realizable")
+        .run();
+        // Completed ≤ released, and with all deadlines met the gap is
+        // at most one in-flight job per task.
+        prop_assert!(report.jobs_completed <= report.jobs_released);
+        prop_assert!(
+            report.jobs_released - report.jobs_completed <= specs.len() as u64,
+            "released {} vs completed {}",
+            report.jobs_released,
+            report.jobs_completed
+        );
+    }
+
+    #[test]
+    fn responses_never_exceed_periods_when_schedulable(
+        specs in arb_feasible_harmonic_specs(),
+    ) {
+        let (allocation, tasks) = flattened_system(&specs);
+        prop_assume!(allocation.is_schedulable());
+        let report = HypervisorSim::new(
+            &Platform::platform_a(),
+            &allocation,
+            &tasks,
+            SimConfig::default().with_horizon(SimDuration::from_ms(300.0)),
+        )
+        .expect("realizable")
+        .run();
+        for (i, &(p, _)) in specs.iter().enumerate() {
+            if let Some(worst) = report.worst_response_ms(TaskId(i)) {
+                prop_assert!(
+                    worst <= p + 1e-3,
+                    "task {i}: response {worst} exceeds period {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_single_core_always_misses(
+        base in 5.0f64..20.0,
+        overload in 1.05f64..1.5,
+    ) {
+        // One task with WCET > period-share: utilization > 1 on one
+        // VCPU is impossible; instead overload via two tasks.
+        let e1 = base * 0.6;
+        let e2 = base * 0.6 * overload;
+        let (allocation, tasks) = flattened_system(&[(base, e1), (base, e2)]);
+        prop_assert!(!allocation.is_schedulable());
+        let report = HypervisorSim::new(
+            &Platform::platform_a(),
+            &allocation,
+            &tasks,
+            SimConfig::default().with_horizon(SimDuration::from_ms(300.0)),
+        )
+        .expect("realizable")
+        .run();
+        prop_assert!(!report.all_deadlines_met(), "overload must miss");
+    }
+
+    #[test]
+    fn simulation_is_deterministic(specs in arb_feasible_harmonic_specs()) {
+        let (allocation, tasks) = flattened_system(&specs);
+        let run = || {
+            HypervisorSim::new(
+                &Platform::platform_a(),
+                &allocation,
+                &tasks,
+                SimConfig::default().with_horizon(SimDuration::from_ms(200.0)),
+            )
+            .expect("realizable")
+            .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.deadline_misses, b.deadline_misses);
+        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
+        prop_assert_eq!(a.context_switches, b.context_switches);
+    }
+}

@@ -1,0 +1,154 @@
+//! Preset overflow performance counters.
+
+use std::fmt;
+
+/// Width of the simulated performance counter, in bits. Intel
+/// general-purpose PMCs are 48 bits wide.
+pub const COUNTER_BITS: u32 = 48;
+
+const COUNTER_MODULUS: u64 = 1 << COUNTER_BITS;
+
+/// A simulated hardware performance counter configured to count memory
+/// requests (LLC misses), preset so that it overflows exactly when a
+/// budget is exhausted.
+///
+/// The setup component of the regulator presets the counter to
+/// `2⁴⁸ − budget`; each memory request increments it; wrapping past
+/// `2⁴⁸` raises the overflow bit (which on hardware is latched in the
+/// global overflow status register and delivered via the LAPIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfCounter {
+    value: u64,
+    overflowed: bool,
+}
+
+impl PerfCounter {
+    /// Creates a counter preset for `budget` remaining events.
+    ///
+    /// A zero budget creates a counter that overflows on the first
+    /// event.
+    pub fn preset(budget: u64) -> Self {
+        let budget = budget.min(COUNTER_MODULUS - 1);
+        PerfCounter {
+            value: COUNTER_MODULUS - budget,
+            overflowed: budget == 0,
+        }
+    }
+
+    /// Raw counter value (in `[0, 2⁴⁸)` once wrapped).
+    pub fn value(&self) -> u64 {
+        self.value % COUNTER_MODULUS
+    }
+
+    /// Events remaining before overflow (zero if already overflowed).
+    pub fn remaining(&self) -> u64 {
+        if self.overflowed {
+            0
+        } else {
+            COUNTER_MODULUS - self.value
+        }
+    }
+
+    /// Whether the overflow bit is set.
+    pub fn has_overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Counts `events` occurrences. Returns `true` if this call crossed
+    /// the overflow boundary (i.e. the overflow interrupt fires now —
+    /// not on later calls, matching the latched status register which
+    /// must be cleared by the handler).
+    pub fn add(&mut self, events: u64) -> bool {
+        if self.overflowed {
+            self.value = (self.value + events) % COUNTER_MODULUS;
+            return false;
+        }
+        let remaining = COUNTER_MODULUS - self.value;
+        if events >= remaining {
+            self.value = (self.value + events) % COUNTER_MODULUS;
+            self.overflowed = true;
+            true
+        } else {
+            self.value += events;
+            false
+        }
+    }
+
+    /// Clears the overflow status and presets for a fresh `budget`
+    /// (the refiller path: clear the overflow status register, preset
+    /// the counter).
+    pub fn reset(&mut self, budget: u64) {
+        *self = PerfCounter::preset(budget);
+    }
+}
+
+impl fmt::Display for PerfCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PMC(remaining={}, overflowed={})",
+            self.remaining(),
+            self.overflowed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_leaves_budget_headroom() {
+        let c = PerfCounter::preset(100);
+        assert_eq!(c.remaining(), 100);
+        assert!(!c.has_overflowed());
+    }
+
+    #[test]
+    fn overflow_fires_exactly_at_budget() {
+        let mut c = PerfCounter::preset(10);
+        assert!(!c.add(9));
+        assert_eq!(c.remaining(), 1);
+        assert!(c.add(1), "10th event must overflow");
+        assert!(c.has_overflowed());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn overflow_reported_once() {
+        let mut c = PerfCounter::preset(1);
+        assert!(c.add(1));
+        assert!(!c.add(100), "latched overflow must not re-fire");
+        assert!(c.has_overflowed());
+    }
+
+    #[test]
+    fn bulk_overshoot_overflows() {
+        let mut c = PerfCounter::preset(10);
+        assert!(c.add(25));
+        // Value wrapped: 2^48 - 10 + 25 ≡ 15 (mod 2^48).
+        assert_eq!(c.value(), 15);
+    }
+
+    #[test]
+    fn zero_budget_overflows_immediately() {
+        let c = PerfCounter::preset(0);
+        assert!(c.has_overflowed());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn reset_clears_overflow() {
+        let mut c = PerfCounter::preset(1);
+        c.add(5);
+        c.reset(50);
+        assert!(!c.has_overflowed());
+        assert_eq!(c.remaining(), 50);
+    }
+
+    #[test]
+    fn display_mentions_state() {
+        let c = PerfCounter::preset(3);
+        assert!(c.to_string().contains("remaining=3"));
+    }
+}

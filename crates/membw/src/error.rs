@@ -1,0 +1,47 @@
+//! Error type for the bandwidth-regulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by bandwidth-regulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembwError {
+    /// A core index was out of range for the regulator.
+    UnknownCore {
+        /// The offending core index.
+        core: usize,
+        /// Number of cores the regulator manages.
+        cores: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MembwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembwError::UnknownCore { core, cores } => {
+                write!(f, "unknown core {core} (regulator manages {cores} cores)")
+            }
+            MembwError::InvalidConfig { detail } => {
+                write!(f, "invalid regulator configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for MembwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MembwError::UnknownCore { core: 9, cores: 4 };
+        assert!(e.to_string().contains("unknown core 9"));
+    }
+}

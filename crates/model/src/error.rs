@@ -1,0 +1,171 @@
+//! Error type shared by model constructors and validators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or validating model objects.
+///
+/// Every constructor in this crate validates its arguments
+/// (guideline C-VALIDATE) and reports violations through this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A time quantity (period, WCET, budget) was not strictly positive
+    /// and finite where it must be.
+    NonPositiveTime {
+        /// Name of the offending quantity, e.g. `"period"`.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A WCET/budget exceeded the period it must fit inside.
+    ExceedsPeriod {
+        /// Name of the offending quantity.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// The period it was compared against.
+        period: f64,
+    },
+    /// A resource-space bound was inconsistent
+    /// (e.g. `cache_min > cache_max`, or a zero partition count).
+    InvalidResourceSpace {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A surface was built with the wrong number of entries for its
+    /// resource space.
+    SurfaceShapeMismatch {
+        /// Number of entries expected (`|c-range| × |b-range|`).
+        expected: usize,
+        /// Number of entries supplied.
+        actual: usize,
+    },
+    /// A surface contained a non-finite or non-positive entry.
+    InvalidSurfaceEntry {
+        /// Cache allocation of the offending cell.
+        cache: u32,
+        /// Bandwidth allocation of the offending cell.
+        bandwidth: u32,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An allocation `(c, b)` fell outside the platform's resource space.
+    AllocOutOfRange {
+        /// The cache allocation requested.
+        cache: u32,
+        /// The bandwidth allocation requested.
+        bandwidth: u32,
+        /// Description of the valid region.
+        space: String,
+    },
+    /// A platform parameter was invalid (e.g. zero cores).
+    InvalidPlatform {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A collection that must be non-empty was empty.
+    Empty {
+        /// Name of the collection, e.g. `"taskset"`.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveTime { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            ModelError::ExceedsPeriod {
+                what,
+                value,
+                period,
+            } => write!(f, "{what} {value} exceeds period {period}"),
+            ModelError::InvalidResourceSpace { detail } => {
+                write!(f, "invalid resource space: {detail}")
+            }
+            ModelError::SurfaceShapeMismatch { expected, actual } => write!(
+                f,
+                "surface shape mismatch: expected {expected} entries, got {actual}"
+            ),
+            ModelError::InvalidSurfaceEntry {
+                cache,
+                bandwidth,
+                value,
+            } => write!(
+                f,
+                "invalid surface entry at (c={cache}, b={bandwidth}): {value}"
+            ),
+            ModelError::AllocOutOfRange {
+                cache,
+                bandwidth,
+                space,
+            } => write!(
+                f,
+                "allocation (c={cache}, b={bandwidth}) outside resource space {space}"
+            ),
+            ModelError::InvalidPlatform { detail } => {
+                write!(f, "invalid platform: {detail}")
+            }
+            ModelError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            ModelError::NonPositiveTime {
+                what: "period",
+                value: -1.0,
+            },
+            ModelError::ExceedsPeriod {
+                what: "wcet",
+                value: 5.0,
+                period: 4.0,
+            },
+            ModelError::InvalidResourceSpace {
+                detail: "cache_min > cache_max".into(),
+            },
+            ModelError::SurfaceShapeMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            ModelError::InvalidSurfaceEntry {
+                cache: 2,
+                bandwidth: 1,
+                value: f64::NAN,
+            },
+            ModelError::AllocOutOfRange {
+                cache: 0,
+                bandwidth: 0,
+                space: "c in 2..=20".into(),
+            },
+            ModelError::InvalidPlatform {
+                detail: "zero cores".into(),
+            },
+            ModelError::Empty { what: "taskset" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

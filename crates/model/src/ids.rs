@@ -1,0 +1,93 @@
+//! Newtype identifiers for tasks, VCPUs, VMs and physical cores.
+//!
+//! Using distinct types (guideline C-NEWTYPE) prevents, e.g., indexing a
+//! core table with a VCPU id — a bug class that is easy to hit in a
+//! two-level scheduler.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw index carried by this identifier.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(value: usize) -> Self {
+                $name(value)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> usize {
+                value.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a periodic real-time task within the whole system.
+    TaskId,
+    "T"
+);
+id_type!(
+    /// Identifier of a virtual CPU (periodic server scheduled by the
+    /// hypervisor).
+    VcpuId,
+    "V"
+);
+id_type!(
+    /// Identifier of a virtual machine.
+    VmId,
+    "VM"
+);
+id_type!(
+    /// Identifier of a physical core.
+    CoreId,
+    "P"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_tag() {
+        assert_eq!(TaskId(3).to_string(), "T3");
+        assert_eq!(VcpuId(0).to_string(), "V0");
+        assert_eq!(VmId(7).to_string(), "VM7");
+        assert_eq!(CoreId(2).to_string(), "P2");
+    }
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = TaskId::from(42usize);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(CoreId(1));
+        set.insert(CoreId(1));
+        set.insert(CoreId(2));
+        assert_eq!(set.len(), 2);
+        assert!(VcpuId(1) < VcpuId(2));
+    }
+}

@@ -1,0 +1,133 @@
+//! Virtual-machine specifications.
+
+use crate::{ModelError, TaskSet, VmId};
+use std::fmt;
+
+/// A virtual machine: an identifier, its workload (a [`TaskSet`]), and
+/// the maximum number of VCPUs the hypervisor supports for it.
+///
+/// The VCPU cap matters for the choice between the two
+/// abstraction-overhead removal strategies: *flattening* (one VCPU per
+/// task) requires `tasks ≤ max_vcpus`; the *well-regulated* strategy
+/// (Theorem 2) has no such requirement. The paper notes Xen supports up
+/// to 512 VCPUs per VM, which is the default here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmSpec {
+    id: VmId,
+    tasks: TaskSet,
+    max_vcpus: usize,
+}
+
+/// Xen's per-VM VCPU limit, cited in the paper's introduction.
+pub const XEN_MAX_VCPUS: usize = 512;
+
+impl VmSpec {
+    /// Creates a VM with the default (Xen) VCPU cap of 512.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if the taskset is empty.
+    pub fn new(id: VmId, tasks: TaskSet) -> Result<Self, ModelError> {
+        VmSpec::with_max_vcpus(id, tasks, XEN_MAX_VCPUS)
+    }
+
+    /// Creates a VM with an explicit VCPU cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if the taskset is empty, or
+    /// [`ModelError::InvalidPlatform`] if `max_vcpus` is zero.
+    pub fn with_max_vcpus(id: VmId, tasks: TaskSet, max_vcpus: usize) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::Empty { what: "vm taskset" });
+        }
+        if max_vcpus == 0 {
+            return Err(ModelError::InvalidPlatform {
+                detail: "max_vcpus must be at least 1".into(),
+            });
+        }
+        Ok(VmSpec {
+            id,
+            tasks,
+            max_vcpus,
+        })
+    }
+
+    /// The VM's identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The VM's workload.
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The maximum number of VCPUs this VM may be given.
+    pub fn max_vcpus(&self) -> usize {
+        self.max_vcpus
+    }
+
+    /// Whether one-VCPU-per-task flattening is possible for this VM
+    /// (the assumption of Theorem 1's direct-mapping strategy).
+    pub fn supports_flattening(&self) -> bool {
+        self.tasks.len() <= self.max_vcpus
+    }
+
+    /// Total reference utilization of the VM's workload.
+    pub fn reference_utilization(&self) -> f64 {
+        self.tasks.reference_utilization()
+    }
+}
+
+impl fmt::Display for VmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({} tasks, u*={:.3})",
+            self.id,
+            self.tasks.len(),
+            self.reference_utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ResourceSpace, Task, TaskId, WcetSurface};
+
+    fn taskset(n: usize) -> TaskSet {
+        let space = ResourceSpace::new(2, 4, 1, 3).unwrap();
+        (0..n)
+            .map(|i| Task::new(TaskId(i), 10.0, WcetSurface::flat(&space, 1.0).unwrap()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(matches!(
+            VmSpec::new(VmId(0), TaskSet::new()),
+            Err(ModelError::Empty { .. })
+        ));
+        assert!(VmSpec::with_max_vcpus(VmId(0), taskset(1), 0).is_err());
+    }
+
+    #[test]
+    fn flattening_support_depends_on_cap() {
+        let vm = VmSpec::with_max_vcpus(VmId(0), taskset(3), 2).unwrap();
+        assert!(!vm.supports_flattening());
+        let vm = VmSpec::with_max_vcpus(VmId(0), taskset(2), 2).unwrap();
+        assert!(vm.supports_flattening());
+        let vm = VmSpec::new(VmId(0), taskset(512)).unwrap();
+        assert!(vm.supports_flattening());
+    }
+
+    #[test]
+    fn utilization_aggregates() {
+        let vm = VmSpec::new(VmId(1), taskset(3)).unwrap();
+        assert!((vm.reference_utilization() - 0.3).abs() < 1e-12);
+        assert!(vm.to_string().contains("VM1"));
+        assert_eq!(vm.max_vcpus(), XEN_MAX_VCPUS);
+    }
+}

@@ -1,0 +1,262 @@
+//! EDF demand bound functions for implicit-deadline periodic tasksets.
+//!
+//! For a synchronous implicit-deadline periodic taskset
+//! T = {(pᵢ, eᵢ)}, the demand bound function under EDF is
+//!
+//! ```text
+//! dbf(t) = Σᵢ ⌊t / pᵢ⌋ · eᵢ
+//! ```
+//!
+//! the maximum execution demand of jobs with both release and deadline
+//! inside any window of length `t`. A resource supply `sbf` can feed
+//! the taskset iff `dbf(t) ≤ sbf(t)` for all `t > 0`; since `dbf` only
+//! increases at multiples of task periods and `sbf` is non-decreasing,
+//! it suffices to check `t` at those *checkpoints*.
+
+use std::fmt;
+
+/// Validated demand description of an implicit-deadline periodic
+/// taskset: a list of `(period, wcet)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Demand {
+    tasks: Vec<(f64, f64)>,
+    utilization: f64,
+    hyperperiod: Option<f64>,
+}
+
+/// Error returned by [`Demand::new`] for invalid `(period, wcet)`
+/// pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidDemandError {
+    /// Index of the offending pair.
+    pub index: usize,
+    /// The offending `(period, wcet)` pair.
+    pub pair: (f64, f64),
+}
+
+impl fmt::Display for InvalidDemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid (period, wcet) pair {:?} at index {}: both must be finite, period > 0, wcet >= 0",
+            self.pair, self.index
+        )
+    }
+}
+
+impl std::error::Error for InvalidDemandError {}
+
+impl Demand {
+    /// Builds a demand from `(period, wcet)` pairs (milliseconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDemandError`] if any period is not positive and
+    /// finite, or any WCET is negative or non-finite. A zero WCET is
+    /// allowed (the task contributes no demand).
+    pub fn new(tasks: Vec<(f64, f64)>) -> Result<Self, InvalidDemandError> {
+        for (index, &pair) in tasks.iter().enumerate() {
+            let (p, e) = pair;
+            if !p.is_finite() || p <= 0.0 || !e.is_finite() || e < 0.0 {
+                return Err(InvalidDemandError { index, pair });
+            }
+        }
+        let utilization = tasks.iter().map(|(p, e)| e / p).sum();
+        let hyperperiod = hyperperiod(tasks.iter().map(|&(p, _)| p));
+        Ok(Demand {
+            tasks,
+            utilization,
+            hyperperiod,
+        })
+    }
+
+    /// The `(period, wcet)` pairs.
+    pub fn tasks(&self) -> &[(f64, f64)] {
+        &self.tasks
+    }
+
+    /// Total utilization Σ eᵢ/pᵢ.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// The taskset's hyperperiod (least common multiple of the
+    /// periods), if one could be computed with reasonable precision.
+    ///
+    /// For the harmonic periods used throughout the paper this is just
+    /// the maximum period. Returns `None` for an empty taskset or if
+    /// the LCM overflows the precision budget (wildly incommensurate
+    /// periods).
+    pub fn hyperperiod(&self) -> Option<f64> {
+        self.hyperperiod
+    }
+
+    /// Evaluates `dbf(t)`.
+    pub fn dbf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.tasks
+            .iter()
+            .map(|&(p, e)| ((t / p) + 1e-9).floor() * e)
+            .sum()
+    }
+
+    /// The sorted, de-duplicated checkpoints (job deadlines) in
+    /// `(0, horizon]` at which `dbf` increases.
+    ///
+    /// The number of checkpoints is capped at `max_points`; if the
+    /// horizon would produce more, the list is truncated (callers that
+    /// need completeness should pass a horizon equal to the
+    /// hyperperiod, which for the paper's harmonic tasksets is small).
+    pub fn checkpoints(&self, horizon: f64, max_points: usize) -> Vec<f64> {
+        let mut points: Vec<f64> = Vec::new();
+        for &(p, e) in &self.tasks {
+            if e == 0.0 {
+                continue;
+            }
+            let mut t = p;
+            while t <= horizon + 1e-9 {
+                points.push(t);
+                t += p;
+                if points.len() > 4 * max_points {
+                    break;
+                }
+            }
+        }
+        points.sort_by(|a, b| a.partial_cmp(b).expect("checkpoints are finite"));
+        points.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        points.truncate(max_points);
+        points
+    }
+}
+
+/// Least common multiple of a set of positive periods, computed by
+/// scaling to integer nanoseconds. Returns `None` if empty or if the
+/// LCM exceeds 10¹² ns (1000 s of simulated time) — beyond that the
+/// periods are effectively incommensurate and checkpoint enumeration
+/// over a hyperperiod is useless; callers fall back to a bounded
+/// horizon.
+pub fn hyperperiod(periods: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut acc: Option<u128> = None;
+    for p in periods {
+        let ns = (p * 1e6).round() as u128;
+        if ns == 0 {
+            return None;
+        }
+        acc = Some(match acc {
+            None => ns,
+            Some(a) => {
+                let l = lcm(a, ns);
+                if l > 1_000_000_000_000 {
+                    return None;
+                }
+                l
+            }
+        });
+    }
+    acc.map(|ns| ns as f64 / 1e6)
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u128, b: u128) -> u128 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Demand::new(vec![(10.0, 1.0)]).is_ok());
+        assert!(Demand::new(vec![(0.0, 1.0)]).is_err());
+        assert!(Demand::new(vec![(10.0, -1.0)]).is_err());
+        assert!(Demand::new(vec![(f64::NAN, 1.0)]).is_err());
+        assert!(Demand::new(vec![(10.0, 0.0)]).is_ok(), "zero wcet allowed");
+        assert!(Demand::new(vec![]).is_ok(), "empty taskset allowed");
+    }
+
+    #[test]
+    fn dbf_single_task() {
+        let d = Demand::new(vec![(10.0, 2.0)]).unwrap();
+        assert_eq!(d.dbf(0.0), 0.0);
+        assert_eq!(d.dbf(9.9), 0.0);
+        assert_eq!(d.dbf(10.0), 2.0);
+        assert_eq!(d.dbf(19.9), 2.0);
+        assert_eq!(d.dbf(20.0), 4.0);
+        assert_eq!(d.dbf(100.0), 20.0);
+    }
+
+    #[test]
+    fn dbf_multiple_tasks() {
+        let d = Demand::new(vec![(10.0, 1.0), (20.0, 4.0)]).unwrap();
+        assert_eq!(d.dbf(10.0), 1.0);
+        assert_eq!(d.dbf(20.0), 2.0 + 4.0);
+        assert_eq!(d.dbf(40.0), 4.0 + 8.0);
+        assert!((d.utilization() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbf_is_monotone() {
+        let d = Demand::new(vec![(3.0, 1.0), (7.0, 2.0)]).unwrap();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let t = i as f64 * 0.37;
+            let v = d.dbf(t);
+            assert!(v >= prev, "dbf must be non-decreasing");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_deadlines() {
+        let d = Demand::new(vec![(10.0, 1.0), (20.0, 4.0)]).unwrap();
+        let cps = d.checkpoints(40.0, 100);
+        assert_eq!(cps, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn checkpoints_skip_zero_wcet_tasks() {
+        let d = Demand::new(vec![(10.0, 0.0), (20.0, 4.0)]).unwrap();
+        assert_eq!(d.checkpoints(40.0, 100), vec![20.0, 40.0]);
+    }
+
+    #[test]
+    fn checkpoints_respect_cap() {
+        let d = Demand::new(vec![(1.0, 0.1)]).unwrap();
+        assert_eq!(d.checkpoints(1e6, 50).len(), 50);
+    }
+
+    #[test]
+    fn hyperperiod_harmonic_is_max() {
+        assert_eq!(hyperperiod([100.0, 200.0, 400.0]), Some(400.0));
+        let d = Demand::new(vec![(100.0, 1.0), (400.0, 1.0)]).unwrap();
+        assert_eq!(d.hyperperiod(), Some(400.0));
+    }
+
+    #[test]
+    fn hyperperiod_non_harmonic() {
+        assert_eq!(hyperperiod([4.0, 6.0]), Some(12.0));
+        assert_eq!(hyperperiod(std::iter::empty::<f64>()), None);
+    }
+
+    #[test]
+    fn dbf_at_checkpoints_increases() {
+        let d = Demand::new(vec![(10.0, 1.0), (20.0, 4.0)]).unwrap();
+        let cps = d.checkpoints(40.0, 100);
+        let mut prev = 0.0;
+        for &t in &cps {
+            let v = d.dbf(t);
+            assert!(v > prev, "dbf must strictly increase at checkpoints");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Periodic resource model: supply bound function and minimal budgets.
+//!
+//! This module implements the "existing compositional scheduling
+//! analysis" the paper uses as its baseline (reference \[13\]: Shin &
+//! Lee, *Periodic Resource Model for Compositional Real-Time
+//! Guarantees*, RTSS 2003).
+//!
+//! A periodic resource Γ = (Π, Θ) supplies Θ units of execution every
+//! period Π, in the worst case as late as possible. Its supply bound
+//! function — the minimum supply in any window of length `t` — is
+//!
+//! ```text
+//! sbf(t) = 0                                        if t ≤ Π − Θ
+//!        = k·Θ + max(0, t' − k·Π − (Π − Θ))         otherwise,
+//!   where t' = t − (Π − Θ), k = ⌊t' / Π⌋
+//! ```
+//!
+//! A taskset with demand `dbf` is EDF-schedulable on Γ iff
+//! `dbf(t) ≤ sbf(t)` at every checkpoint `t`. [`min_budget`] inverts
+//! this: the smallest Θ making a given demand schedulable on a
+//! period-Π resource — the quantity whose inflation over the taskset
+//! utilization is the *abstraction overhead* vC²M eliminates.
+
+use crate::dbf::Demand;
+
+/// A periodic resource Γ = (Π, Θ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicResource {
+    period: f64,
+    budget: f64,
+}
+
+impl PeriodicResource {
+    /// Creates a periodic resource with the given period and budget
+    /// (milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive and finite, or the budget
+    /// is negative, non-finite, or exceeds the period.
+    pub fn new(period: f64, budget: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "resource period must be positive and finite, got {period}"
+        );
+        assert!(
+            budget.is_finite() && (0.0..=period).contains(&budget),
+            "resource budget must lie in [0, period], got {budget} (period {period})"
+        );
+        PeriodicResource { period, budget }
+    }
+
+    /// The resource period Π.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The resource budget Θ.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The resource bandwidth Θ/Π.
+    pub fn bandwidth(&self) -> f64 {
+        self.budget / self.period
+    }
+
+    /// Evaluates the supply bound function at `t`.
+    pub fn sbf(&self, t: f64) -> f64 {
+        let blackout = self.period - self.budget;
+        if t <= blackout || self.budget == 0.0 {
+            return 0.0;
+        }
+        let t_eff = t - blackout;
+        let k = (t_eff / self.period + 1e-12).floor();
+        let supplied = k * self.budget;
+        let partial = (t_eff - k * self.period - blackout).max(0.0);
+        supplied + partial.min(self.budget)
+    }
+
+    /// The linear lower bound on the supply:
+    /// `lsbf(t) = (Θ/Π)·(t − 2(Π − Θ))`, clamped at zero. Useful for
+    /// quick infeasibility screening.
+    pub fn lsbf(&self, t: f64) -> f64 {
+        (self.bandwidth() * (t - 2.0 * (self.period - self.budget))).max(0.0)
+    }
+
+    /// Whether `demand` is EDF-schedulable on this resource.
+    ///
+    /// Checks `dbf(t) ≤ sbf(t)` at every deadline checkpoint up to the
+    /// demand's hyperperiod (or a capped horizon if the hyperperiod is
+    /// unavailable), plus the long-run bandwidth condition
+    /// `U ≤ Θ/Π`, which extends the checkpoint argument beyond the
+    /// horizon when the resource period divides the hyperperiod (true
+    /// for the harmonic workloads of the paper, where Π is chosen as
+    /// the minimum task period).
+    pub fn can_schedule(&self, demand: &Demand) -> bool {
+        if demand.utilization() > self.bandwidth() + 1e-12 {
+            return false;
+        }
+        let horizon = demand
+            .hyperperiod()
+            .unwrap_or(10_000.0)
+            .max(2.0 * self.period);
+        for t in demand.checkpoints(horizon, 100_000) {
+            if demand.dbf(t) > self.sbf(t) + 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Computes the minimal budget Θ such that `demand` is
+/// EDF-schedulable on a periodic resource with period `period`.
+///
+/// Returns `None` if even Θ = Π (a dedicated processor) cannot
+/// schedule the demand.
+///
+/// The feasible set of budgets is upward-closed (more supply never
+/// hurts), so a binary search on the schedulability predicate is exact
+/// up to the `1e-7` ms tolerance used here.
+///
+/// # Panics
+///
+/// Panics if `period` is not positive and finite.
+pub fn min_budget(demand: &Demand, period: f64) -> Option<f64> {
+    assert!(
+        period.is_finite() && period > 0.0,
+        "resource period must be positive and finite, got {period}"
+    );
+    if demand.tasks().iter().all(|&(_, e)| e == 0.0) {
+        return Some(0.0);
+    }
+    // Precompute the checkpoints and the demand at each one — they do
+    // not depend on the candidate budget, and the binary search below
+    // evaluates the predicate dozens of times.
+    let horizon = demand.hyperperiod().unwrap_or(10_000.0).max(2.0 * period);
+    let points = demand.checkpoints(horizon, 100_000);
+    let demands: Vec<f64> = points.iter().map(|&t| demand.dbf(t)).collect();
+    let feasible = |theta: f64| {
+        if demand.utilization() > theta / period + 1e-12 {
+            return false;
+        }
+        let resource = PeriodicResource::new(period, theta);
+        points
+            .iter()
+            .zip(&demands)
+            .all(|(&t, &d)| d <= resource.sbf(t) + 1e-9)
+    };
+    if !feasible(period) {
+        return None;
+    }
+    // Lower bound: bandwidth at least the utilization.
+    let mut lo = (demand.utilization() * period).min(period);
+    if feasible(lo) {
+        return Some(lo);
+    }
+    let mut hi = period;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-9 {
+            break;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, period]")]
+    fn budget_above_period_rejected() {
+        let _ = PeriodicResource::new(10.0, 11.0);
+    }
+
+    #[test]
+    fn sbf_shape() {
+        let r = PeriodicResource::new(10.0, 4.0);
+        // Blackout of 2(Π−Θ) = 12 at worst, first supply after Π−Θ = 6...
+        assert_eq!(r.sbf(0.0), 0.0);
+        assert_eq!(r.sbf(6.0), 0.0);
+        // After the blackout, supply ramps at slope 1 for Θ time units
+        // starting at 2(Π−Θ) = 12.
+        assert_eq!(r.sbf(12.0), 0.0);
+        assert_eq!(r.sbf(13.0), 1.0);
+        assert_eq!(r.sbf(16.0), 4.0);
+        // Then flat until the next period's supply.
+        assert_eq!(r.sbf(22.0), 4.0);
+        assert_eq!(r.sbf(23.0), 5.0);
+    }
+
+    #[test]
+    fn sbf_full_budget_is_identity_minus_nothing() {
+        // Θ = Π: a dedicated processor; sbf(t) = t.
+        let r = PeriodicResource::new(5.0, 5.0);
+        for t in [0.0, 1.0, 2.5, 7.0, 100.0] {
+            assert!((r.sbf(t) - t).abs() < 1e-9, "sbf({t}) = {}", r.sbf(t));
+        }
+    }
+
+    #[test]
+    fn sbf_zero_budget_is_zero() {
+        let r = PeriodicResource::new(5.0, 0.0);
+        assert_eq!(r.sbf(100.0), 0.0);
+    }
+
+    #[test]
+    fn sbf_monotone_and_bounded_by_t() {
+        let r = PeriodicResource::new(7.0, 3.0);
+        let mut prev = 0.0;
+        for i in 0..1000 {
+            let t = i as f64 * 0.1;
+            let v = r.sbf(t);
+            assert!(v >= prev - 1e-12, "sbf must be non-decreasing");
+            assert!(v <= t + 1e-9, "sbf(t) must not exceed t");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lsbf_lower_bounds_sbf() {
+        let r = PeriodicResource::new(9.0, 4.0);
+        for i in 0..500 {
+            let t = i as f64 * 0.2;
+            assert!(
+                r.lsbf(t) <= r.sbf(t) + 1e-9,
+                "lsbf({t}) = {} > sbf({t}) = {}",
+                r.lsbf(t),
+                r.sbf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_budget_is_5_5() {
+        // Introduction: task (period 10, WCET 1) needs budget 5.5 on a
+        // period-10 periodic resource — 5.5× its utilization of 0.1.
+        let demand = Demand::new(vec![(10.0, 1.0)]).unwrap();
+        let theta = min_budget(&demand, 10.0).expect("feasible");
+        assert!((theta - 5.5).abs() < 1e-6, "got {theta}");
+    }
+
+    #[test]
+    fn min_budget_monotone_in_demand() {
+        let light = Demand::new(vec![(10.0, 1.0)]).unwrap();
+        let heavy = Demand::new(vec![(10.0, 2.0)]).unwrap();
+        let tl = min_budget(&light, 5.0).unwrap();
+        let th = min_budget(&heavy, 5.0).unwrap();
+        assert!(th > tl);
+    }
+
+    #[test]
+    fn min_budget_smaller_period_less_overhead() {
+        // A finer-grained server tracks the task more closely, so the
+        // required *bandwidth* shrinks as the resource period shrinks.
+        let demand = Demand::new(vec![(10.0, 1.0)]).unwrap();
+        let bw_coarse = min_budget(&demand, 10.0).unwrap() / 10.0;
+        let bw_fine = min_budget(&demand, 2.0).unwrap() / 2.0;
+        assert!(bw_fine < bw_coarse);
+    }
+
+    #[test]
+    fn min_budget_infeasible() {
+        // Utilization 1.2 cannot fit on any single resource.
+        let demand = Demand::new(vec![(10.0, 12.0)]).unwrap();
+        assert_eq!(min_budget(&demand, 10.0), None);
+    }
+
+    #[test]
+    fn min_budget_zero_demand() {
+        let demand = Demand::new(vec![(10.0, 0.0)]).unwrap();
+        assert_eq!(min_budget(&demand, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn min_budget_result_schedules_and_is_tight() {
+        let demand = Demand::new(vec![(10.0, 1.0), (20.0, 3.0), (40.0, 4.0)]).unwrap();
+        let period = 10.0;
+        let theta = min_budget(&demand, period).expect("feasible");
+        assert!(PeriodicResource::new(period, theta).can_schedule(&demand));
+        let slightly_less = (theta - 1e-3).max(0.0);
+        assert!(
+            !PeriodicResource::new(period, slightly_less).can_schedule(&demand),
+            "budget {theta} is not tight"
+        );
+        // And the abstraction overhead is real: budget bandwidth
+        // strictly exceeds taskset utilization.
+        assert!(theta / period > demand.utilization());
+    }
+
+    #[test]
+    fn dedicated_resource_schedules_up_to_full_utilization() {
+        let demand = Demand::new(vec![(10.0, 5.0), (20.0, 10.0)]).unwrap(); // U = 1.0
+        assert!(PeriodicResource::new(10.0, 10.0).can_schedule(&demand));
+    }
+}

@@ -1,0 +1,357 @@
+//! Runtime periodic-server budget accounting.
+//!
+//! The hypervisor schedules each VCPU as a *periodic server*: every
+//! period Π the server's budget is replenished to Θ and its deadline
+//! advances by Π; while a VCPU runs, its budget drains in real time;
+//! at zero budget the VCPU is depleted and must wait for its next
+//! replenishment. This is the budget model of Xen's RTDS scheduler
+//! that the paper's prototype extends, and — combined with harmonic
+//! periods, a common release offset and the deterministic EDF
+//! tie-break — it yields the *well-regulated* execution pattern of
+//! Theorem 2.
+
+use vc2m_model::{SimDuration, SimTime, VcpuId};
+
+/// Lifecycle state of a periodic server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerState {
+    /// Has budget and is waiting to be picked by the scheduler.
+    Ready,
+    /// Currently executing on a core.
+    Running,
+    /// Budget exhausted; waiting for the next replenishment.
+    Depleted,
+}
+
+/// A periodic server: the runtime incarnation of a VCPU
+/// (period Π, full budget Θ, remaining budget, release/deadline
+/// bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicServer {
+    id: VcpuId,
+    period: SimDuration,
+    full_budget: SimDuration,
+    remaining: SimDuration,
+    /// Start of the current period (last release).
+    release: SimTime,
+    /// Absolute deadline = release + period.
+    deadline: SimTime,
+    state: ServerState,
+}
+
+impl PeriodicServer {
+    /// Creates a server first released at `release`, with its budget
+    /// full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or the budget exceeds the period.
+    pub fn new(id: VcpuId, period: SimDuration, budget: SimDuration, release: SimTime) -> Self {
+        assert!(period > SimDuration::ZERO, "server period must be positive");
+        assert!(
+            budget <= period,
+            "server budget {budget} exceeds period {period}"
+        );
+        PeriodicServer {
+            id,
+            period,
+            full_budget: budget,
+            remaining: budget,
+            release,
+            deadline: release + period,
+            state: if budget > SimDuration::ZERO {
+                ServerState::Ready
+            } else {
+                ServerState::Depleted
+            },
+        }
+    }
+
+    /// The VCPU this server realizes.
+    pub fn id(&self) -> VcpuId {
+        self.id
+    }
+
+    /// The server period Π.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The full per-period budget Θ.
+    pub fn full_budget(&self) -> SimDuration {
+        self.full_budget
+    }
+
+    /// Budget remaining in the current period.
+    pub fn remaining_budget(&self) -> SimDuration {
+        self.remaining
+    }
+
+    /// Start of the current period.
+    pub fn release(&self) -> SimTime {
+        self.release
+    }
+
+    /// Absolute deadline of the current period.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ServerState {
+        self.state
+    }
+
+    /// Moves the first release to `release` (the release
+    /// synchronization hypercall of Section 3.2: the VCPU's first
+    /// release is aligned with its task's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has already started running — release
+    /// synchronization happens at task initialization only.
+    pub fn synchronize_release(&mut self, release: SimTime) {
+        assert!(
+            self.remaining == self.full_budget,
+            "release synchronization after execution started"
+        );
+        self.release = release;
+        self.deadline = release + self.period;
+    }
+
+    /// Replenishes the budget to Θ and advances the period window so
+    /// that `now` falls inside it. Called by the scheduler's
+    /// replenishment handler at period boundaries.
+    ///
+    /// Periods with no execution are skipped wholesale (the server's
+    /// window always advances by an integral number of periods, keeping
+    /// releases aligned to `release₀ + k·Π` — the alignment Theorem 2's
+    /// well-regulated pattern requires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the current deadline (replenishing
+    /// early would violate the periodic-server semantics).
+    pub fn replenish(&mut self, now: SimTime) {
+        assert!(
+            now >= self.deadline,
+            "replenish at {now} before deadline {deadline}",
+            deadline = self.deadline
+        );
+        let elapsed = now.since(self.release).as_ns();
+        let periods = elapsed / self.period.as_ns();
+        debug_assert!(periods >= 1);
+        self.release = SimTime(self.release.as_ns() + periods * self.period.as_ns());
+        self.deadline = self.release + self.period;
+        self.remaining = self.full_budget;
+        if self.state != ServerState::Running {
+            self.state = if self.full_budget > SimDuration::ZERO {
+                ServerState::Ready
+            } else {
+                ServerState::Depleted
+            };
+        }
+    }
+
+    /// Marks the server as running on a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the server is `Ready`.
+    pub fn start_running(&mut self) {
+        assert_eq!(
+            self.state,
+            ServerState::Ready,
+            "only a ready server can start running"
+        );
+        self.state = ServerState::Running;
+    }
+
+    /// Consumes `used` of the budget after running, and returns to
+    /// `Ready` or `Depleted` accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the server is `Running`, or if `used` exceeds the
+    /// remaining budget.
+    pub fn stop_running(&mut self, used: SimDuration) {
+        assert_eq!(self.state, ServerState::Running, "server was not running");
+        assert!(
+            used <= self.remaining,
+            "consumed {used} exceeds remaining budget {remaining}",
+            remaining = self.remaining
+        );
+        self.remaining = self.remaining - used;
+        self.state = if self.remaining > SimDuration::ZERO {
+            ServerState::Ready
+        } else {
+            ServerState::Depleted
+        };
+    }
+
+    /// Time until the budget would run out if the server ran
+    /// continuously from now on.
+    pub fn budget_horizon(&self) -> SimDuration {
+        self.remaining
+    }
+
+    /// Changes the per-period budget Θ (a dynamic reallocation, e.g. a
+    /// vCAT mode change altering the core's resources). The new budget
+    /// takes full effect at the next replenishment; the current
+    /// period's remaining budget is capped at the new value so a
+    /// shrinking budget cannot be overspent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is currently running (callers must suspend
+    /// it first so in-flight consumption is accounted), or if the new
+    /// budget exceeds the period.
+    pub fn set_full_budget(&mut self, budget: SimDuration) {
+        assert_ne!(
+            self.state,
+            ServerState::Running,
+            "suspend the server before changing its budget"
+        );
+        assert!(
+            budget <= self.period,
+            "new budget {budget} exceeds period {period}",
+            period = self.period
+        );
+        self.full_budget = budget;
+        self.remaining = self.remaining.min(budget);
+        self.state = if self.remaining > SimDuration::ZERO {
+            ServerState::Ready
+        } else {
+            ServerState::Depleted
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(period_ms: f64, budget_ms: f64) -> PeriodicServer {
+        PeriodicServer::new(
+            VcpuId(0),
+            SimDuration::from_ms(period_ms),
+            SimDuration::from_ms(budget_ms),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn new_server_is_ready_with_full_budget() {
+        let s = server(10.0, 4.0);
+        assert_eq!(s.state(), ServerState::Ready);
+        assert_eq!(s.remaining_budget(), SimDuration::from_ms(4.0));
+        assert_eq!(s.deadline(), SimTime::from_ms(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds period")]
+    fn budget_above_period_rejected() {
+        let _ = server(10.0, 11.0);
+    }
+
+    #[test]
+    fn run_and_deplete() {
+        let mut s = server(10.0, 4.0);
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(1.5));
+        assert_eq!(s.state(), ServerState::Ready);
+        assert_eq!(s.remaining_budget(), SimDuration::from_ms(2.5));
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(2.5));
+        assert_eq!(s.state(), ServerState::Depleted);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds remaining budget")]
+    fn overconsumption_panics() {
+        let mut s = server(10.0, 4.0);
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(5.0));
+    }
+
+    #[test]
+    fn replenish_advances_one_period() {
+        let mut s = server(10.0, 4.0);
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(4.0));
+        s.replenish(SimTime::from_ms(10.0));
+        assert_eq!(s.state(), ServerState::Ready);
+        assert_eq!(s.remaining_budget(), SimDuration::from_ms(4.0));
+        assert_eq!(s.release(), SimTime::from_ms(10.0));
+        assert_eq!(s.deadline(), SimTime::from_ms(20.0));
+    }
+
+    #[test]
+    fn replenish_skips_idle_periods_keeping_alignment() {
+        let mut s = server(10.0, 4.0);
+        // Replenished late, at t = 35: window must advance to [30, 40),
+        // staying aligned to multiples of the period.
+        s.replenish(SimTime::from_ms(35.0));
+        assert_eq!(s.release(), SimTime::from_ms(30.0));
+        assert_eq!(s.deadline(), SimTime::from_ms(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before deadline")]
+    fn early_replenish_panics() {
+        let mut s = server(10.0, 4.0);
+        s.replenish(SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn release_synchronization_shifts_window() {
+        let mut s = server(10.0, 4.0);
+        s.synchronize_release(SimTime::from_ms(3.0));
+        assert_eq!(s.release(), SimTime::from_ms(3.0));
+        assert_eq!(s.deadline(), SimTime::from_ms(13.0));
+        // Later replenishments stay aligned to 3 + 10k.
+        s.replenish(SimTime::from_ms(27.0));
+        assert_eq!(s.release(), SimTime::from_ms(23.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "after execution started")]
+    fn late_synchronization_panics() {
+        let mut s = server(10.0, 4.0);
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(1.0));
+        s.synchronize_release(SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn budget_changes_apply_with_cap() {
+        let mut s = server(10.0, 4.0);
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(1.0)); // 3.0 left
+                                                   // Shrink below the remaining: capped immediately.
+        s.set_full_budget(SimDuration::from_ms(2.0));
+        assert_eq!(s.remaining_budget(), SimDuration::from_ms(2.0));
+        // Grow: remaining unchanged this period, full from next.
+        s.set_full_budget(SimDuration::from_ms(6.0));
+        assert_eq!(s.remaining_budget(), SimDuration::from_ms(2.0));
+        s.start_running();
+        s.stop_running(SimDuration::from_ms(2.0));
+        assert_eq!(s.state(), ServerState::Depleted);
+        s.replenish(SimTime::from_ms(10.0));
+        assert_eq!(s.remaining_budget(), SimDuration::from_ms(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "suspend the server")]
+    fn budget_change_while_running_panics() {
+        let mut s = server(10.0, 4.0);
+        s.start_running();
+        s.set_full_budget(SimDuration::from_ms(2.0));
+    }
+
+    #[test]
+    fn zero_budget_server_is_depleted() {
+        let s = server(10.0, 0.0);
+        assert_eq!(s.state(), ServerState::Depleted);
+    }
+}

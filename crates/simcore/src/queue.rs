@@ -1,0 +1,201 @@
+//! The deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vc2m_model::SimTime;
+
+/// A pending event: fire time, caller-supplied priority key (smaller
+/// fires first among simultaneous events), insertion sequence number,
+/// and the payload.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    priority: u64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Entry<E> {
+    fn cmp_key(&self) -> (SimTime, u64, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+///
+/// Events that share a fire time are delivered in ascending `priority`
+/// order, and among equal priorities in insertion order. Popping never
+/// goes backwards in time relative to previously popped events; the
+/// queue tracks the *current time* (time of the last popped event) and
+/// rejects pushes into the past, which would indicate a causality bug
+/// in the caller.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at `time` with tie-break `priority`
+    /// (smaller fires first among simultaneous events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the queue's current time:
+    /// scheduling into the past is always a bug in a causal simulation.
+    pub fn push(&mut self, time: SimTime, priority: u64, payload: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event at {time} before current time {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            priority,
+            seq,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event as
+    /// `(time, priority, payload)`, advancing the queue's current time.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.priority, entry.payload))
+    }
+
+    /// The fire time of the earliest pending event, if any, without
+    /// removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(3.0), 0, 'c');
+        q.push(SimTime::from_ms(1.0), 0, 'a');
+        q.push(SimTime::from_ms(2.0), 0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_obey_priority_then_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        q.push(t, 5, "low-prio-first-inserted");
+        q.push(t, 1, "high-prio");
+        q.push(t, 5, "low-prio-second-inserted");
+        assert_eq!(q.pop().unwrap().2, "high-prio");
+        assert_eq!(q.pop().unwrap().2, "low-prio-first-inserted");
+        assert_eq!(q.pop().unwrap().2, "low-prio-second-inserted");
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_ms(2.0), 0, ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(2.0));
+        // Scheduling at the current instant is allowed (zero-delay events).
+        q.push(SimTime::from_ms(2.0), 0, ());
+        assert_eq!(q.pop().unwrap().0, SimTime::from_ms(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(2.0), 0, ());
+        q.pop();
+        q.push(SimTime::from_ms(1.0), 0, ());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ms(4.0), 0, 7);
+        q.push(SimTime::from_ms(3.0), 0, 8);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(3.0)));
+        assert_eq!(q.len(), 2, "peek must not consume");
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = || {
+            let mut q = EventQueue::new();
+            for i in 0..100u64 {
+                q.push(SimTime((i * 7) % 13), 0, i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,157 @@
+//! Bounded trace recorder for simulator debugging and probing.
+
+use std::collections::VecDeque;
+use std::fmt;
+use vc2m_model::SimTime;
+
+/// One trace record: a timestamp and a caller-defined label/payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord<T> {
+    /// Simulated time at which the record was emitted.
+    pub time: SimTime,
+    /// The recorded payload (e.g. a scheduler event description).
+    pub payload: T,
+}
+
+impl<T: fmt::Display> fmt::Display for TraceRecord<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.time, self.payload)
+    }
+}
+
+/// A bounded ring buffer of trace records.
+///
+/// The hypervisor simulator can emit hundreds of thousands of events
+/// per simulated second; the buffer keeps only the most recent
+/// `capacity` records so that tracing can stay enabled without
+/// unbounded memory growth. A capacity of 0 disables recording
+/// entirely (all pushes are dropped at negligible cost).
+#[derive(Debug, Clone)]
+pub struct TraceBuffer<T> {
+    records: VecDeque<TraceRecord<T>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Creates a buffer holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled buffer that records nothing.
+    pub fn disabled() -> Self {
+        TraceBuffer::with_capacity(0)
+    }
+
+    /// Whether the buffer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, payload });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records dropped (evicted or discarded while disabled).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<T>> {
+        self.records.iter()
+    }
+
+    /// Clears all retained records (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl<T> Default for TraceBuffer<T> {
+    /// A default buffer retains 4096 records.
+    fn default() -> Self {
+        TraceBuffer::with_capacity(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut buf = TraceBuffer::with_capacity(10);
+        buf.push(SimTime::from_ms(1.0), "a");
+        buf.push(SimTime::from_ms(2.0), "b");
+        let labels: Vec<&str> = buf.iter().map(|r| r.payload).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut buf = TraceBuffer::with_capacity(2);
+        buf.push(SimTime::from_ms(1.0), 1);
+        buf.push(SimTime::from_ms(2.0), 2);
+        buf.push(SimTime::from_ms(3.0), 3);
+        let kept: Vec<i32> = buf.iter().map(|r| r.payload).collect();
+        assert_eq!(kept, vec![2, 3]);
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_buffer_drops_everything() {
+        let mut buf = TraceBuffer::disabled();
+        assert!(!buf.is_enabled());
+        buf.push(SimTime::ZERO, "x");
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut buf = TraceBuffer::with_capacity(1);
+        buf.push(SimTime::ZERO, 1);
+        buf.push(SimTime::ZERO, 2);
+        assert_eq!(buf.dropped(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn record_display() {
+        let rec = TraceRecord {
+            time: SimTime::from_ms(1.5),
+            payload: "ctx-switch",
+        };
+        let s = rec.to_string();
+        assert!(s.contains("ctx-switch"));
+        assert!(s.contains("1.5"));
+    }
+}

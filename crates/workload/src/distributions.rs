@@ -1,0 +1,136 @@
+//! Task-utilization distributions from the paper's evaluation.
+
+use rand::Rng;
+use std::fmt;
+
+/// The four task-utilization distributions of Section 5.1.
+///
+/// * `Uniform` — utilization uniform in \[0.1, 0.4\].
+/// * The three bimodal variants draw from \[0.1, 0.4\] (light tasks)
+///   or \[0.5, 0.9\] (heavy tasks) with heavy-task probabilities of
+///   1/9 (light), 3/9 (medium) and 5/9 (heavy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UtilizationDist {
+    /// Uniform over \[0.1, 0.4\].
+    Uniform,
+    /// Bimodal: heavy with probability 1/9.
+    BimodalLight,
+    /// Bimodal: heavy with probability 3/9.
+    BimodalMedium,
+    /// Bimodal: heavy with probability 5/9.
+    BimodalHeavy,
+}
+
+/// Light-task utilization range, shared by all distributions.
+const LIGHT: (f64, f64) = (0.1, 0.4);
+/// Heavy-task utilization range for the bimodal distributions.
+const HEAVY: (f64, f64) = (0.5, 0.9);
+
+impl UtilizationDist {
+    /// All four distributions.
+    pub const ALL: [UtilizationDist; 4] = [
+        UtilizationDist::Uniform,
+        UtilizationDist::BimodalLight,
+        UtilizationDist::BimodalMedium,
+        UtilizationDist::BimodalHeavy,
+    ];
+
+    /// Probability that a task is heavy.
+    pub fn heavy_probability(self) -> f64 {
+        match self {
+            UtilizationDist::Uniform => 0.0,
+            UtilizationDist::BimodalLight => 1.0 / 9.0,
+            UtilizationDist::BimodalMedium => 3.0 / 9.0,
+            UtilizationDist::BimodalHeavy => 5.0 / 9.0,
+        }
+    }
+
+    /// Draws one task utilization.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let heavy = rng.gen::<f64>() < self.heavy_probability();
+        let (lo, hi) = if heavy { HEAVY } else { LIGHT };
+        rng.gen_range(lo..hi)
+    }
+
+    /// The distribution's name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            UtilizationDist::Uniform => "uniform",
+            UtilizationDist::BimodalLight => "bimodal-light",
+            UtilizationDist::BimodalMedium => "bimodal-medium",
+            UtilizationDist::BimodalHeavy => "bimodal-heavy",
+        }
+    }
+}
+
+impl fmt::Display for UtilizationDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_stays_in_light_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = UtilizationDist::Uniform.sample(&mut rng);
+            assert!((0.1..0.4).contains(&u), "got {u}");
+        }
+    }
+
+    #[test]
+    fn bimodal_samples_stay_in_union_of_ranges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for dist in UtilizationDist::ALL {
+            for _ in 0..1000 {
+                let u = dist.sample(&mut rng);
+                assert!(
+                    (0.1..0.4).contains(&u) || (0.5..0.9).contains(&u),
+                    "{dist}: got {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_fraction_matches_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for dist in [
+            UtilizationDist::BimodalLight,
+            UtilizationDist::BimodalMedium,
+            UtilizationDist::BimodalHeavy,
+        ] {
+            let n = 20_000;
+            let heavy = (0..n).filter(|_| dist.sample(&mut rng) >= 0.5).count() as f64;
+            let observed = heavy / n as f64;
+            let expected = dist.heavy_probability();
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "{dist}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_of_heaviness() {
+        assert!(
+            UtilizationDist::BimodalLight.heavy_probability()
+                < UtilizationDist::BimodalMedium.heavy_probability()
+        );
+        assert!(
+            UtilizationDist::BimodalMedium.heavy_probability()
+                < UtilizationDist::BimodalHeavy.heavy_probability()
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(UtilizationDist::BimodalLight.to_string(), "bimodal-light");
+    }
+}

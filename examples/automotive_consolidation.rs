@@ -1,0 +1,140 @@
+//! Automotive consolidation: the paper's motivating scenario.
+//!
+//! Virtualization lets an OEM consolidate several electronic control
+//! units (ECUs) onto one multicore processor. Here three subsystems —
+//! each previously a dedicated box — become VMs on a single 4-core
+//! platform:
+//!
+//! * **powertrain** — short-period control loops, cache-light;
+//! * **ADAS** — vision/sensor-fusion tasks, strongly memory-bound
+//!   (canneal/streamcluster-like WCET surfaces);
+//! * **infotainment** — fewer but heavier soft tasks.
+//!
+//! The example asks each of the five evaluated solutions whether the
+//! consolidation fits, shows the resource split the vC²M heuristic
+//! chose, and validates the winning allocation in simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example automotive_consolidation
+//! ```
+
+use vc2m::prelude::*;
+
+/// Builds a task from a benchmark profile: the WCET surface is the
+/// benchmark's slowdown surface scaled to the task's reference WCET.
+fn profiled_task(
+    id: usize,
+    period_ms: f64,
+    reference_wcet_ms: f64,
+    benchmark: ParsecBenchmark,
+    space: &vc2m::model::ResourceSpace,
+) -> Task {
+    let surface = benchmark
+        .profile()
+        .slowdown_surface(space)
+        .scaled(reference_wcet_ms);
+    Task::new(TaskId(id), period_ms, surface).expect("valid task parameters")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::platform_a();
+    let space = platform.resources();
+    println!("consolidating three ECU subsystems onto: {platform}\n");
+
+    // Powertrain VM: 100 ms control loops, compute-bound.
+    let powertrain: TaskSet = vec![
+        profiled_task(0, 100.0, 8.0, ParsecBenchmark::Swaptions, &space),
+        profiled_task(1, 100.0, 6.0, ParsecBenchmark::Blackscholes, &space),
+        profiled_task(2, 200.0, 18.0, ParsecBenchmark::Bodytrack, &space),
+        profiled_task(3, 200.0, 12.0, ParsecBenchmark::Swaptions, &space),
+    ]
+    .into_iter()
+    .collect();
+
+    // ADAS VM: memory-bound perception pipeline.
+    let adas: TaskSet = vec![
+        profiled_task(4, 100.0, 22.0, ParsecBenchmark::Streamcluster, &space),
+        profiled_task(5, 200.0, 40.0, ParsecBenchmark::Canneal, &space),
+        profiled_task(6, 200.0, 30.0, ParsecBenchmark::Facesim, &space),
+        profiled_task(7, 400.0, 48.0, ParsecBenchmark::Fluidanimate, &space),
+    ]
+    .into_iter()
+    .collect();
+
+    // Infotainment VM: heavier, slower media tasks.
+    let infotainment: TaskSet = vec![
+        profiled_task(8, 400.0, 90.0, ParsecBenchmark::X264, &space),
+        profiled_task(9, 800.0, 170.0, ParsecBenchmark::Vips, &space),
+    ]
+    .into_iter()
+    .collect();
+
+    let vms = vec![
+        VmSpec::new(VmId(0), powertrain.clone())?,
+        VmSpec::new(VmId(1), adas.clone())?,
+        VmSpec::new(VmId(2), infotainment.clone())?,
+    ];
+    let all_tasks: TaskSet = powertrain
+        .into_iter()
+        .chain(adas)
+        .chain(infotainment)
+        .collect();
+    println!(
+        "total reference utilization: {:.3} over {} tasks in {} VMs\n",
+        all_tasks.reference_utilization(),
+        all_tasks.len(),
+        vms.len()
+    );
+
+    // Which solutions can consolidate this?
+    println!("{:<40} verdict", "solution");
+    let mut winner = None;
+    for solution in Solution::ALL {
+        let outcome = solution.allocate(&vms, &platform, 7);
+        println!(
+            "{:<40} {}",
+            solution.name(),
+            if outcome.is_schedulable() {
+                "schedulable"
+            } else {
+                "NOT schedulable"
+            }
+        );
+        if solution == Solution::HeuristicFlattening {
+            winner = outcome.into_allocation();
+        }
+    }
+
+    let allocation = winner.expect("vC2M consolidates this workload");
+    println!("\nvC2M (flattening) resource split:");
+    for (k, core) in allocation.cores().iter().enumerate() {
+        let vms_on_core: std::collections::BTreeSet<String> = core
+            .vcpus
+            .iter()
+            .map(|&vi| allocation.vcpus()[vi].vm().to_string())
+            .collect();
+        println!(
+            "  core {k}: {} cache + {} BW partitions, u = {:.3}, VMs {:?}",
+            core.alloc.cache,
+            core.alloc.bandwidth,
+            allocation.core_utilization(k),
+            vms_on_core
+        );
+    }
+
+    // Prove it holds up at run time.
+    let report =
+        HypervisorSim::new(&platform, &allocation, &all_tasks, SimConfig::default())?.run();
+    assert!(
+        report.all_deadlines_met(),
+        "{:?}",
+        report.deadline_misses.first()
+    );
+    println!(
+        "\nsimulated 10 s: {} jobs, 0 deadline misses, {} VCPU context switches",
+        report.jobs_completed, report.context_switches
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Dynamic reallocation: a vCAT-style mode change at run time.
+//!
+//! vC²M builds on vCAT, whose defining capability is *dynamic* cache
+//! management — partitions can be re-assigned while the system runs.
+//! This example drives the simulated hypervisor through a mode change:
+//!
+//! 1. a cache-hungry control task starts on a core with the minimum
+//!    allocation and misses deadlines;
+//! 2. at t = 30 ms the hypervisor re-programs the core (14 cache + 8
+//!    bandwidth partitions), shrinking the task's WCET;
+//! 3. the backlog drains and every subsequent deadline is met.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mode_change
+//! ```
+
+use vc2m::alloc::{CoreAssignment, SystemAllocation};
+use vc2m::model::{BudgetSurface, SimDuration, SimTime};
+use vc2m::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::platform_a();
+    let space = platform.resources();
+
+    // WCET 12 ms at the minimum allocation — hopeless for a 10 ms
+    // period — shrinking to 4 ms with the full cache.
+    let surface = WcetSurface::from_fn(&space, |a| {
+        4.0 + 8.0 * (1.0 - f64::from(a.cache - 2) / 18.0)
+    })?;
+    let task = Task::new(TaskId(0), 10.0, surface)?;
+    let tasks: TaskSet = std::iter::once(task).collect();
+    let vcpu = VcpuSpec::new(
+        VcpuId(0),
+        VmId(0),
+        10.0,
+        BudgetSurface::flat(&space, 10.0)?, // server owns the core
+        vec![TaskId(0)],
+    )?;
+    let allocation = SystemAllocation::new(
+        vec![vcpu],
+        vec![CoreAssignment {
+            vcpus: vec![0],
+            alloc: Alloc::new(2, 1),
+        }],
+    );
+
+    println!("task: period 10 ms, WCET 12 ms at (c=2,b=1) -> 6.7 ms at (c=14,b=8)\n");
+
+    let switch_ms = 30.0;
+    let report = HypervisorSim::new(
+        &platform,
+        &allocation,
+        &tasks,
+        SimConfig::default().with_horizon(SimDuration::from_ms(500.0)),
+    )?
+    .with_reallocation(switch_ms, 0, Alloc::new(14, 8))
+    .run();
+
+    let switch = SimTime::from_ms(switch_ms);
+    let before = report
+        .deadline_misses
+        .iter()
+        .filter(|m| m.deadline <= switch)
+        .count();
+    let last_miss = report
+        .deadline_misses
+        .iter()
+        .map(|m| m.deadline.as_ms())
+        .fold(0.0f64, f64::max);
+    println!("misses before the mode change (t <= {switch_ms} ms): {before}");
+    println!(
+        "total misses: {} (last at {last_miss:.1} ms, backlog draining)",
+        report.deadline_misses.len()
+    );
+    println!(
+        "jobs completed over 500 ms: {} / {}",
+        report.jobs_completed, report.jobs_released
+    );
+    assert!(
+        last_miss < 250.0,
+        "recovery must complete well before the horizon"
+    );
+    println!("\nafter the vCAT-style re-programming, the task recovers and stays on time");
+    Ok(())
+}

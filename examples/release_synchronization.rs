@@ -1,0 +1,99 @@
+//! Release synchronization (Section 3.2): why the hypercall matters.
+//!
+//! Under flattening, a VCPU's budget equals its task's WCET exactly —
+//! there is *no slack*. The VCPU (a periodic server) is guaranteed its
+//! budget Θ somewhere inside each of *its own* periods; only when the
+//! task's release grid is aligned with the VCPU's does that guarantee
+//! transfer to the task. If the grids are offset, the supply a task
+//! window sees can fall short whenever the core's supply pattern
+//! shifts from period to period — which it does as soon as a
+//! competing VCPU with a non-harmonic period shares the core.
+//!
+//! vC²M fixes this with a hypercall: the guest passes the delay `L`
+//! between the task's initialization and its first release, and the
+//! hypervisor shifts the VCPU's first release to match (Theorem 1).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example release_synchronization
+//! ```
+
+use vc2m::alloc::{CoreAssignment, SystemAllocation};
+use vc2m::model::{BudgetSurface, SimDuration};
+use vc2m::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::platform_a();
+    let space = platform.resources();
+
+    // The victim: period 10 ms, WCET 4 ms, first released 3 ms after
+    // initialization. Flattening gives it Π = 10, Θ = 4 — zero slack.
+    let victim = Task::new(TaskId(0), 10.0, WcetSurface::flat(&space, 4.0)?)?;
+    // The competitor: a non-harmonic neighbor (period 7 ms) on the
+    // same core. Its presence makes the core's EDF supply pattern
+    // drift from period to period.
+    let competitor = Task::new(TaskId(1), 7.0, WcetSurface::flat(&space, 4.1)?)?;
+    let tasks: TaskSet = vec![victim, competitor].into_iter().collect();
+
+    let vcpus = vec![
+        VcpuSpec::new(
+            VcpuId(0),
+            VmId(0),
+            10.0,
+            BudgetSurface::flat(&space, 4.0)?,
+            vec![TaskId(0)],
+        )?,
+        VcpuSpec::new(
+            VcpuId(1),
+            VmId(0),
+            7.0,
+            BudgetSurface::flat(&space, 4.1)?,
+            vec![TaskId(1)],
+        )?,
+    ];
+    let allocation = SystemAllocation::new(
+        vcpus,
+        vec![CoreAssignment {
+            vcpus: vec![0, 1],
+            alloc: Alloc::new(10, 10),
+        }],
+    );
+    println!(
+        "core utilization: {:.3} (EDF-schedulable at the VCPU level)\n",
+        allocation.core_utilization(0)
+    );
+
+    let offset_ms = 3.0;
+    println!("victim task: period 10 ms, WCET 4 ms, first release at {offset_ms} ms");
+    println!("competitor VCPU: period 7 ms, budget 4.1 ms (non-harmonic neighbor)\n");
+
+    for (label, synchronized) in [
+        ("WITHOUT synchronization", false),
+        ("WITH synchronization (hypercall)", true),
+    ] {
+        let config = SimConfig::default()
+            .with_horizon(SimDuration::from_ms(10_000.0))
+            .with_release_synchronization(synchronized);
+        let report = HypervisorSim::new(&platform, &allocation, &tasks, config)?
+            .with_task_offset(TaskId(0), offset_ms)
+            .run();
+        let victim_misses = report
+            .deadline_misses
+            .iter()
+            .filter(|m| m.task == TaskId(0))
+            .count();
+        let worst = report.worst_response_ms(TaskId(0)).unwrap_or(f64::NAN);
+        println!(
+            "{label:<34}: {victim_misses} victim deadline misses, worst response {worst:.3} ms"
+        );
+    }
+
+    println!(
+        "\nwith the grids aligned, the VCPU-level guarantee (Θ within each server\n\
+         period) is exactly the task-level guarantee, so the zero-overhead budget\n\
+         suffices (Theorem 1); without it the task's windows straddle two server\n\
+         periods and can come up short"
+    );
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! End-to-end pipeline tests: generate → allocate → verify → simulate.
+//!
+//! Every allocation any solution declares schedulable must (a) satisfy
+//! all structural invariants (partition budgets, disjointness, single
+//! assignment) and (b) produce zero deadline misses when executed on
+//! the simulated hypervisor.
+
+use vc2m::model::SimDuration;
+use vc2m::prelude::*;
+
+/// Simulate long enough to cover two hyperperiods of any generated
+/// workload (periods ≤ 1100 ms, harmonic).
+fn sim_config() -> SimConfig {
+    SimConfig::default().with_horizon(SimDuration::from_ms(2500.0))
+}
+
+fn generated_workload(
+    utilization: f64,
+    dist: UtilizationDist,
+    seed: u64,
+) -> (TaskSet, Vec<VmSpec>) {
+    let platform = Platform::platform_a();
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(utilization, dist),
+        seed,
+    );
+    let tasks = generator.generate();
+    let vms = vec![VmSpec::new(VmId(0), tasks.clone()).expect("non-empty")];
+    (tasks, vms)
+}
+
+#[test]
+fn schedulable_allocations_verify_and_meet_deadlines() {
+    let platform = Platform::platform_a();
+    let mut simulated = 0;
+    for seed in 0..4 {
+        let (tasks, vms) = generated_workload(0.8, UtilizationDist::Uniform, seed);
+        for solution in Solution::ALL {
+            let Some(allocation) = solution.allocate(&vms, &platform, seed).into_allocation()
+            else {
+                continue;
+            };
+            allocation
+                .verify(&platform)
+                .unwrap_or_else(|e| panic!("{solution} (seed {seed}): invalid allocation: {e}"));
+            let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+                .expect("allocation is realizable")
+                .run();
+            assert!(
+                report.all_deadlines_met(),
+                "{solution} (seed {seed}): {} misses, first: {:?}",
+                report.deadline_misses.len(),
+                report.deadline_misses.first()
+            );
+            assert!(report.jobs_completed > 0);
+            simulated += 1;
+        }
+    }
+    assert!(
+        simulated >= 8,
+        "too few schedulable cases exercised: {simulated}"
+    );
+}
+
+#[test]
+fn bimodal_workloads_also_run_cleanly() {
+    let platform = Platform::platform_a();
+    for dist in [UtilizationDist::BimodalLight, UtilizationDist::BimodalHeavy] {
+        let (tasks, vms) = generated_workload(0.6, dist, 11);
+        for solution in [
+            Solution::HeuristicFlattening,
+            Solution::HeuristicOverheadFree,
+        ] {
+            let Some(allocation) = solution.allocate(&vms, &platform, 11).into_allocation() else {
+                continue;
+            };
+            let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+                .expect("realizable")
+                .run();
+            assert!(
+                report.all_deadlines_met(),
+                "{solution} on {dist}: {:?}",
+                report.deadline_misses.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_vm_workloads_allocate_and_run() {
+    let platform = Platform::platform_b();
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(1.2, UtilizationDist::Uniform).with_vm_count(3),
+        21,
+    );
+    let vms = generator.generate_vms();
+    assert!(vms.len() > 1, "want a real multi-VM workload");
+    let tasks: TaskSet = vms
+        .iter()
+        .flat_map(|vm| vm.tasks().iter().cloned())
+        .collect();
+    let allocation = Solution::HeuristicFlattening
+        .allocate(&vms, &platform, 21)
+        .into_allocation()
+        .expect("utilization 1.2 on 6 cores under flattening");
+    allocation.verify(&platform).unwrap();
+    // VCPUs from different VMs may share cores; isolation is per core,
+    // not per VM, exactly as in the paper.
+    let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+        .expect("realizable")
+        .run();
+    assert!(
+        report.all_deadlines_met(),
+        "{:?}",
+        report.deadline_misses.first()
+    );
+}
+
+#[test]
+fn platform_c_smaller_cache_is_harder() {
+    // The same generator settings on Platform C (12 partitions) can
+    // only do worse than on Platform A (20 partitions, same cores).
+    let a = Platform::platform_a();
+    let c = Platform::platform_c();
+    let mut sched_a = 0;
+    let mut sched_c = 0;
+    for seed in 0..6 {
+        let mut generator = TasksetGenerator::new(
+            a.resources(),
+            TasksetConfig::new(1.6, UtilizationDist::Uniform),
+            seed,
+        );
+        let tasks = generator.generate();
+        let vms_a = vec![VmSpec::new(VmId(0), tasks.clone()).unwrap()];
+        if Solution::HeuristicFlattening
+            .allocate(&vms_a, &a, seed)
+            .is_schedulable()
+        {
+            sched_a += 1;
+        }
+        // Regenerate for C's resource space (surfaces are
+        // platform-specific).
+        let mut generator_c = TasksetGenerator::new(
+            c.resources(),
+            TasksetConfig::new(1.6, UtilizationDist::Uniform),
+            seed,
+        );
+        let tasks_c = generator_c.generate();
+        let vms_c = vec![VmSpec::new(VmId(0), tasks_c).unwrap()];
+        if Solution::HeuristicFlattening
+            .allocate(&vms_c, &c, seed)
+            .is_schedulable()
+        {
+            sched_c += 1;
+        }
+    }
+    assert!(
+        sched_a >= sched_c,
+        "platform A ({sched_a}) should do at least as well as C ({sched_c})"
+    );
+}
+
+#[test]
+fn unschedulable_verdicts_are_mutual() {
+    // A hopeless workload: nobody may claim it schedulable.
+    let platform = Platform::platform_a();
+    let (_, vms) = generated_workload(4.5, UtilizationDist::Uniform, 3);
+    for solution in Solution::ALL {
+        assert!(
+            !solution.allocate(&vms, &platform, 3).is_schedulable(),
+            "{solution} scheduled utilization 4.5 on 4 cores"
+        );
+    }
+}
+
+#[test]
+fn auto_solution_handles_mixed_vcpu_caps() {
+    // One VM with generous caps (flattened) and one whose cap forces
+    // the well-regulated fallback, allocated together and validated in
+    // simulation.
+    let platform = Platform::platform_a();
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(0.8, UtilizationDist::Uniform).with_vm_count(2),
+        31,
+    );
+    let mut vms = generator.generate_vms();
+    assert!(vms.len() == 2, "want two VMs");
+    // Cap the second VM below its task count.
+    let capped = &vms[1];
+    if capped.tasks().len() >= 2 {
+        let cap = capped.tasks().len() - 1;
+        vms[1] = VmSpec::with_max_vcpus(capped.id(), capped.tasks().clone(), cap).unwrap();
+    }
+    let tasks: TaskSet = vms
+        .iter()
+        .flat_map(|vm| vm.tasks().iter().cloned())
+        .collect();
+    let allocation = vc2m::alloc::Solution::Auto
+        .allocate(&vms, &platform, 31)
+        .into_allocation()
+        .expect("light workload is schedulable under auto");
+    allocation.verify(&platform).unwrap();
+    // The capped VM must not exceed its cap.
+    let capped_vcpus = allocation
+        .vcpus()
+        .iter()
+        .filter(|v| v.vm() == vms[1].id())
+        .count();
+    assert!(capped_vcpus <= vms[1].max_vcpus());
+    let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+        .expect("realizable")
+        .run();
+    assert!(
+        report.all_deadlines_met(),
+        "{:?}",
+        report.deadline_misses.first()
+    );
+}

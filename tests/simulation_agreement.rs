@@ -1,0 +1,180 @@
+//! Analysis ↔ simulation agreement tests.
+//!
+//! The analyses' *schedulable* verdicts are safe claims about runtime
+//! behavior; the simulator is the ground truth. These tests check the
+//! two directions that are checkable:
+//!
+//! * **soundness** — every allocation declared schedulable runs with
+//!   zero deadline misses (also exercised per-solution in
+//!   `end_to_end.rs`; here at tighter utilizations and on all three
+//!   platforms);
+//! * **sharpness** — verdicts are not vacuously conservative: budgets
+//!   trimmed below the analysis' minimum do cause misses.
+
+use vc2m::alloc::{CoreAssignment, SystemAllocation};
+use vc2m::model::{BudgetSurface, SimDuration, VcpuSpec};
+use vc2m::prelude::*;
+
+fn sim_config() -> SimConfig {
+    SimConfig::default().with_horizon(SimDuration::from_ms(2500.0))
+}
+
+#[test]
+fn tight_allocations_hold_up_on_every_platform() {
+    for (platform, name) in [
+        (Platform::platform_a(), "A"),
+        (Platform::platform_b(), "B"),
+        (Platform::platform_c(), "C"),
+    ] {
+        // Push near each platform's vC²M breakdown region.
+        let utilization = 0.3 * platform.cores() as f64;
+        for seed in 0..3 {
+            let mut generator = TasksetGenerator::new(
+                platform.resources(),
+                TasksetConfig::new(utilization, UtilizationDist::Uniform),
+                seed,
+            );
+            let tasks = generator.generate();
+            let vms = vec![VmSpec::new(VmId(0), tasks.clone()).unwrap()];
+            let Some(allocation) = Solution::HeuristicFlattening
+                .allocate(&vms, &platform, seed)
+                .into_allocation()
+            else {
+                continue;
+            };
+            let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+                .expect("realizable")
+                .run();
+            assert!(
+                report.all_deadlines_met(),
+                "platform {name}, seed {seed}: {:?}",
+                report.deadline_misses.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn trimming_budgets_below_analysis_minimum_breaks_deadlines() {
+    // Theorem 1 budgets are exact: shaving 10% off every budget must
+    // produce misses for a task that actually uses its WCET.
+    let platform = Platform::platform_a();
+    let space = platform.resources();
+    let tasks: TaskSet = (0..2)
+        .map(|i| Task::new(TaskId(i), 10.0, WcetSurface::flat(&space, 5.0).unwrap()).unwrap())
+        .collect();
+    let vms = vec![VmSpec::new(VmId(0), tasks.clone()).unwrap()];
+    let allocation = Solution::HeuristicFlattening
+        .allocate(&vms, &platform, 1)
+        .into_allocation()
+        .expect("two half-load tasks are schedulable");
+
+    // Rebuild the same allocation with budgets at 90%.
+    let trimmed_vcpus: Vec<VcpuSpec> = allocation
+        .vcpus()
+        .iter()
+        .map(|v| {
+            VcpuSpec::new(
+                v.id(),
+                v.vm(),
+                v.period(),
+                BudgetSurface::from_fn(v.budget_surface().space(), |a| v.budget(a) * 0.9).unwrap(),
+                v.tasks().to_vec(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let trimmed = SystemAllocation::new(
+        trimmed_vcpus,
+        allocation
+            .cores()
+            .iter()
+            .map(|c| CoreAssignment {
+                vcpus: c.vcpus.clone(),
+                alloc: c.alloc,
+            })
+            .collect(),
+    );
+    let report = HypervisorSim::new(&platform, &trimmed, &tasks, sim_config())
+        .expect("still realizable")
+        .run();
+    assert!(
+        !report.all_deadlines_met(),
+        "90% budgets should not suffice for full-WCET jobs"
+    );
+}
+
+#[test]
+fn allocation_dependent_wcets_are_respected_by_the_simulator() {
+    // A task that is infeasible without cache but light with it: the
+    // simulator must execute it with the WCET of its core's actual
+    // allocation, so a cache-rich allocation meets deadlines even
+    // though the worst corner would not.
+    let platform = Platform::platform_a();
+    let space = platform.resources();
+    // WCET 26 ms at the minimum allocation (exceeds the 20 ms period)
+    // shrinking to 6 ms with full cache: some cache grant is mandatory.
+    let surface = WcetSurface::from_fn(&space, |a| {
+        6.0 + 20.0 * (1.0 - f64::from(a.cache - 2) / 18.0)
+    })
+    .unwrap();
+    let task = Task::new(TaskId(0), 20.0, surface).unwrap();
+    let tasks: TaskSet = std::iter::once(task).collect();
+    let vms = vec![VmSpec::new(VmId(0), tasks.clone()).unwrap()];
+    let allocation = Solution::HeuristicFlattening
+        .allocate(&vms, &platform, 2)
+        .into_allocation()
+        .expect("schedulable with enough cache");
+    // The chosen core must hold enough cache to make the task fit.
+    let core = &allocation.cores()[0];
+    assert!(
+        core.alloc.cache > space.cache_min(),
+        "allocator should have granted extra cache, got {}",
+        core.alloc
+    );
+    let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+        .expect("realizable")
+        .run();
+    assert!(
+        report.all_deadlines_met(),
+        "{:?}",
+        report.deadline_misses.first()
+    );
+}
+
+#[test]
+fn regulated_vcpus_pass_theorem_2_stress() {
+    // Assemble many harmonic tasks on few VCPUs via the overhead-free
+    // solution and simulate at high utilization: Theorem 2 promises
+    // zero misses as long as the analysis said yes.
+    let platform = Platform::platform_a();
+    for seed in 0..3 {
+        let mut generator = TasksetGenerator::new(
+            platform.resources(),
+            TasksetConfig::new(1.3, UtilizationDist::Uniform),
+            100 + seed,
+        );
+        let tasks = generator.generate();
+        let vms = vec![VmSpec::new(VmId(0), tasks.clone()).unwrap()];
+        let Some(allocation) = Solution::HeuristicOverheadFree
+            .allocate(&vms, &platform, seed)
+            .into_allocation()
+        else {
+            continue;
+        };
+        // The overhead-free solution really does pack several tasks
+        // per VCPU here.
+        assert!(
+            allocation.vcpus().iter().any(|v| v.tasks().len() > 1),
+            "expected multi-task VCPUs at utilization 1.3"
+        );
+        let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
+            .expect("realizable")
+            .run();
+        assert!(
+            report.all_deadlines_met(),
+            "seed {seed}: {:?}",
+            report.deadline_misses.first()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-solution ordering tests: the qualitative ranking the paper's
+//! evaluation establishes must hold on sampled workloads.
+//!
+//! The expected ordering (Figures 2 and 3):
+//!
+//! ```text
+//! Heuristic (flattening) ≈ Heuristic (overhead-free CSA)
+//!   ≫ { Heuristic (existing CSA), Evenly-partition (overhead-free) }
+//!   ≫ Baseline (existing CSA)
+//! ```
+
+use vc2m::prelude::*;
+use vc2m::sweep::{run_sweep, SweepConfig};
+
+fn count_schedulable(solution: Solution, utilization: f64, seeds: std::ops::Range<u64>) -> usize {
+    let platform = Platform::platform_a();
+    seeds
+        .filter(|&seed| {
+            let mut generator = TasksetGenerator::new(
+                platform.resources(),
+                TasksetConfig::new(utilization, UtilizationDist::Uniform),
+                seed,
+            );
+            let tasks = generator.generate();
+            let vms = vec![VmSpec::new(VmId(0), tasks).unwrap()];
+            solution.allocate(&vms, &platform, seed).is_schedulable()
+        })
+        .count()
+}
+
+#[test]
+fn vc2m_solutions_dominate_baseline_at_moderate_load() {
+    // At reference utilization 1.0 — 2× past the paper's baseline
+    // breakdown (~0.5) but well under vC²M's (≥1.3) — the gap is wide.
+    let flattening = count_schedulable(Solution::HeuristicFlattening, 1.0, 0..10);
+    let overhead_free = count_schedulable(Solution::HeuristicOverheadFree, 1.0, 0..10);
+    let baseline = count_schedulable(Solution::Baseline, 1.0, 0..10);
+    assert!(
+        flattening >= 9,
+        "flattening should schedule nearly everything at 1.0, got {flattening}/10"
+    );
+    assert!(
+        overhead_free >= 8,
+        "overhead-free should schedule nearly everything at 1.0, got {overhead_free}/10"
+    );
+    assert!(
+        baseline <= flattening.saturating_sub(3),
+        "baseline ({baseline}) should trail flattening ({flattening}) clearly"
+    );
+}
+
+#[test]
+fn overhead_free_tracks_flattening_closely() {
+    // Paper: only ~5% of tasksets separate the two vC²M variants.
+    let mut flattening_total = 0;
+    let mut overhead_free_total = 0;
+    for utilization in [0.8, 1.2] {
+        flattening_total += count_schedulable(Solution::HeuristicFlattening, utilization, 0..8);
+        overhead_free_total +=
+            count_schedulable(Solution::HeuristicOverheadFree, utilization, 0..8);
+    }
+    let gap = flattening_total.abs_diff(overhead_free_total);
+    assert!(
+        gap <= 3,
+        "the two vC²M variants should nearly coincide (flattening {flattening_total}, \
+         overhead-free {overhead_free_total})"
+    );
+}
+
+#[test]
+fn breakdown_utilizations_are_ordered() {
+    // A coarse sweep suffices to observe the breakdown ordering:
+    // baseline breaks first, the partial solutions next, vC²M last.
+    let mut config = SweepConfig::quick(Platform::platform_a(), UtilizationDist::Uniform);
+    config.tasksets_per_point = 6;
+    let results = run_sweep(&config);
+    let breakdown = |s: Solution| results.breakdown_utilization(s).unwrap_or(0.0);
+    let flattening = breakdown(Solution::HeuristicFlattening);
+    let baseline = breakdown(Solution::Baseline);
+    assert!(
+        flattening >= baseline + 0.4,
+        "flattening breakdown {flattening} vs baseline {baseline}"
+    );
+    // vC²M variants must dominate both partial solutions.
+    for partial in [Solution::HeuristicExisting, Solution::EvenlyPartition] {
+        assert!(
+            flattening >= breakdown(partial),
+            "flattening {flattening} vs {partial} {}",
+            breakdown(partial)
+        );
+    }
+}
+
+#[test]
+fn fractions_decrease_with_utilization() {
+    // Monotone trend (allowing small sampling noise): higher target
+    // utilization never makes scheduling much easier.
+    let mut config = SweepConfig::quick(Platform::platform_a(), UtilizationDist::Uniform)
+        .with_solutions(vec![Solution::HeuristicFlattening, Solution::Baseline]);
+    config.tasksets_per_point = 6;
+    let results = run_sweep(&config);
+    for solution in [Solution::HeuristicFlattening, Solution::Baseline] {
+        let fractions: Vec<f64> = (0..results.rows().len())
+            .map(|i| results.cell(i, solution).fraction())
+            .collect();
+        for w in fractions.windows(2) {
+            assert!(
+                w[1] <= w[0] + 0.34,
+                "{solution}: fraction jumped {w:?} (sampling noise bound exceeded)"
+            );
+        }
+        // And the endpoints are unambiguous.
+        assert!(fractions.first().unwrap() >= fractions.last().unwrap());
+    }
+}
+
+#[test]
+fn combining_both_ingredients_beats_each_alone() {
+    // The paper's point in Section 5.2: the heuristic allocation and
+    // the overhead-free analysis are each only half the story. At
+    // high utilization, Heuristic (overhead-free) must beat both
+    // Heuristic (existing) and Evenly-partition (overhead-free).
+    let combined = count_schedulable(Solution::HeuristicOverheadFree, 1.4, 0..10);
+    let analysis_only = count_schedulable(Solution::EvenlyPartition, 1.4, 0..10);
+    let heuristic_only = count_schedulable(Solution::HeuristicExisting, 1.4, 0..10);
+    assert!(
+        combined > analysis_only || analysis_only == 10,
+        "combined {combined} vs evenly-partition {analysis_only}"
+    );
+    assert!(
+        combined > heuristic_only || heuristic_only == 10,
+        "combined {combined} vs heuristic-existing {heuristic_only}"
+    );
+}
