@@ -25,8 +25,7 @@
 use crate::kmeans::kmeans;
 use crate::packing::{best_fit_open, sort_decreasing, Item};
 use crate::result::{AllocationOutcome, CoreAssignment, SystemAllocation};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use vc2m_rng::Rng;
 use vc2m_analysis::core_check::{core_schedulable, core_utilization, UTILIZATION_EPS};
 use vc2m_model::{Alloc, Platform, VcpuSpec};
 
@@ -54,7 +53,7 @@ impl Default for HeuristicConfig {
 ///
 /// Returns a schedulable [`SystemAllocation`] (using the fewest cores
 /// the heuristic could make work) or an unschedulable outcome.
-pub fn heuristic<R: Rng + ?Sized>(
+pub fn heuristic<R: Rng>(
     vcpus: Vec<VcpuSpec>,
     platform: &Platform,
     config: HeuristicConfig,
@@ -84,7 +83,7 @@ pub fn heuristic<R: Rng + ?Sized>(
 
         for _ in 0..config.max_permutations {
             let mut order: Vec<usize> = (0..clusters.len()).collect();
-            order.shuffle(rng);
+            rng.shuffle(&mut order);
             let mut assignment = pack_by_clusters(&vcpus, &clusters, &order, m);
 
             for _ in 0..config.max_balance_rounds {
@@ -328,8 +327,7 @@ pub fn evenly_partitioned(vcpus: Vec<VcpuSpec>, platform: &Platform) -> Allocati
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vc2m_rng::DetRng;
     use vc2m_model::{BudgetSurface, ResourceSpace, TaskId, VcpuId, VmId};
 
     fn space() -> ResourceSpace {
@@ -356,8 +354,8 @@ mod tests {
         VcpuSpec::new(VcpuId(id), VmId(0), period, surface, vec![TaskId(id)]).unwrap()
     }
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(2024)
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(2024)
     }
 
     #[test]
@@ -504,13 +502,13 @@ mod tests {
             vcpus.clone(),
             &platform,
             HeuristicConfig::default(),
-            &mut ChaCha8Rng::seed_from_u64(7),
+            &mut DetRng::seed_from_u64(7),
         );
         let b = heuristic(
             vcpus,
             &platform,
             HeuristicConfig::default(),
-            &mut ChaCha8Rng::seed_from_u64(7),
+            &mut DetRng::seed_from_u64(7),
         );
         assert_eq!(a, b);
     }

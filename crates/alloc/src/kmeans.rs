@@ -10,7 +10,7 @@
 //! initialization drives all randomness through the caller's RNG, and
 //! Lloyd iterations run to convergence or a fixed cap.
 
-use rand::Rng;
+use vc2m_rng::Rng;
 
 /// Maximum Lloyd iterations before giving up on convergence.
 const MAX_ITERATIONS: usize = 50;
@@ -64,7 +64,7 @@ impl Clustering {
 ///
 /// Panics if `k` is zero while points are non-empty, or if points have
 /// inconsistent dimensions.
-pub fn kmeans<R: Rng + ?Sized>(points: &[&[f64]], k: usize, rng: &mut R) -> Clustering {
+pub fn kmeans<R: Rng>(points: &[&[f64]], k: usize, rng: &mut R) -> Clustering {
     if points.is_empty() {
         return Clustering {
             assignment: Vec::new(),
@@ -138,7 +138,7 @@ pub fn kmeans<R: Rng + ?Sized>(points: &[&[f64]], k: usize, rng: &mut R) -> Clus
     Clustering { assignment, k }
 }
 
-fn init_plus_plus<R: Rng + ?Sized>(points: &[&[f64]], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+fn init_plus_plus<R: Rng>(points: &[&[f64]], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].to_vec());
     while centroids.len() < k {
@@ -155,7 +155,7 @@ fn init_plus_plus<R: Rng + ?Sized>(points: &[&[f64]], k: usize, rng: &mut R) -> 
         let chosen = if total <= 0.0 {
             rng.gen_range(0..points.len())
         } else {
-            let mut target = rng.gen::<f64>() * total;
+            let mut target = rng.gen_f64() * total;
             let mut chosen = points.len() - 1;
             for (i, w) in weights.iter().enumerate() {
                 if target < *w {
@@ -191,11 +191,10 @@ fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vc2m_rng::DetRng;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(17)
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(17)
     }
 
     #[test]
@@ -273,8 +272,8 @@ mod tests {
             .map(|i| vec![(i * i % 7) as f64, i as f64])
             .collect();
         let points: Vec<&[f64]> = raw.iter().map(|v| v.as_slice()).collect();
-        let a = kmeans(&points, 4, &mut ChaCha8Rng::seed_from_u64(5));
-        let b = kmeans(&points, 4, &mut ChaCha8Rng::seed_from_u64(5));
+        let a = kmeans(&points, 4, &mut DetRng::seed_from_u64(5));
+        let b = kmeans(&points, 4, &mut DetRng::seed_from_u64(5));
         assert_eq!(a, b);
     }
 

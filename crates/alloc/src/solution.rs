@@ -4,8 +4,7 @@ use crate::hypervisor_level::{evenly_partitioned, heuristic, HeuristicConfig};
 use crate::result::AllocationOutcome;
 use crate::vm_level::{self, VcpuSizing};
 use crate::AllocError;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vc2m_rng::DetRng;
 use std::fmt;
 use vc2m_analysis::flattening;
 use vc2m_model::{Alloc, Platform, VcpuSpec, VmSpec};
@@ -102,7 +101,7 @@ impl Solution {
         if vms.is_empty() {
             return Err(AllocError::NoVms);
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let vcpus = self.vm_level(vms, platform, &mut rng)?;
         Ok(match self {
             Solution::HeuristicFlattening
@@ -122,7 +121,7 @@ impl Solution {
         self,
         vms: &[VmSpec],
         platform: &Platform,
-        rng: &mut ChaCha8Rng,
+        rng: &mut DetRng,
     ) -> Result<Vec<VcpuSpec>, AllocError> {
         let mut vcpus: Vec<VcpuSpec> = Vec::new();
         let even = even_alloc(platform);
@@ -325,14 +324,14 @@ mod tests {
             .collect();
         // Uncapped VM: one VCPU per task.
         let open = VmSpec::new(VmId(0), tasks.clone()).unwrap();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let vcpus = Solution::Auto
             .vm_level(std::slice::from_ref(&open), &platform, &mut rng)
             .unwrap();
         assert_eq!(vcpus.len(), 6, "flattening path: one VCPU per task");
         // Capped VM (2 VCPUs for 6 tasks): the well-regulated fallback.
         let capped = VmSpec::with_max_vcpus(VmId(0), tasks, 2).unwrap();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let vcpus = Solution::Auto
             .vm_level(std::slice::from_ref(&capped), &platform, &mut rng)
             .unwrap();

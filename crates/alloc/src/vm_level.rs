@@ -18,7 +18,7 @@
 use crate::kmeans::kmeans;
 use crate::packing::{best_fit_open, sort_decreasing, Item};
 use crate::AllocError;
-use rand::Rng;
+use vc2m_rng::Rng;
 use vc2m_analysis::{existing, regulated};
 use vc2m_model::{Alloc, Task, TaskSet, VcpuId, VcpuSpec, VmSpec};
 
@@ -68,7 +68,7 @@ pub fn size_vcpu(
 ///
 /// Propagates analysis errors; `m = 0` or an empty VM is a caller bug
 /// and reported as [`AllocError::Analysis`] via the empty-taskset path.
-pub fn clustered<R: Rng + ?Sized>(
+pub fn clustered<R: Rng>(
     vm: &VmSpec,
     m: usize,
     sizing: VcpuSizing,
@@ -223,8 +223,7 @@ pub fn best_fit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vc2m_rng::DetRng;
     use vc2m_model::{Platform, ResourceSpace, TaskId, VmId, WcetSurface};
 
     fn space() -> ResourceSpace {
@@ -276,7 +275,7 @@ mod tests {
             .collect();
         tasks.extend((11..14).map(|i| sensitive_task(i, 200.0, 4.0, 0.05)));
         let vm = vm(tasks);
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
         for v in &vcpus {
             assert!(
@@ -293,7 +292,7 @@ mod tests {
             .map(|i| sensitive_task(i, 100.0, 10.0, if i < 4 { 0.1 } else { 2.0 }))
             .collect();
         let vm = vm(tasks);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
         assert!(!vcpus.is_empty() && vcpus.len() <= 4);
         let mut covered: Vec<usize> = vcpus
@@ -312,7 +311,7 @@ mod tests {
             .map(|i| sensitive_task(i, 100.0, 10.0, if i < 4 { 0.05 } else { 2.5 }))
             .collect();
         let vm = vm(tasks);
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         let vcpus = clustered(&vm, 2, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
         assert_eq!(vcpus.len(), 2);
         for v in &vcpus {
@@ -328,7 +327,7 @@ mod tests {
         // load.
         let tasks: Vec<Task> = (0..6).map(|i| flat_task(i, 100.0, 10.0)).collect();
         let vm = vm(tasks);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let vcpus = clustered(&vm, 2, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
         assert_eq!(vcpus.len(), 2);
         let u0 = vcpus[0].reference_utilization();
@@ -339,7 +338,7 @@ mod tests {
     #[test]
     fn clustered_m_capped_by_task_count() {
         let vm = vm(vec![flat_task(0, 100.0, 10.0)]);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let vcpus = clustered(&vm, 8, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
         assert_eq!(vcpus.len(), 1);
     }
@@ -348,7 +347,7 @@ mod tests {
     fn vcpu_ids_consecutive_from_first_id() {
         let tasks: Vec<Task> = (0..4).map(|i| flat_task(i, 100.0, 10.0)).collect();
         let vm = vm(tasks);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 10, &mut rng).unwrap();
         let mut ids: Vec<usize> = vcpus.iter().map(|v| v.id().index()).collect();
         ids.sort_unstable();
@@ -384,7 +383,7 @@ mod tests {
         // different server periods): the existing analysis always pays
         // some abstraction overhead even after its period search.
         let vm = vm(vec![flat_task(0, 10.0, 1.0)]);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let of = clustered(&vm, 1, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
         let ex = clustered(&vm, 1, VcpuSizing::Existing, 0, &mut rng).unwrap();
         assert!(

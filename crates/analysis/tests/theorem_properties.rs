@@ -1,4 +1,5 @@
-//! Property-based validation of the paper's two theorems.
+//! Property-based validation of the paper's two theorems, driven by
+//! the in-tree seeded case harness (`vc2m_rng::cases`).
 //!
 //! * **Theorem 1** (flattening): a task alone on a VCPU with
 //!   Π = p, Θ = e and synchronized releases is schedulable iff the
@@ -10,34 +11,34 @@
 //!   the period looks like**. We generate random harmonic tasksets and
 //!   random patterns and check `dbf(t) ≤ sbf(t)` everywhere.
 
-use proptest::prelude::*;
 use vc2m_analysis::regulated_supply::RegulatedSupply;
+use vc2m_rng::{cases::check, DetRng, Rng};
 use vc2m_sched::dbf::Demand;
 
 /// Random harmonic taskset: periods base·2^k (ns-quantized base),
 /// utilizations scaled so the total stays under the cap.
-fn arb_harmonic(cap: f64) -> impl Strategy<Value = Demand> {
-    (
-        5.0f64..100.0,
-        proptest::collection::vec((0u32..4, 0.02f64..0.4), 1..7),
-    )
-        .prop_map(move |(base, specs)| {
-            let base = (base * 1e6).round() / 1e6;
-            let raw_total: f64 = specs.iter().map(|&(_, u)| u).sum();
-            let scale = if raw_total > cap {
-                cap / raw_total
-            } else {
-                1.0
-            };
-            let tasks: Vec<(f64, f64)> = specs
-                .into_iter()
-                .map(|(exp, u)| {
-                    let p = base * f64::from(1u32 << exp);
-                    (p, (u * scale * p).max(1e-6))
-                })
-                .collect();
-            Demand::new(tasks).expect("valid demand")
+fn arb_harmonic(cap: f64, rng: &mut DetRng) -> Demand {
+    let base = (rng.gen_range(5.0f64..100.0) * 1e6).round() / 1e6;
+    let n = rng.gen_range(1usize..7);
+    let specs: Vec<(u32, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0u32..4), rng.gen_range(0.02f64..0.4)))
+        .collect();
+    let raw_total: f64 = specs.iter().map(|&(_, u)| u).sum();
+    let scale = if raw_total > cap { cap / raw_total } else { 1.0 };
+    let tasks: Vec<(f64, f64)> = specs
+        .into_iter()
+        .map(|(exp, u)| {
+            let p = base * f64::from(1u32 << exp);
+            (p, (u * scale * p).max(1e-6))
         })
+        .collect();
+    Demand::new(tasks).expect("valid demand")
+}
+
+/// Random pattern offsets in `[0, 1)`.
+fn arb_offsets(max_len: usize, rng: &mut DetRng) -> Vec<f64> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| rng.gen_range(0.0f64..1.0)).collect()
 }
 
 /// A random well-regulated pattern with total budget `theta` inside a
@@ -63,96 +64,102 @@ fn pattern_from(period: f64, theta: f64, offsets: &[f64]) -> Vec<(f64, f64)> {
     pattern
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Theorem 2, the headline property: harmonic demand, Π = min p,
-    /// Θ = Π·U, arbitrary well-regulated pattern ⇒ schedulable.
-    #[test]
-    fn theorem_2_holds_for_arbitrary_patterns(
-        demand in arb_harmonic(0.95),
-        offsets in proptest::collection::vec(0.0f64..1.0, 1..5),
-    ) {
+/// Theorem 2, the headline property: harmonic demand, Π = min p,
+/// Θ = Π·U, arbitrary well-regulated pattern ⇒ schedulable.
+#[test]
+fn theorem_2_holds_for_arbitrary_patterns() {
+    check(128, |rng| {
+        let demand = arb_harmonic(0.95, rng);
+        let offsets = arb_offsets(5, rng);
         let period = demand
             .tasks()
             .iter()
             .map(|&(p, _)| p)
             .fold(f64::INFINITY, f64::min);
         let theta = period * demand.utilization();
-        prop_assume!(theta > 1e-9 && theta < period);
+        if !(theta > 1e-9 && theta < period) {
+            return;
+        }
         let pattern = pattern_from(period, theta, &offsets);
-        let supply = RegulatedSupply::new(period, pattern)
-            .expect("generated patterns are valid");
-        prop_assert!(
+        let supply = RegulatedSupply::new(period, pattern).expect("generated patterns are valid");
+        assert!(
             (supply.budget() - theta).abs() < 1e-6,
             "pattern budget {} != {theta}",
             supply.budget()
         );
-        prop_assert!(
+        assert!(
             supply.can_schedule(&demand),
             "theorem 2 violated: U = {}, Π = {period}",
             demand.utilization()
         );
-    }
+    });
+}
 
-    /// The converse sanity check: a budget strictly below Π·U can never
-    /// schedule the demand (utilization bound).
-    #[test]
-    fn under_budget_never_schedules(
-        demand in arb_harmonic(0.9),
-        shrink in 0.5f64..0.98,
-    ) {
+/// The converse sanity check: a budget strictly below Π·U can never
+/// schedule the demand (utilization bound).
+#[test]
+fn under_budget_never_schedules() {
+    check(128, |rng| {
+        let demand = arb_harmonic(0.9, rng);
+        let shrink = rng.gen_range(0.5f64..0.98);
         let period = demand
             .tasks()
             .iter()
             .map(|&(p, _)| p)
             .fold(f64::INFINITY, f64::min);
         let theta = period * demand.utilization() * shrink;
-        prop_assume!(theta > 1e-9);
+        if theta <= 1e-9 {
+            return;
+        }
         let supply = RegulatedSupply::latest(period, theta).expect("valid");
-        prop_assert!(!supply.can_schedule(&demand));
-    }
+        assert!(!supply.can_schedule(&demand));
+    });
+}
 
-    /// Theorem 2's Θ is *tight* for the worst (latest) pattern: the
-    /// exact budget works, 2% less does not (for non-degenerate
-    /// utilizations).
-    #[test]
-    fn theorem_2_budget_is_tight_at_the_worst_pattern(
-        demand in arb_harmonic(0.9),
-    ) {
+/// Theorem 2's Θ is *tight* for the worst (latest) pattern: the
+/// exact budget works, 2% less does not (for non-degenerate
+/// utilizations).
+#[test]
+fn theorem_2_budget_is_tight_at_the_worst_pattern() {
+    check(128, |rng| {
+        let demand = arb_harmonic(0.9, rng);
         let period = demand
             .tasks()
             .iter()
             .map(|&(p, _)| p)
             .fold(f64::INFINITY, f64::min);
         let u = demand.utilization();
-        prop_assume!(u > 0.05);
+        if u <= 0.05 {
+            return;
+        }
         let exact = RegulatedSupply::latest(period, period * u).expect("valid");
-        prop_assert!(exact.can_schedule(&demand));
+        assert!(exact.can_schedule(&demand));
         let trimmed = RegulatedSupply::latest(period, period * u * 0.98).expect("valid");
-        prop_assert!(!trimmed.can_schedule(&demand));
-    }
+        assert!(!trimmed.can_schedule(&demand));
+    });
+}
 
-    /// The regulated sbf always dominates the classical periodic
-    /// resource sbf for the same (Π, Θ): well-regulation only adds
-    /// information.
-    #[test]
-    fn regulated_sbf_dominates_classical(
-        period in 2.0f64..50.0,
-        budget_frac in 0.05f64..0.95,
-        offsets in proptest::collection::vec(0.0f64..1.0, 1..4),
-        t_samples in proptest::collection::vec(0.0f64..300.0, 1..20),
-    ) {
+/// The regulated sbf always dominates the classical periodic
+/// resource sbf for the same (Π, Θ): well-regulation only adds
+/// information.
+#[test]
+fn regulated_sbf_dominates_classical() {
+    check(128, |rng| {
         use vc2m_sched::sbf::PeriodicResource;
+        let period = rng.gen_range(2.0f64..50.0);
+        let budget_frac = rng.gen_range(0.05f64..0.95);
+        let offsets = arb_offsets(4, rng);
+        let n = rng.gen_range(1usize..20);
+        let t_samples: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..300.0)).collect();
         let theta = period * budget_frac;
         let pattern = pattern_from(period, theta, &offsets);
         let regulated = RegulatedSupply::new(period, pattern).expect("valid");
         let classical = PeriodicResource::new(period, theta);
         for &t in &t_samples {
-            prop_assert!(
+            assert!(
                 classical.sbf(t) <= regulated.sbf(t) + 1e-6,
                 "classical exceeded regulated at t={t}"
             );
         }
-    }
+    });
 }

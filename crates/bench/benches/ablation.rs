@@ -1,7 +1,7 @@
 //! Ablations of vC²M's design choices (beyond the paper's figures).
 //!
 //! `DESIGN.md` calls out three load-bearing choices in the allocation
-//! heuristic; these benches measure what each one costs:
+//! heuristic; these measurements show what each one costs:
 //!
 //! * **Phase-1 restarts** — how much work the random-permutation
 //!   retries add (1 vs 10 permutations);
@@ -10,13 +10,11 @@
 //!   minimal-budget computation that dominates existing-CSA runs
 //!   (single tasks vs 10-task demands).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::hint::black_box;
 use vc2m::alloc::hypervisor_level::{heuristic, HeuristicConfig};
 use vc2m::prelude::*;
 use vc2m::sched::{dbf::Demand, sbf::min_budget};
+use vc2m_bench::timing::run;
+use vc2m_rng::DetRng;
 
 fn vcpus_for_ablation(utilization: f64) -> (Platform, Vec<VcpuSpec>) {
     let platform = Platform::platform_a();
@@ -27,77 +25,58 @@ fn vcpus_for_ablation(utilization: f64) -> (Platform, Vec<VcpuSpec>) {
     );
     let tasks = generator.generate();
     let vms = vec![VmSpec::new(VmId(0), tasks).expect("non-empty")];
-    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut rng = DetRng::seed_from_u64(1);
     let vcpus = Solution::HeuristicOverheadFree
         .vm_level(&vms, &platform, &mut rng)
         .expect("vm level succeeds");
     (platform, vcpus)
 }
 
-fn bench_permutations(c: &mut Criterion) {
+fn bench_permutations() {
     let (platform, vcpus) = vcpus_for_ablation(1.6);
-    let mut group = c.benchmark_group("ablation_permutations");
-    group.sample_size(10);
     for permutations in [1usize, 4, 10] {
         let config = HeuristicConfig {
             max_permutations: permutations,
             ..HeuristicConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(permutations),
-            &config,
-            |b, config| {
-                b.iter(|| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(2);
-                    black_box(heuristic(vcpus.clone(), &platform, *config, &mut rng))
-                })
-            },
-        );
+        run(&format!("permutations/{permutations}"), 10, || {
+            let mut rng = DetRng::seed_from_u64(2);
+            heuristic(vcpus.clone(), &platform, config, &mut rng)
+        });
     }
-    group.finish();
 }
 
-fn bench_balance_rounds(c: &mut Criterion) {
+fn bench_balance_rounds() {
     let (platform, vcpus) = vcpus_for_ablation(1.6);
-    let mut group = c.benchmark_group("ablation_balance_rounds");
-    group.sample_size(10);
     for rounds in [1usize, 4, 8] {
         let config = HeuristicConfig {
             max_balance_rounds: rounds,
             ..HeuristicConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(rounds), &config, |b, config| {
-            b.iter(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(2);
-                black_box(heuristic(vcpus.clone(), &platform, *config, &mut rng))
-            })
+        run(&format!("balance_rounds/{rounds}"), 10, || {
+            let mut rng = DetRng::seed_from_u64(2);
+            heuristic(vcpus.clone(), &platform, config, &mut rng)
         });
     }
-    group.finish();
 }
 
-fn bench_min_budget(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_min_budget");
+fn bench_min_budget() {
     let single = Demand::new(vec![(10.0, 1.0)]).expect("valid demand");
-    group.bench_function("single_task", |b| {
-        b.iter(|| black_box(min_budget(&single, 10.0)))
-    });
+    run("min_budget/single_task", 1_000, || min_budget(&single, 10.0));
     let many = Demand::new(
         (0..10)
             .map(|i| (100.0 * f64::from(1 << (i % 4)), 5.0))
             .collect(),
     )
     .expect("valid demand");
-    group.bench_function("ten_tasks_harmonic", |b| {
-        b.iter(|| black_box(min_budget(&many, 100.0)))
+    run("min_budget/ten_tasks_harmonic", 1_000, || {
+        min_budget(&many, 100.0)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_permutations,
-    bench_balance_rounds,
-    bench_min_budget
-);
-criterion_main!(benches);
+fn main() {
+    println!("ablation: design-choice costs");
+    bench_permutations();
+    bench_balance_rounds();
+    bench_min_budget();
+}

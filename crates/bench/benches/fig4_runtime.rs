@@ -11,9 +11,8 @@
 //! tasks → more VCPUs → more 380-cell periodic-resource-model budget
 //! searches).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use vc2m::prelude::*;
+use vc2m_bench::timing::run;
 
 fn workload(utilization: f64, seed: u64) -> Vec<VmSpec> {
     let platform = Platform::platform_a();
@@ -25,21 +24,17 @@ fn workload(utilization: f64, seed: u64) -> Vec<VmSpec> {
     vec![VmSpec::new(VmId(0), generator.generate()).expect("non-empty taskset")]
 }
 
-fn bench_analysis_runtime(c: &mut Criterion) {
+fn main() {
+    println!("fig4: analysis running time per solution");
     let platform = Platform::platform_a();
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(10);
     for &utilization in &[0.5, 1.0, 1.5] {
         let vms = workload(utilization, 0xF164);
         for solution in Solution::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(short(solution), format!("u{utilization}")),
-                &vms,
-                |b, vms| b.iter(|| black_box(solution.allocate(vms, &platform, 1))),
-            );
+            run(&format!("{}/u{utilization}", short(solution)), 10, || {
+                solution.allocate(&vms, &platform, 1)
+            });
         }
     }
-    group.finish();
 }
 
 fn short(s: Solution) -> &'static str {
@@ -52,6 +47,3 @@ fn short(s: Solution) -> &'static str {
         Solution::Auto => "auto",
     }
 }
-
-criterion_group!(benches, bench_analysis_runtime);
-criterion_main!(benches);

@@ -8,14 +8,14 @@
 //! Memory BW budget replenish.: min 8.81 | avg 52.22 | max 108.65 us
 //! ```
 //!
-//! The benches below time the corresponding simulator code paths. The
-//! expected *shape* (the reproduction target): the throttle path is
-//! over an order of magnitude cheaper than the refiller, which touches
-//! every core's counter.
+//! The measurements below time the corresponding simulator code paths
+//! with a plain `Instant` harness (`vc2m_bench::timing`). The expected
+//! *shape* (the reproduction target): the throttle path is over an
+//! order of magnitude cheaper than the refiller, which touches every
+//! core's counter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use vc2m::membw::{BwRegulator, RegulatorConfig};
+use vc2m_bench::timing::run_batched;
 
 fn regulator(cores: usize) -> BwRegulator {
     let mut r = BwRegulator::new(RegulatorConfig::new(cores, 1.0).expect("valid config"));
@@ -25,51 +25,42 @@ fn regulator(cores: usize) -> BwRegulator {
     r
 }
 
-fn bench_throttle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    println!("table1: memory-bandwidth regulator overhead");
+
     // The throttle path: a request burst crosses the budget boundary,
     // the counter overflows, and the core is marked throttled.
-    group.bench_function("throttle", |b| {
-        b.iter_batched_ref(
-            || regulator(4),
-            |r| black_box(r.record_requests(0, 1_001).expect("core in range")),
-            BatchSize::SmallInput,
-        );
-    });
+    run_batched(
+        "throttle",
+        10_000,
+        || regulator(4),
+        |r| r.record_requests(0, 1_001).expect("core in range"),
+    );
+
     // Counting below the budget — the no-interrupt fast path the
     // regulator takes on every quantum.
-    group.bench_function("count_under_budget", |b| {
-        b.iter_batched_ref(
-            || regulator(4),
-            |r| black_box(r.record_requests(0, 10).expect("core in range")),
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
+    run_batched(
+        "count_under_budget",
+        10_000,
+        || regulator(4),
+        |r| r.record_requests(0, 10).expect("core in range"),
+    );
 
-fn bench_replenish(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
     // The refiller: reset every core's counter, clear overflow status,
     // collect the throttled cores to wake.
     for cores in [4usize, 16, 64] {
-        group.bench_function(format!("bw_replenish_{cores}_cores"), |b| {
-            b.iter_batched_ref(
-                || {
-                    let mut r = regulator(cores);
-                    // Half the cores throttled, as in a busy system.
-                    for core in (0..cores).step_by(2) {
-                        r.record_requests(core, 2_000).expect("core in range");
-                    }
-                    r
-                },
-                |r| black_box(r.replenish_all()),
-                BatchSize::SmallInput,
-            );
-        });
+        run_batched(
+            &format!("bw_replenish_{cores}_cores"),
+            10_000,
+            || {
+                let mut r = regulator(cores);
+                // Half the cores throttled, as in a busy system.
+                for core in (0..cores).step_by(2) {
+                    r.record_requests(core, 2_000).expect("core in range");
+                }
+                r
+            },
+            |r| r.replenish_all(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_throttle, bench_replenish);
-criterion_main!(benches);

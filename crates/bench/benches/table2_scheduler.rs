@@ -10,74 +10,65 @@
 //! ```
 //!
 //! Reproduction target: overheads grow *slowly* from 24 to 96 VCPUs.
-//! The criterion benches time a complete simulated second of the
+//! The measurements below time a complete simulated second of the
 //! hypervisor at each VCPU count (thousands of handler invocations),
-//! so the per-VCPU scaling is directly visible in the throughput
-//! ratio; the `table2` binary prints the per-handler min/avg/max rows
-//! from the in-simulator probes.
+//! so the per-VCPU scaling is directly visible in the runtime ratio;
+//! the `table2` binary prints the per-handler min/avg/max rows from
+//! the in-simulator probes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use vc2m::model::SimDuration;
 use vc2m::prelude::*;
 use vc2m_bench::scheduler_stress_system;
+use vc2m_bench::timing::{run_batched, run_consuming};
 
-fn bench_simulated_second(c: &mut Criterion) {
+fn bench_simulated_second() {
     let platform = Platform::platform_a();
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(20);
     for vcpu_count in [24usize, 96] {
         let (allocation, tasks) = scheduler_stress_system(&platform, vcpu_count);
-        group.bench_function(format!("simulated_second_{vcpu_count}_vcpus"), |b| {
-            b.iter_batched(
-                || {
-                    HypervisorSim::new(
-                        &platform,
-                        &allocation,
-                        &tasks,
-                        SimConfig::default().with_horizon(SimDuration::from_ms(1000.0)),
-                    )
-                    .expect("realizable allocation")
-                },
-                |sim| black_box(sim.run()),
-                BatchSize::PerIteration,
-            );
-        });
+        run_consuming(
+            &format!("simulated_second_{vcpu_count}_vcpus"),
+            20,
+            || {
+                HypervisorSim::new(
+                    &platform,
+                    &allocation,
+                    &tasks,
+                    SimConfig::default().with_horizon(SimDuration::from_ms(1000.0)),
+                )
+                .expect("realizable allocation")
+            },
+            |sim| sim.run(),
+        );
     }
-    group.finish();
 }
 
-fn bench_scheduling_decision(c: &mut Criterion) {
+fn bench_scheduling_decision() {
     // The bare decision path: an EDF pick over a ready queue of the
     // size a single core sees (24 or 96 VCPUs over 4 cores).
     use vc2m::model::SimTime;
     use vc2m::sched::edf::{EdfKey, ReadyQueue};
-    let mut group = c.benchmark_group("table2");
     for per_core in [6usize, 24] {
-        group.bench_function(format!("edf_pick_{per_core}_per_core"), |b| {
-            b.iter_batched_ref(
-                || {
-                    let mut q = ReadyQueue::new();
-                    for i in 0..per_core {
-                        q.insert(EdfKey::new(
-                            SimTime::from_ms(10.0 + i as f64),
-                            10_000_000,
-                            i,
-                        ));
-                    }
-                    q
-                },
-                |q| {
-                    let key = *black_box(q.peek().expect("non-empty"));
-                    q.remove(&key);
-                    q.insert(key);
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        run_batched(
+            &format!("edf_pick_{per_core}_per_core"),
+            10_000,
+            || {
+                let mut q = ReadyQueue::new();
+                for i in 0..per_core {
+                    q.insert(EdfKey::new(SimTime::from_ms(10.0 + i as f64), 10_000_000, i));
+                }
+                q
+            },
+            |q| {
+                let key = *q.peek().expect("non-empty");
+                q.remove(&key);
+                q.insert(key);
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_simulated_second, bench_scheduling_decision);
-criterion_main!(benches);
+fn main() {
+    println!("table2: scheduler overhead at 24 and 96 VCPUs");
+    bench_simulated_second();
+    bench_scheduling_decision();
+}

@@ -10,8 +10,7 @@
 //! benchmarks gain the most); and a task's WCET depends on its
 //! allocated cache and bandwidth with a benchmark-specific shape.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vc2m_rng::DetRng;
 use vc2m::hypervisor::interference::{measure, InterferenceConfig};
 use vc2m::model::Alloc;
 use vc2m::prelude::*;
@@ -33,7 +32,7 @@ fn main() {
     );
     let mut csv = String::from("benchmark,isolated_max,shared_max,reduction\n");
     for benchmark in ParsecBenchmark::ALL {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x150_1A7E);
+        let mut rng = DetRng::seed_from_u64(0x150_1A7E);
         let m = measure(&benchmark.profile(), &space, alloc, &config, &mut rng);
         let isolated = m.isolated.max().unwrap_or(f64::NAN);
         let shared = m.shared.max().unwrap_or(f64::NAN);

@@ -3,7 +3,7 @@
 //! The harness regenerates every table and figure of the paper's
 //! evaluation:
 //!
-//! | paper artifact | criterion bench | driver binary |
+//! | paper artifact | bench target | driver binary |
 //! |----------------|-----------------|---------------|
 //! | Table 1 (regulator overhead) | `table1_regulator` | `table1` |
 //! | Table 2 (scheduler overhead, 24/96 VCPUs) | `table2_scheduler` | `table2` |
@@ -16,6 +16,8 @@
 //! Binaries print the paper-style table and drop a CSV under
 //! `results/`. `--full` switches from the quick preset to the paper's
 //! full experimental scale (50 tasksets per point, step 0.05).
+
+pub mod timing;
 
 use std::fs;
 use std::path::PathBuf;

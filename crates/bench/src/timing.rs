@@ -1,0 +1,166 @@
+//! Minimal wall-clock measurement harness for the `[[bench]]` targets.
+//!
+//! The bench targets are plain `fn main()` programs (`harness = false`)
+//! that time their hot paths with [`std::time::Instant`] and print
+//! paper-style `min | avg | max` rows. Compared to a statistical
+//! harness this trades confidence intervals for zero dependencies and
+//! deterministic iteration counts; the reproduction targets are
+//! order-of-magnitude *shapes* (see each bench's module docs), which
+//! min/avg/max over a few hundred iterations resolves comfortably.
+//!
+//! `VC2M_BENCH_ITERS=<n>` overrides every measurement's iteration
+//! count (e.g. a quick smoke value of 1 in CI).
+
+use std::time::Instant;
+
+/// Timing summary of one measured routine.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    name: String,
+    iters: u64,
+    min_ns: f64,
+    total_ns: f64,
+    max_ns: f64,
+}
+
+impl Measurement {
+    /// The routine's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterations actually measured (after the override).
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+
+    /// Fastest iteration, in microseconds.
+    pub fn min_us(&self) -> f64 {
+        self.min_ns / 1e3
+    }
+
+    /// Mean iteration, in microseconds.
+    pub fn avg_us(&self) -> f64 {
+        self.total_ns / self.iters as f64 / 1e3
+    }
+
+    /// Slowest iteration, in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns / 1e3
+    }
+
+    /// Formats the paper-style row: `name  min | avg | max  us`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<40} min {:>10.3} | avg {:>10.3} | max {:>10.3}  us  ({} iters)",
+            self.name,
+            self.min_us(),
+            self.avg_us(),
+            self.max_us(),
+            self.iters
+        )
+    }
+}
+
+fn iteration_count(default_iters: u64) -> u64 {
+    match std::env::var("VC2M_BENCH_ITERS") {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("VC2M_BENCH_ITERS must be a u64, got {raw:?}")),
+        Err(_) => default_iters,
+    }
+    .max(1)
+}
+
+/// Times `routine` for `default_iters` iterations (plus an untimed
+/// warmup of one tenth) and prints the resulting row.
+///
+/// The routine's return value is passed through [`std::hint::black_box`]
+/// so the work is not optimized away.
+pub fn run<T>(name: &str, default_iters: u64, mut routine: impl FnMut() -> T) -> Measurement {
+    run_batched(name, default_iters, || (), |()| routine())
+}
+
+/// Like [`run`], but re-creates mutable input state with `setup`
+/// before every iteration; only `routine` is timed.
+///
+/// This is the shape the regulator and scheduler benches need, where
+/// the routine mutates its input (a drained ready queue, a throttled
+/// regulator) and must start each iteration from a fresh state.
+pub fn run_batched<S, T>(
+    name: &str,
+    default_iters: u64,
+    setup: impl FnMut() -> S,
+    mut routine: impl FnMut(&mut S) -> T,
+) -> Measurement {
+    run_consuming(name, default_iters, setup, |mut state| routine(&mut state))
+}
+
+/// Like [`run_batched`], but the routine takes the per-iteration state
+/// by value — for routines that consume their input (e.g. a simulator
+/// whose `run` takes `self`). Dropping the state happens outside the
+/// timed region.
+pub fn run_consuming<S, T>(
+    name: &str,
+    default_iters: u64,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) -> Measurement {
+    let iters = iteration_count(default_iters);
+    let warmup = (iters / 10).clamp(1, 100);
+    for _ in 0..warmup {
+        let state = setup();
+        std::hint::black_box(routine(state));
+    }
+
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns = 0.0f64;
+    let mut total_ns = 0.0f64;
+    for _ in 0..iters {
+        let state = setup();
+        let start = Instant::now();
+        let out = routine(state);
+        let elapsed = start.elapsed().as_nanos() as f64;
+        std::hint::black_box(out);
+        min_ns = min_ns.min(elapsed);
+        max_ns = max_ns.max(elapsed);
+        total_ns += elapsed;
+    }
+
+    let measurement = Measurement {
+        name: name.to_string(),
+        iters,
+        min_ns,
+        total_ns,
+        max_ns,
+    };
+    println!("{}", measurement.row());
+    measurement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_statistics_are_consistent() {
+        let m = run("noop", 32, || 1 + 1);
+        assert_eq!(m.iters(), 32);
+        assert!(m.min_us() <= m.avg_us() && m.avg_us() <= m.max_us());
+        assert!(m.row().contains("noop"));
+    }
+
+    #[test]
+    fn batched_setup_runs_per_iteration() {
+        use std::cell::Cell;
+        let setups = Cell::new(0u64);
+        let m = run_batched(
+            "counting",
+            8,
+            || setups.set(setups.get() + 1),
+            |()| (),
+        );
+        // Warmup iterations also call setup, so at least `iters` total.
+        assert!(setups.get() >= m.iters());
+    }
+}

@@ -1,20 +1,21 @@
-//! Property-based tests for the cache-allocation substrate.
+//! Property-based tests for the cache-allocation substrate, driven by
+//! the in-tree seeded case harness (`vc2m_rng::cases`).
 
-use proptest::prelude::*;
 use vc2m_cat::{CacheMask, CatController, CosId, PartitionPlan, VcatDomain};
+use vc2m_rng::{cases::check, Rng};
 
-proptest! {
-    #[test]
-    fn contiguous_plans_are_always_isolated(
-        total in 4u32..64,
-        counts in proptest::collection::vec(1u32..8, 1..8),
-    ) {
+#[test]
+fn contiguous_plans_are_always_isolated() {
+    check(64, |rng| {
+        let total = rng.gen_range(4u32..64);
+        let n = rng.gen_range(1usize..8);
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..8)).collect();
         let requested: u32 = counts.iter().sum();
         match PartitionPlan::contiguous(total, &counts) {
             Ok(plan) => {
-                prop_assert!(requested <= total);
-                prop_assert!(plan.is_isolated());
-                prop_assert_eq!(plan.unused_partitions(), total - requested);
+                assert!(requested <= total);
+                assert!(plan.is_isolated());
+                assert_eq!(plan.unused_partitions(), total - requested);
                 // Every partition covered at most once.
                 let mut owners = vec![0u32; total as usize];
                 for (_, mask) in plan.iter() {
@@ -22,66 +23,67 @@ proptest! {
                         owners[p as usize] += 1;
                     }
                 }
-                prop_assert!(owners.iter().all(|&o| o <= 1));
+                assert!(owners.iter().all(|&o| o <= 1));
             }
-            Err(_) => prop_assert!(requested > total),
+            Err(_) => assert!(requested > total),
         }
-    }
+    });
+}
 
-    #[test]
-    fn masks_overlap_iff_ranges_intersect(
-        total in 8u32..64,
-        s1 in 0u32..56,
-        l1 in 1u32..8,
-        s2 in 0u32..56,
-        l2 in 1u32..8,
-    ) {
-        prop_assume!(s1 + l1 <= total && s2 + l2 <= total);
+#[test]
+fn masks_overlap_iff_ranges_intersect() {
+    check(64, |rng| {
+        let total = rng.gen_range(8u32..64);
+        let l1 = rng.gen_range(1u32..8).min(total);
+        let s1 = rng.gen_range(0u32..=(total - l1));
+        let l2 = rng.gen_range(1u32..8).min(total);
+        let s2 = rng.gen_range(0u32..=(total - l2));
         let a = CacheMask::new(s1, l1, total).unwrap();
         let b = CacheMask::new(s2, l2, total).unwrap();
         let intersects = s1 < s2 + l2 && s2 < s1 + l1;
-        prop_assert_eq!(a.overlaps(&b), intersects);
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a), "overlap must be symmetric");
-        if total <= 64 {
-            // Bit-level cross-check.
-            prop_assert_eq!(a.bits() & b.bits() != 0, intersects);
-        }
-    }
+        assert_eq!(a.overlaps(&b), intersects);
+        assert_eq!(a.overlaps(&b), b.overlaps(&a), "overlap must be symmetric");
+        // Bit-level cross-check (total is always <= 64 here).
+        assert_eq!(a.bits() & b.bits() != 0, intersects);
+    });
+}
 
-    #[test]
-    fn vcat_translations_stay_inside_the_domain(
-        total in 8u32..64,
-        dom_start in 0u32..32,
-        dom_size in 1u32..16,
-        v_start in 0u32..16,
-        v_len in 1u32..16,
-    ) {
-        prop_assume!(dom_start + dom_size <= total);
+#[test]
+fn vcat_translations_stay_inside_the_domain() {
+    check(64, |rng| {
+        let total = rng.gen_range(8u32..64);
+        let dom_size = rng.gen_range(1u32..16).min(total);
+        let dom_start = rng.gen_range(0u32..=(total - dom_size));
+        let v_start = rng.gen_range(0u32..16);
+        let v_len = rng.gen_range(1u32..16);
         let domain = VcatDomain::new(dom_start, dom_size, total).unwrap();
         match domain.translate(v_start, v_len) {
             Ok(mask) => {
-                prop_assert!(v_start + v_len <= dom_size);
+                assert!(v_start + v_len <= dom_size);
                 let region = domain.physical_mask();
-                prop_assert!(mask.start() >= region.start());
-                prop_assert!(mask.end() <= region.end());
+                assert!(mask.start() >= region.start());
+                assert!(mask.end() <= region.end());
             }
-            Err(_) => prop_assert!(v_start + v_len > dom_size),
+            Err(_) => assert!(v_start + v_len > dom_size),
         }
-    }
+    });
+}
 
-    #[test]
-    fn programming_a_plan_keeps_controller_isolated(
-        counts in proptest::collection::vec(1u32..6, 1..8),
-    ) {
+#[test]
+fn programming_a_plan_keeps_controller_isolated() {
+    check(64, |rng| {
         let total = 64u32;
-        prop_assume!(counts.iter().sum::<u32>() <= total);
+        // At most 7 counts of at most 5 partitions each: always fits.
+        let n = rng.gen_range(1usize..8);
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..6)).collect();
+        assert!(counts.iter().sum::<u32>() <= total);
         let plan = PartitionPlan::contiguous(total, &counts).unwrap();
         let mut ctl = CatController::new(counts.len(), counts.len() as u32, total).unwrap();
         plan.program(&mut ctl).unwrap();
-        prop_assert!(ctl.cores_isolated());
+        assert!(ctl.cores_isolated());
         for (core, mask) in plan.iter() {
-            prop_assert_eq!(ctl.mask_of_core(core).unwrap(), mask);
-            prop_assert_eq!(ctl.cos_of_core(core).unwrap(), CosId(core as u32));
+            assert_eq!(ctl.mask_of_core(core).unwrap(), mask);
+            assert_eq!(ctl.cos_of_core(core).unwrap(), CosId(core as u32));
         }
-    }
+    });
 }

@@ -18,6 +18,7 @@
 //! | [`workload`] | PARSEC-style benchmark profiles and random taskset generation |
 //! | [`hypervisor`] | the discrete-event hypervisor simulator (RTDS-style scheduling, vCAT, BW regulation) |
 //! | [`cat`], [`membw`], [`sched`], [`simcore`] | the underlying substrates |
+//! | [`rng`] | the in-tree deterministic RNG and seeded case harness |
 //! | [`sweep`] | the schedulability-experiment engine behind Figures 2–4 |
 //!
 //! # Quickstart
@@ -59,6 +60,7 @@ pub use vc2m_cat as cat;
 pub use vc2m_hypervisor as hypervisor;
 pub use vc2m_membw as membw;
 pub use vc2m_model as model;
+pub use vc2m_rng as rng;
 pub use vc2m_sched as sched;
 pub use vc2m_simcore as simcore;
 pub use vc2m_workload as workload;

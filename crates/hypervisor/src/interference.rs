@@ -19,7 +19,7 @@
 //!   is the maximum over a configurable number of runs, as in the
 //!   paper's max-of-25 measurements.
 
-use rand::Rng;
+use vc2m_rng::Rng;
 use vc2m_model::{Alloc, ResourceSpace};
 use vc2m_simcore::MinAvgMax;
 use vc2m_workload::BenchmarkProfile;
@@ -76,7 +76,7 @@ impl Default for InterferenceConfig {
 /// # Panics
 ///
 /// Panics if `alloc` lies outside `space` or `config.runs` is zero.
-pub fn measure<R: Rng + ?Sized>(
+pub fn measure<R: Rng>(
     profile: &BenchmarkProfile,
     space: &ResourceSpace,
     alloc: Alloc,
@@ -96,13 +96,13 @@ pub fn measure<R: Rng + ?Sized>(
     for _ in 0..config.runs {
         // With isolation, contention jitter vanishes: only intrinsic
         // measurement noise remains (an order of magnitude smaller).
-        let iso_noise = 1.0 + config.jitter * 0.1 * rng.gen::<f64>();
+        let iso_noise = 1.0 + config.jitter * 0.1 * rng.gen_f64();
         isolated.record(isolated_slowdown * iso_noise);
         // Without isolation, contention adds both a systematic factor
         // (already in shared_slowdown) and run-to-run jitter that
         // grows with the number of co-runners.
         let contention_jitter =
-            1.0 + config.jitter * (1.0 + config.co_runners as f64) * rng.gen::<f64>();
+            1.0 + config.jitter * (1.0 + config.co_runners as f64) * rng.gen_f64();
         shared.record(shared_slowdown * contention_jitter);
     }
     IsolationMeasurement { isolated, shared }
@@ -122,8 +122,7 @@ pub fn shared_equivalent(space: &ResourceSpace, co_runners: usize) -> Alloc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vc2m_rng::DetRng;
     use vc2m_workload::ParsecBenchmark;
 
     fn space() -> ResourceSpace {
@@ -132,7 +131,7 @@ mod tests {
 
     #[test]
     fn isolation_reduces_wcet_for_memory_bound_benchmarks() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let space = space();
         let profile = ParsecBenchmark::Canneal.profile();
         // vC²M gives the task a healthy allocation.
@@ -154,7 +153,7 @@ mod tests {
     fn compute_bound_benchmarks_gain_less_than_memory_bound() {
         let space = space();
         let config = InterferenceConfig::default();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let light = measure(
             &ParsecBenchmark::Swaptions.profile(),
             &space,
@@ -162,7 +161,7 @@ mod tests {
             &config,
             &mut rng,
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let heavy = measure(
             &ParsecBenchmark::Canneal.profile(),
             &space,
@@ -185,7 +184,7 @@ mod tests {
         let profile = ParsecBenchmark::Streamcluster.profile();
         let mut shared_max = Vec::new();
         for co_runners in [1, 3, 7] {
-            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut rng = DetRng::seed_from_u64(3);
             let config = InterferenceConfig {
                 co_runners,
                 ..InterferenceConfig::default()
@@ -198,7 +197,7 @@ mod tests {
 
     #[test]
     fn isolated_runs_are_tight() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let m = measure(
             &ParsecBenchmark::Ferret.profile(),
             &space(),
@@ -231,14 +230,14 @@ mod tests {
             &space,
             Alloc::new(8, 8),
             &InterferenceConfig::default(),
-            &mut ChaCha8Rng::seed_from_u64(5),
+            &mut DetRng::seed_from_u64(5),
         );
         let b = measure(
             &profile,
             &space,
             Alloc::new(8, 8),
             &InterferenceConfig::default(),
-            &mut ChaCha8Rng::seed_from_u64(5),
+            &mut DetRng::seed_from_u64(5),
         );
         assert_eq!(a, b);
     }
@@ -250,7 +249,7 @@ mod tests {
             runs: 0,
             ..InterferenceConfig::default()
         };
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let _ = measure(
             &ParsecBenchmark::Vips.profile(),
             &space(),

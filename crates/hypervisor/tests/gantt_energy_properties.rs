@@ -1,37 +1,36 @@
 //! Property-based tests for the gantt renderer, supply logs and
-//! energy accounting.
+//! energy accounting, driven by the in-tree seeded case harness
+//! (`vc2m_rng::cases`).
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use vc2m_hypervisor::gantt;
 use vc2m_hypervisor::{EnergyModel, SupplyLog, ThrottlePolicy};
 use vc2m_model::{SimDuration, SimTime, VcpuId};
+use vc2m_rng::{cases::check, DetRng, Rng};
 
 /// Random disjoint sorted intervals inside `[0, span_ms]`.
-fn arb_intervals(span_ms: f64) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    proptest::collection::vec((0.0f64..1.0, 0.001f64..0.2), 0..12).prop_map(move |raw| {
-        let mut cursor = 0.0;
-        let mut out = Vec::new();
-        for (gap_frac, len_frac) in raw {
-            let gap = gap_frac * span_ms * 0.05;
-            let len = len_frac * span_ms * 0.1;
-            let start = cursor + gap;
-            let end = start + len;
-            if end >= span_ms {
-                break;
-            }
-            out.push((start, end));
-            cursor = end;
+fn arb_intervals(span_ms: f64, rng: &mut DetRng) -> Vec<(f64, f64)> {
+    let n = rng.gen_range(0usize..12);
+    let mut cursor = 0.0;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let gap = rng.gen_range(0.0f64..1.0) * span_ms * 0.05;
+        let len = rng.gen_range(0.001f64..0.2) * span_ms * 0.1;
+        let start = cursor + gap;
+        let end = start + len;
+        if end >= span_ms {
+            break;
         }
-        out
-    })
+        out.push((start, end));
+        cursor = end;
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn gantt_marks_exactly_the_executed_cells(intervals in arb_intervals(100.0)) {
+#[test]
+fn gantt_marks_exactly_the_executed_cells() {
+    check(48, |rng| {
+        let intervals = arb_intervals(100.0, rng);
         let mut log = SupplyLog::new(SimDuration::from_ms(10.0), SimTime::ZERO);
         for &(s, e) in &intervals {
             log.record(SimTime::from_ms(s), SimTime::from_ms(e));
@@ -46,7 +45,7 @@ proptest! {
             .expect("framed row")
             .chars()
             .collect();
-        prop_assert_eq!(cells.len(), width);
+        assert_eq!(cells.len(), width);
         // Every '#' cell must intersect some interval; every interval
         // must have marked at least one cell.
         let cell_ms = 1.0; // 100 ms / 100 cells
@@ -55,7 +54,7 @@ proptest! {
             let hi = lo + cell_ms;
             let intersects = intervals.iter().any(|&(s, e)| s < hi && e > lo);
             if c == '#' {
-                prop_assert!(intersects, "cell {i} marked without execution");
+                assert!(intersects, "cell {i} marked without execution");
             } else {
                 // An unmarked cell may still intersect an interval only
                 // through boundary-rounding; require that any interval
@@ -64,13 +63,16 @@ proptest! {
                     .iter()
                     .map(|&(s, e)| (e.min(hi) - s.max(lo)).max(0.0))
                     .sum();
-                prop_assert!(overlap < 1e-6, "cell {i} unmarked despite {overlap} ms overlap");
+                assert!(overlap < 1e-6, "cell {i} unmarked despite {overlap} ms overlap");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn supply_log_total_matches_interval_sum(intervals in arb_intervals(200.0)) {
+#[test]
+fn supply_log_total_matches_interval_sum() {
+    check(48, |rng| {
+        let intervals = arb_intervals(200.0, rng);
         let mut log = SupplyLog::new(SimDuration::from_ms(10.0), SimTime::ZERO);
         let mut expected = 0.0;
         for &(s, e) in &intervals {
@@ -80,15 +82,16 @@ proptest! {
         let total_ms = log.total_supply_ns() as f64 / 1e6;
         // Each endpoint rounds to whole nanoseconds, so the recorded
         // total may drift by up to ~1 ns per interval.
-        prop_assert!((total_ms - expected).abs() < 1e-4);
-    }
+        assert!((total_ms - expected).abs() < 1e-4);
+    });
+}
 
-    #[test]
-    fn energy_is_monotone_in_throttled_time(
-        busy in 0.0f64..400.0,
-        throttled_a in 0.0f64..300.0,
-        throttled_b in 0.0f64..300.0,
-    ) {
+#[test]
+fn energy_is_monotone_in_throttled_time() {
+    check(48, |rng| {
+        let busy = rng.gen_range(0.0f64..400.0);
+        let throttled_a = rng.gen_range(0.0f64..300.0);
+        let throttled_b = rng.gen_range(0.0f64..300.0);
         let model = EnergyModel::default();
         let total = 1000.0;
         let (lo, hi) = if throttled_a <= throttled_b {
@@ -100,32 +103,38 @@ proptest! {
         // under the idle policy it costs the same as idling.
         let busy_lo = model.joules(ThrottlePolicy::Busy, busy, lo, total);
         let busy_hi = model.joules(ThrottlePolicy::Busy, busy, hi, total);
-        prop_assert!(busy_hi >= busy_lo - 1e-12);
+        assert!(busy_hi >= busy_lo - 1e-12);
         let idle_lo = model.joules(ThrottlePolicy::Idle, busy, lo, total);
         let idle_hi = model.joules(ThrottlePolicy::Idle, busy, hi, total);
-        prop_assert!((idle_hi - idle_lo).abs() < 1e-9);
+        assert!((idle_hi - idle_lo).abs() < 1e-9);
         // And idle never exceeds busy.
-        prop_assert!(idle_hi <= busy_hi + 1e-12);
-    }
+        assert!(idle_hi <= busy_hi + 1e-12);
+    });
+}
 
-    #[test]
-    fn regulation_check_accepts_any_single_period(intervals in arb_intervals(9.0)) {
+#[test]
+fn regulation_check_accepts_any_single_period() {
+    check(48, |rng| {
         // Whatever happens within one period cannot violate
         // well-regulation (there is nothing to compare against).
+        let intervals = arb_intervals(9.0, rng);
         let mut log = SupplyLog::new(SimDuration::from_ms(10.0), SimTime::ZERO);
         for &(s, e) in &intervals {
             log.record(SimTime::from_ms(s), SimTime::from_ms(e));
         }
-        prop_assert_eq!(
+        assert_eq!(
             log.regulation_violation(SimTime::from_ms(10.0), SimDuration(1_000)),
             None
         );
-    }
+    });
+}
 
-    #[test]
-    fn repeating_any_pattern_is_well_regulated(intervals in arb_intervals(9.5)) {
+#[test]
+fn repeating_any_pattern_is_well_regulated() {
+    check(48, |rng| {
         // Replicating an arbitrary intra-period pattern across periods
         // is by definition well-regulated.
+        let intervals = arb_intervals(9.5, rng);
         let mut log = SupplyLog::new(SimDuration::from_ms(10.0), SimTime::ZERO);
         for k in 0..5 {
             let base = k as f64 * 10.0;
@@ -133,9 +142,9 @@ proptest! {
                 log.record(SimTime::from_ms(base + s), SimTime::from_ms(base + e));
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             log.regulation_violation(SimTime::from_ms(50.0), SimDuration(1_000)),
             None
         );
-    }
+    });
 }

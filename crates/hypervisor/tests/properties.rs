@@ -1,12 +1,13 @@
-//! Property-based tests for the hypervisor simulator.
+//! Property-based tests for the hypervisor simulator, driven by the
+//! in-tree seeded case harness (`vc2m_rng::cases`).
 
-use proptest::prelude::*;
 use vc2m_alloc::{CoreAssignment, SystemAllocation};
 use vc2m_hypervisor::{HypervisorSim, SimConfig};
 use vc2m_model::{
     Alloc, BudgetSurface, Platform, SimDuration, Task, TaskId, TaskSet, VcpuId, VcpuSpec, VmId,
     WcetSurface,
 };
+use vc2m_rng::{cases::check, DetRng, Rng};
 
 fn space() -> vc2m_model::ResourceSpace {
     Platform::platform_a().resources()
@@ -41,31 +42,31 @@ fn flattened_system(specs: &[(f64, f64)]) -> (SystemAllocation, TaskSet) {
 }
 
 /// Harmonic `(period, wcet)` specs with total utilization ≤ 1.
-fn arb_feasible_harmonic_specs() -> impl Strategy<Value = Vec<(f64, f64)>> {
-    (
-        5.0f64..20.0,
-        proptest::collection::vec((0u32..3, 0.01f64..0.3), 1..5),
-    )
-        .prop_map(|(base, raw)| {
-            // Scale utilizations so the total is at most ~0.95.
-            let total: f64 = raw.iter().map(|&(_, u)| u).sum();
-            let scale = if total > 0.95 { 0.95 / total } else { 1.0 };
-            raw.into_iter()
-                .map(|(exp, u)| {
-                    let p = base * f64::from(1u32 << exp);
-                    (p, (u * scale * p).max(0.001))
-                })
-                .collect()
+fn arb_feasible_harmonic_specs(rng: &mut DetRng) -> Vec<(f64, f64)> {
+    let base = rng.gen_range(5.0f64..20.0);
+    let n = rng.gen_range(1usize..5);
+    let raw: Vec<(u32, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0u32..3), rng.gen_range(0.01f64..0.3)))
+        .collect();
+    // Scale utilizations so the total is at most ~0.95.
+    let total: f64 = raw.iter().map(|&(_, u)| u).sum();
+    let scale = if total > 0.95 { 0.95 / total } else { 1.0 };
+    raw.into_iter()
+        .map(|(exp, u)| {
+            let p = base * f64::from(1u32 << exp);
+            (p, (u * scale * p).max(0.001))
         })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn feasible_flattened_systems_never_miss(specs in arb_feasible_harmonic_specs()) {
+#[test]
+fn feasible_flattened_systems_never_miss() {
+    check(24, |rng| {
+        let specs = arb_feasible_harmonic_specs(rng);
         let (allocation, tasks) = flattened_system(&specs);
-        prop_assume!(allocation.is_schedulable());
+        if !allocation.is_schedulable() {
+            return;
+        }
         let horizon = SimDuration::from_ms(500.0);
         let report = HypervisorSim::new(
             &Platform::platform_a(),
@@ -75,18 +76,23 @@ proptest! {
         )
         .expect("realizable")
         .run();
-        prop_assert!(
+        assert!(
             report.all_deadlines_met(),
             "misses: {:?}",
             report.deadline_misses
         );
-        prop_assert_eq!(report.throttle_events, 0, "no traffic configured");
-    }
+        assert_eq!(report.throttle_events, 0, "no traffic configured");
+    });
+}
 
-    #[test]
-    fn job_accounting_is_conserved(specs in arb_feasible_harmonic_specs()) {
+#[test]
+fn job_accounting_is_conserved() {
+    check(24, |rng| {
+        let specs = arb_feasible_harmonic_specs(rng);
         let (allocation, tasks) = flattened_system(&specs);
-        prop_assume!(allocation.is_schedulable());
+        if !allocation.is_schedulable() {
+            return;
+        }
         let report = HypervisorSim::new(
             &Platform::platform_a(),
             &allocation,
@@ -97,21 +103,24 @@ proptest! {
         .run();
         // Completed ≤ released, and with all deadlines met the gap is
         // at most one in-flight job per task.
-        prop_assert!(report.jobs_completed <= report.jobs_released);
-        prop_assert!(
+        assert!(report.jobs_completed <= report.jobs_released);
+        assert!(
             report.jobs_released - report.jobs_completed <= specs.len() as u64,
             "released {} vs completed {}",
             report.jobs_released,
             report.jobs_completed
         );
-    }
+    });
+}
 
-    #[test]
-    fn responses_never_exceed_periods_when_schedulable(
-        specs in arb_feasible_harmonic_specs(),
-    ) {
+#[test]
+fn responses_never_exceed_periods_when_schedulable() {
+    check(24, |rng| {
+        let specs = arb_feasible_harmonic_specs(rng);
         let (allocation, tasks) = flattened_system(&specs);
-        prop_assume!(allocation.is_schedulable());
+        if !allocation.is_schedulable() {
+            return;
+        }
         let report = HypervisorSim::new(
             &Platform::platform_a(),
             &allocation,
@@ -122,25 +131,26 @@ proptest! {
         .run();
         for (i, &(p, _)) in specs.iter().enumerate() {
             if let Some(worst) = report.worst_response_ms(TaskId(i)) {
-                prop_assert!(
+                assert!(
                     worst <= p + 1e-3,
                     "task {i}: response {worst} exceeds period {p}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn overloaded_single_core_always_misses(
-        base in 5.0f64..20.0,
-        overload in 1.05f64..1.5,
-    ) {
+#[test]
+fn overloaded_single_core_always_misses() {
+    check(24, |rng| {
+        let base = rng.gen_range(5.0f64..20.0);
+        let overload = rng.gen_range(1.05f64..1.5);
         // One task with WCET > period-share: utilization > 1 on one
         // VCPU is impossible; instead overload via two tasks.
         let e1 = base * 0.6;
         let e2 = base * 0.6 * overload;
         let (allocation, tasks) = flattened_system(&[(base, e1), (base, e2)]);
-        prop_assert!(!allocation.is_schedulable());
+        assert!(!allocation.is_schedulable());
         let report = HypervisorSim::new(
             &Platform::platform_a(),
             &allocation,
@@ -149,11 +159,14 @@ proptest! {
         )
         .expect("realizable")
         .run();
-        prop_assert!(!report.all_deadlines_met(), "overload must miss");
-    }
+        assert!(!report.all_deadlines_met(), "overload must miss");
+    });
+}
 
-    #[test]
-    fn simulation_is_deterministic(specs in arb_feasible_harmonic_specs()) {
+#[test]
+fn simulation_is_deterministic() {
+    check(24, |rng| {
+        let specs = arb_feasible_harmonic_specs(rng);
         let (allocation, tasks) = flattened_system(&specs);
         let run = || {
             HypervisorSim::new(
@@ -167,8 +180,8 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.deadline_misses, b.deadline_misses);
-        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
-        prop_assert_eq!(a.context_switches, b.context_switches);
-    }
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert_eq!(a.context_switches, b.context_switches);
+    });
 }

@@ -1,111 +1,134 @@
-//! Property-based tests for the core model types.
+//! Property-based tests for the core model types, driven by the
+//! in-tree seeded case harness (`vc2m_rng::cases`).
 
-use proptest::prelude::*;
 use vc2m_model::{are_harmonic, Alloc, ResourceSpace, Surface, Task, TaskId, TaskSet, WcetSurface};
+use vc2m_rng::{cases::check, DetRng, Rng};
 
-fn arb_space() -> impl Strategy<Value = ResourceSpace> {
-    (1u32..4, 4u32..24, 1u32..3, 3u32..24).prop_map(|(cmin, cspan, bmin, bspan)| {
-        ResourceSpace::new(cmin, cmin + cspan, bmin, bmin + bspan).expect("valid by construction")
-    })
+fn arb_space(rng: &mut DetRng) -> ResourceSpace {
+    let cmin = rng.gen_range(1u32..4);
+    let cspan = rng.gen_range(4u32..24);
+    let bmin = rng.gen_range(1u32..3);
+    let bspan = rng.gen_range(3u32..24);
+    ResourceSpace::new(cmin, cmin + cspan, bmin, bmin + bspan).expect("valid by construction")
 }
 
-fn arb_alloc_in(space: ResourceSpace) -> impl Strategy<Value = Alloc> {
-    (
-        space.cache_min()..=space.cache_max(),
-        space.bw_min()..=space.bw_max(),
+fn arb_alloc_in(space: ResourceSpace, rng: &mut DetRng) -> Alloc {
+    Alloc::new(
+        rng.gen_range(space.cache_min()..=space.cache_max()),
+        rng.gen_range(space.bw_min()..=space.bw_max()),
     )
-        .prop_map(|(c, b)| Alloc::new(c, b))
 }
 
-proptest! {
-    #[test]
-    fn index_of_is_a_bijection_onto_iteration_order(space in arb_space()) {
+#[test]
+fn index_of_is_a_bijection_onto_iteration_order() {
+    check(64, |rng| {
+        let space = arb_space(rng);
         let allocs: Vec<Alloc> = space.iter().collect();
-        prop_assert_eq!(allocs.len(), space.len());
+        assert_eq!(allocs.len(), space.len());
         for (i, alloc) in allocs.iter().enumerate() {
-            prop_assert_eq!(space.index_of(*alloc), i);
-            prop_assert!(space.contains(*alloc));
+            assert_eq!(space.index_of(*alloc), i);
+            assert!(space.contains(*alloc));
         }
-    }
+    });
+}
 
-    #[test]
-    fn surfaces_roundtrip_through_values(space in arb_space(), seed in 1u64..1000) {
+#[test]
+fn surfaces_roundtrip_through_values() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let seed = rng.gen_range(1u64..1000);
         // Pseudo-random positive values derived from the seed.
         let surface = Surface::from_fn(&space, |a| {
-            1.0 + ((seed.wrapping_mul(31).wrapping_add(u64::from(a.cache * 37 + a.bandwidth))) % 97) as f64
-        }).expect("positive values");
+            1.0 + ((seed
+                .wrapping_mul(31)
+                .wrapping_add(u64::from(a.cache * 37 + a.bandwidth)))
+                % 97) as f64
+        })
+        .expect("positive values");
         for (alloc, v) in surface.iter() {
-            prop_assert_eq!(surface.at(alloc), v);
+            assert_eq!(surface.at(alloc), v);
         }
-        prop_assert_eq!(surface.iter().count(), space.len());
-    }
+        assert_eq!(surface.iter().count(), space.len());
+    });
+}
 
-    #[test]
-    fn slowdown_vector_is_scale_invariant(
-        space in arb_space(),
-        scale in 0.1f64..100.0,
-    ) {
-        let base = Surface::from_fn(&space, |a| {
-            1.0 + 10.0 / f64::from(a.cache + a.bandwidth)
-        }).expect("positive");
+#[test]
+fn slowdown_vector_is_scale_invariant() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let scale = rng.gen_range(0.1f64..100.0);
+        let base = Surface::from_fn(&space, |a| 1.0 + 10.0 / f64::from(a.cache + a.bandwidth))
+            .expect("positive");
         let scaled = base.scaled(scale);
         let sv_base = base.slowdown_vector();
         let sv_scaled = scaled.slowdown_vector();
         for alloc in space.iter() {
-            prop_assert!((sv_base.at(alloc) - sv_scaled.at(alloc)).abs() < 1e-9);
+            assert!((sv_base.at(alloc) - sv_scaled.at(alloc)).abs() < 1e-9);
         }
         // And the reference entry is exactly 1.
-        prop_assert!((sv_base.at(space.reference()) - 1.0).abs() < 1e-12);
-    }
+        assert!((sv_base.at(space.reference()) - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn monotone_surfaces_have_worst_case_at_minimum(space in arb_space()) {
+#[test]
+fn monotone_surfaces_have_worst_case_at_minimum() {
+    check(64, |rng| {
+        let space = arb_space(rng);
         let surface = Surface::from_fn(&space, |a| {
             1.0 + 5.0 * f64::from(space.cache_max() - a.cache)
                 + 3.0 * f64::from(space.bw_max() - a.bandwidth)
-        }).expect("positive");
-        prop_assert!(surface.is_monotone_non_increasing());
-        prop_assert!((surface.at_minimum() - surface.max_value()).abs() < 1e-9);
-        prop_assert!(surface.max_slowdown() >= 1.0);
-    }
+        })
+        .expect("positive");
+        assert!(surface.is_monotone_non_increasing());
+        assert!((surface.at_minimum() - surface.max_value()).abs() < 1e-9);
+        assert!(surface.max_slowdown() >= 1.0);
+    });
+}
 
-    #[test]
-    fn surface_addition_is_pointwise(
-        space in arb_space(),
-        a in 0.5f64..10.0,
-        b in 0.5f64..10.0,
-    ) {
+#[test]
+fn surface_addition_is_pointwise() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let a = rng.gen_range(0.5f64..10.0);
+        let b = rng.gen_range(0.5f64..10.0);
         let sa = Surface::flat(&space, a).expect("positive");
         let sb = Surface::flat(&space, b).expect("positive");
         let sum = sa.try_add(&sb).expect("same space");
         for alloc in space.iter() {
-            prop_assert!((sum.at(alloc) - (a + b)).abs() < 1e-12);
+            assert!((sum.at(alloc) - (a + b)).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn power_of_two_periods_are_always_harmonic(
-        base in 1.0f64..1000.0,
-        exponents in proptest::collection::vec(0u32..6, 1..10),
-    ) {
-        let periods: Vec<f64> = exponents.iter().map(|&e| base * f64::from(1u32 << e)).collect();
-        prop_assert!(are_harmonic(periods.iter().copied()));
+#[test]
+fn power_of_two_periods_are_always_harmonic() {
+    check(64, |rng| {
+        let base = rng.gen_range(1.0f64..1000.0);
+        let n = rng.gen_range(1usize..10);
+        let periods: Vec<f64> = (0..n)
+            .map(|_| base * f64::from(1u32 << rng.gen_range(0u32..6)))
+            .collect();
+        assert!(are_harmonic(periods.iter().copied()));
         // Subsets of harmonic sets are harmonic.
-        prop_assert!(are_harmonic(periods.iter().copied().take(1)));
-    }
+        assert!(are_harmonic(periods.iter().copied().take(1)));
+    });
+}
 
-    #[test]
-    fn coprime_ish_periods_are_not_harmonic(k in 2u32..50) {
+#[test]
+fn coprime_ish_periods_are_not_harmonic() {
+    check(64, |rng| {
         // p and p + 1 never divide each other for p >= 2.
-        let p = f64::from(k);
-        prop_assert!(!are_harmonic([p, p + 1.0]));
-    }
+        let p = f64::from(rng.gen_range(2u32..50));
+        assert!(!are_harmonic([p, p + 1.0]));
+    });
+}
 
-    #[test]
-    fn taskset_utilization_is_additive(
-        space in arb_space(),
-        wcets in proptest::collection::vec(0.1f64..5.0, 1..8),
-    ) {
+#[test]
+fn taskset_utilization_is_additive() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let n = rng.gen_range(1usize..8);
+        let wcets: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1f64..5.0)).collect();
         let period = 100.0;
         let tasks: TaskSet = wcets
             .iter()
@@ -115,53 +138,57 @@ proptest! {
             })
             .collect();
         let expected: f64 = wcets.iter().map(|w| w / period).sum();
-        prop_assert!((tasks.reference_utilization() - expected).abs() < 1e-9);
+        assert!((tasks.reference_utilization() - expected).abs() < 1e-9);
         let alloc_util = tasks.utilization(space.minimum());
-        prop_assert!((alloc_util - expected).abs() < 1e-9, "flat surfaces: same util everywhere");
-    }
-
-    #[test]
-    fn task_rejects_wcet_exceeding_period(
-        space in arb_space(),
-        period in 1.0f64..100.0,
-        excess in 1.001f64..3.0,
-    ) {
-        let surface = WcetSurface::flat(&space, period * excess).unwrap();
-        prop_assert!(Task::new(TaskId(0), period, surface).is_err());
-    }
+        assert!(
+            (alloc_util - expected).abs() < 1e-9,
+            "flat surfaces: same util everywhere"
+        );
+    });
 }
 
-proptest! {
-    #[test]
-    fn alloc_ordering_is_consistent_with_space_iteration(space in arb_space(), seed in 0u64..100) {
+#[test]
+fn task_rejects_wcet_exceeding_period() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let period = rng.gen_range(1.0f64..100.0);
+        let excess = rng.gen_range(1.001f64..3.0);
+        let surface = WcetSurface::flat(&space, period * excess).unwrap();
+        assert!(Task::new(TaskId(0), period, surface).is_err());
+    });
+}
+
+#[test]
+fn alloc_ordering_is_consistent_with_space_iteration() {
+    check(64, |rng| {
         // index_of is strictly monotone along iteration order, so it
         // can be used as a sort key.
-        let _ = seed;
+        let space = arb_space(rng);
         let mut prev = None;
         for alloc in space.iter() {
             let idx = space.index_of(alloc);
             if let Some(p) = prev {
-                prop_assert!(idx > p);
+                assert!(idx > p);
             }
             prev = Some(idx);
         }
-    }
+    });
+}
 
-    #[test]
-    fn contains_matches_check(space in arb_space(), c in 0u32..40, b in 0u32..40) {
-        let alloc = Alloc::new(c, b);
-        prop_assert_eq!(space.contains(alloc), space.check(alloc).is_ok());
-    }
+#[test]
+fn contains_matches_check() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let alloc = Alloc::new(rng.gen_range(0u32..40), rng.gen_range(0u32..40));
+        assert_eq!(space.contains(alloc), space.check(alloc).is_ok());
+    });
+}
 
-    #[test]
-    fn arbitrary_alloc_in_space_is_contained(space in arb_space()) {
-        // Draw one allocation from the dependent strategy.
-        use proptest::strategy::ValueTree;
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let alloc = arb_alloc_in(space)
-            .new_tree(&mut runner)
-            .expect("strategy works")
-            .current();
-        prop_assert!(space.contains(alloc));
-    }
+#[test]
+fn arbitrary_alloc_in_space_is_contained() {
+    check(64, |rng| {
+        let space = arb_space(rng);
+        let alloc = arb_alloc_in(space, rng);
+        assert!(space.contains(alloc));
+    });
 }

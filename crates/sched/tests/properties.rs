@@ -1,146 +1,162 @@
 //! Property-based tests for the scheduling theory: supply/demand bound
-//! functions and minimal periodic-resource budgets.
+//! functions and minimal periodic-resource budgets. Cases come from
+//! the in-tree seeded harness (`vc2m_rng::cases`).
 
-use proptest::prelude::*;
+use vc2m_rng::{cases::check, DetRng, Rng};
 use vc2m_sched::dbf::Demand;
 use vc2m_sched::sbf::{min_budget, PeriodicResource};
 
 /// A small harmonic taskset: `(period, wcet)` pairs with periods
 /// base·2^k and wcets below the period.
-fn arb_harmonic_demand() -> impl Strategy<Value = Demand> {
-    (
-        1.0f64..50.0,
-        proptest::collection::vec((0u32..4, 0.01f64..0.24), 1..6),
-    )
-        .prop_map(|(base, specs)| {
-            // Quantize the base to whole nanoseconds, as the workload
-            // generator does: power-of-two multiples are then exactly
-            // representable and the hyperperiod is exact.
-            let base = (base * 1e6).round() / 1e6;
-            let tasks: Vec<(f64, f64)> = specs
-                .into_iter()
-                .map(|(exp, frac)| {
-                    let period = base * f64::from(1u32 << exp);
-                    (period, frac * period)
-                })
-                .collect();
-            Demand::new(tasks).expect("valid demand")
+fn arb_harmonic_demand(rng: &mut DetRng) -> Demand {
+    // Quantize the base to whole nanoseconds, as the workload
+    // generator does: power-of-two multiples are then exactly
+    // representable and the hyperperiod is exact.
+    let base = (rng.gen_range(1.0f64..50.0) * 1e6).round() / 1e6;
+    let n = rng.gen_range(1usize..6);
+    let tasks: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let period = base * f64::from(1u32 << rng.gen_range(0u32..4));
+            (period, rng.gen_range(0.01f64..0.24) * period)
         })
+        .collect();
+    Demand::new(tasks).expect("valid demand")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sbf_is_monotone_and_bounded(
-        period in 1.0f64..100.0,
-        budget_frac in 0.0f64..=1.0,
-        t_samples in proptest::collection::vec(0.0f64..500.0, 1..20),
-    ) {
+#[test]
+fn sbf_is_monotone_and_bounded() {
+    check(64, |rng| {
+        let period = rng.gen_range(1.0f64..100.0);
+        let budget_frac = rng.gen_range(0.0f64..=1.0);
         let r = PeriodicResource::new(period, budget_frac * period);
-        let mut sorted = t_samples;
+        let n = rng.gen_range(1usize..20);
+        let mut sorted: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..500.0)).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = 0.0;
         for &t in &sorted {
             let v = r.sbf(t);
-            prop_assert!(v >= prev - 1e-9, "sbf not monotone at t={t}");
-            prop_assert!(v <= t + 1e-9, "sbf({t}) = {v} exceeds t");
-            prop_assert!(r.lsbf(t) <= v + 1e-9, "lsbf must lower-bound sbf");
+            assert!(v >= prev - 1e-9, "sbf not monotone at t={t}");
+            assert!(v <= t + 1e-9, "sbf({t}) = {v} exceeds t");
+            assert!(r.lsbf(t) <= v + 1e-9, "lsbf must lower-bound sbf");
             prev = v;
         }
-    }
+    });
+}
 
-    #[test]
-    fn sbf_supplies_full_budget_per_period_eventually(
-        period in 1.0f64..100.0,
-        budget_frac in 0.1f64..=1.0,
-        k in 1u32..10,
-    ) {
-        let budget = budget_frac * period;
+#[test]
+fn sbf_supplies_full_budget_per_period_eventually() {
+    check(64, |rng| {
+        let period = rng.gen_range(1.0f64..100.0);
+        let budget = rng.gen_range(0.1f64..=1.0) * period;
+        let k = rng.gen_range(1u32..10);
         let r = PeriodicResource::new(period, budget);
         // Over k+1 periods the resource must have delivered at least
         // k budgets (one period can be lost to worst-case phasing).
         let t = f64::from(k + 1) * period;
-        prop_assert!(r.sbf(t) >= f64::from(k) * budget - 1e-6);
-    }
+        assert!(r.sbf(t) >= f64::from(k) * budget - 1e-6);
+    });
+}
 
-    #[test]
-    fn dbf_is_superadditive_on_periods(demand in arb_harmonic_demand(), k in 1u32..5) {
+#[test]
+fn dbf_is_superadditive_on_periods() {
+    check(64, |rng| {
+        let demand = arb_harmonic_demand(rng);
+        let k = rng.gen_range(1u32..5);
         // dbf(k·H) = k·dbf(H) for the hyperperiod H of a periodic set.
         if let Some(h) = demand.hyperperiod() {
             let one = demand.dbf(h);
             let many = demand.dbf(f64::from(k) * h);
-            prop_assert!((many - f64::from(k) * one).abs() < 1e-6 * one.max(1.0));
+            assert!((many - f64::from(k) * one).abs() < 1e-6 * one.max(1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn min_budget_is_sound_and_tight(demand in arb_harmonic_demand()) {
-        let period = demand.tasks().iter().map(|&(p, _)| p).fold(f64::INFINITY, f64::min);
+#[test]
+fn min_budget_is_sound_and_tight() {
+    check(64, |rng| {
+        let demand = arb_harmonic_demand(rng);
+        let period = demand
+            .tasks()
+            .iter()
+            .map(|&(p, _)| p)
+            .fold(f64::INFINITY, f64::min);
         if let Some(theta) = min_budget(&demand, period) {
             // Sound: the resulting resource schedules the demand.
-            prop_assert!(PeriodicResource::new(period, theta).can_schedule(&demand));
+            assert!(PeriodicResource::new(period, theta).can_schedule(&demand));
             // Bandwidth at least the utilization (no magic).
-            prop_assert!(theta / period >= demand.utilization() - 1e-9);
+            assert!(theta / period >= demand.utilization() - 1e-9);
             // Tight: 1% less budget fails, unless theta is already at
             // the utilization bound.
             let trimmed = theta * 0.99;
             if trimmed / period > demand.utilization() + 1e-9 {
-                prop_assert!(
+                assert!(
                     !PeriodicResource::new(period, trimmed).can_schedule(&demand),
                     "budget {theta} was not minimal"
                 );
             }
         } else {
             // Infeasible only if even a dedicated processor fails.
-            prop_assert!(!PeriodicResource::new(period, period).can_schedule(&demand));
+            assert!(!PeriodicResource::new(period, period).can_schedule(&demand));
         }
-    }
+    });
+}
 
-    #[test]
-    fn min_budget_monotone_in_wcet(demand in arb_harmonic_demand(), grow in 1.01f64..1.5) {
-        let period = demand.tasks().iter().map(|&(p, _)| p).fold(f64::INFINITY, f64::min);
-        let grown = Demand::new(
-            demand.tasks().iter().map(|&(p, e)| (p, e * grow)).collect()
-        ).expect("still valid");
+#[test]
+fn min_budget_monotone_in_wcet() {
+    check(64, |rng| {
+        let demand = arb_harmonic_demand(rng);
+        let grow = rng.gen_range(1.01f64..1.5);
+        let period = demand
+            .tasks()
+            .iter()
+            .map(|&(p, _)| p)
+            .fold(f64::INFINITY, f64::min);
+        let grown = Demand::new(demand.tasks().iter().map(|&(p, e)| (p, e * grow)).collect())
+            .expect("still valid");
         match (min_budget(&demand, period), min_budget(&grown, period)) {
-            (Some(a), Some(b)) => prop_assert!(b >= a - 1e-9, "more demand, smaller budget?"),
+            (Some(a), Some(b)) => assert!(b >= a - 1e-9, "more demand, smaller budget?"),
             (Some(_), None) => {} // grown demand became infeasible: fine
-            (None, Some(_)) => prop_assert!(false, "less demand infeasible but more feasible"),
+            (None, Some(_)) => panic!("less demand infeasible but more feasible"),
             (None, None) => {}
         }
-    }
+    });
+}
 
-    #[test]
-    fn abstraction_overhead_is_nonnegative_and_vanishes_at_full_load(
-        demand in arb_harmonic_demand(),
-    ) {
-        let period = demand.tasks().iter().map(|&(p, _)| p).fold(f64::INFINITY, f64::min);
+#[test]
+fn abstraction_overhead_is_nonnegative_and_vanishes_at_full_load() {
+    check(64, |rng| {
+        let demand = arb_harmonic_demand(rng);
+        let period = demand
+            .tasks()
+            .iter()
+            .map(|&(p, _)| p)
+            .fold(f64::INFINITY, f64::min);
         if let Some(theta) = min_budget(&demand, period) {
             let bandwidth = theta / period;
             let utilization = demand.utilization();
             // The overhead the paper eliminates: existing CSA bandwidth
             // is never below the utilization.
-            prop_assert!(bandwidth >= utilization - 1e-9);
+            assert!(bandwidth >= utilization - 1e-9);
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn can_schedule_antitone_in_demand(
-        demand in arb_harmonic_demand(),
-        budget_frac in 0.05f64..=1.0,
-    ) {
+#[test]
+fn can_schedule_antitone_in_demand() {
+    check(32, |rng| {
+        let demand = arb_harmonic_demand(rng);
+        let budget_frac = rng.gen_range(0.05f64..=1.0);
         // If a resource schedules a demand, it also schedules any
         // demand with one task removed.
-        let period = demand.tasks().iter().map(|&(p, _)| p).fold(f64::INFINITY, f64::min);
+        let period = demand
+            .tasks()
+            .iter()
+            .map(|&(p, _)| p)
+            .fold(f64::INFINITY, f64::min);
         let r = PeriodicResource::new(period, budget_frac * period);
         if r.can_schedule(&demand) && demand.tasks().len() > 1 {
             let reduced = Demand::new(demand.tasks()[1..].to_vec()).expect("valid");
-            prop_assert!(r.can_schedule(&reduced));
+            assert!(r.can_schedule(&reduced));
         }
-    }
+    });
 }

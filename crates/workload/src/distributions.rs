@@ -1,6 +1,6 @@
 //! Task-utilization distributions from the paper's evaluation.
 
-use rand::Rng;
+use vc2m_rng::Rng;
 use std::fmt;
 
 /// The four task-utilization distributions of Section 5.1.
@@ -46,8 +46,8 @@ impl UtilizationDist {
     }
 
     /// Draws one task utilization.
-    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
-        let heavy = rng.gen::<f64>() < self.heavy_probability();
+    pub fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        let heavy = rng.gen_f64() < self.heavy_probability();
         let (lo, hi) = if heavy { HEAVY } else { LIGHT };
         rng.gen_range(lo..hi)
     }
@@ -72,12 +72,11 @@ impl fmt::Display for UtilizationDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vc2m_rng::DetRng;
 
     #[test]
     fn uniform_stays_in_light_range() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         for _ in 0..1000 {
             let u = UtilizationDist::Uniform.sample(&mut rng);
             assert!((0.1..0.4).contains(&u), "got {u}");
@@ -86,7 +85,7 @@ mod tests {
 
     #[test]
     fn bimodal_samples_stay_in_union_of_ranges() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         for dist in UtilizationDist::ALL {
             for _ in 0..1000 {
                 let u = dist.sample(&mut rng);
@@ -100,7 +99,7 @@ mod tests {
 
     #[test]
     fn heavy_fraction_matches_probability() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         for dist in [
             UtilizationDist::BimodalLight,
             UtilizationDist::BimodalMedium,

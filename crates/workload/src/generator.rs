@@ -1,9 +1,7 @@
 //! Random taskset synthesis following Section 5.1 of the paper.
 
 use crate::{ParsecBenchmark, UtilizationDist};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vc2m_rng::{DetRng, Rng};
 use std::fmt;
 use vc2m_model::{ResourceSpace, Task, TaskId, TaskSet, VmId, VmSpec};
 
@@ -145,7 +143,7 @@ impl TasksetConfig {
 pub struct TasksetGenerator {
     space: ResourceSpace,
     config: TasksetConfig,
-    rng: ChaCha8Rng,
+    rng: DetRng,
     next_task_id: usize,
 }
 
@@ -156,7 +154,7 @@ impl TasksetGenerator {
         TasksetGenerator {
             space,
             config,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             next_task_id: 0,
         }
     }

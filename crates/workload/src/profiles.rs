@@ -1,6 +1,6 @@
 //! Parametric PARSEC-style benchmark execution profiles.
 
-use rand::Rng;
+use vc2m_rng::Rng;
 use std::fmt;
 use vc2m_model::{Alloc, ResourceSpace, Surface};
 
@@ -109,7 +109,7 @@ impl ParsecBenchmark {
 
     /// Picks a benchmark uniformly at random, as the paper's generator
     /// does for each task.
-    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> ParsecBenchmark {
+    pub fn sample<R: Rng>(rng: &mut R) -> ParsecBenchmark {
         Self::ALL[rng.gen_range(0..Self::ALL.len())]
     }
 }
@@ -227,7 +227,7 @@ impl BenchmarkProfile {
     /// # Panics
     ///
     /// Panics if `sigma` is negative or non-finite.
-    pub fn measured_surface<R: Rng + ?Sized>(
+    pub fn measured_surface<R: Rng>(
         &self,
         space: &ResourceSpace,
         rng: &mut R,
@@ -238,7 +238,7 @@ impl BenchmarkProfile {
             "noise sigma must be non-negative, got {sigma}"
         );
         let noisy = Surface::from_fn(space, |alloc| {
-            let noise: f64 = 1.0 + sigma * (rng.gen::<f64>() - 0.5) * 2.0;
+            let noise: f64 = 1.0 + sigma * (rng.gen_f64() - 0.5) * 2.0;
             self.slowdown_at(space, alloc) * noise.max(0.01)
         })
         .expect("noisy slowdowns remain positive");
@@ -250,8 +250,7 @@ impl BenchmarkProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vc2m_rng::DetRng;
 
     fn space() -> ResourceSpace {
         ResourceSpace::new(2, 20, 1, 20).unwrap()
@@ -343,7 +342,7 @@ mod tests {
     fn names_and_sampling() {
         assert_eq!(ParsecBenchmark::Canneal.to_string(), "canneal");
         assert_eq!(ParsecBenchmark::ALL.len(), 13);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
             seen.insert(ParsecBenchmark::sample(&mut rng));
@@ -354,7 +353,7 @@ mod tests {
     #[test]
     fn measured_surface_is_normalized_and_noisy() {
         let space = space();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let p = ParsecBenchmark::Ferret.profile();
         let clean = p.slowdown_surface(&space);
         let noisy = p.measured_surface(&space, &mut rng, 0.05);
@@ -369,7 +368,7 @@ mod tests {
     #[test]
     fn zero_noise_measured_equals_model() {
         let space = space();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let p = ParsecBenchmark::Vips.profile();
         let clean = p.slowdown_surface(&space);
         let measured = p.measured_surface(&space, &mut rng, 0.0);

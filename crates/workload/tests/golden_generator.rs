@@ -1,0 +1,73 @@
+//! Regression pin: the workload generator's exact output for a fixed
+//! seed. Guards the determinism policy — any change to the RNG stream
+//! (seeding, sampling order, generator internals) shows up here
+//! first, rather than as a mysterious drift in the figures.
+
+// The pinned literals deliberately carry 17 significant digits (exact
+// f64 round-trip), beyond what clippy considers necessary precision.
+#![allow(clippy::excessive_precision)]
+
+use vc2m_model::Platform;
+use vc2m_workload::{TasksetConfig, TasksetGenerator, UtilizationDist};
+
+/// `(task id, period ms, reference WCET ms)` for seed 42 at target
+/// utilization 0.8 (uniform distribution, platform A). The literals
+/// are 17-significant-digit decimal, which round-trips f64 exactly.
+const EXPECTED: &[(usize, f64, f64)] = &[
+    (0, 2.610_728_859_999_999_83e2, 2.956_828_524_887_799_50e1),
+    (1, 5.221_457_719_999_999_65e2, 1.220_397_422_714_743_03e1),
+    (2, 1.044_291_543_999_999_93e3, 9.050_431_909_720_060_73e1),
+    (3, 1.305_364_429_999_999_91e2, 2.858_794_307_732_858_36e0),
+    (4, 1.305_364_429_999_999_91e2, 2.601_524_109_203_210_87e0),
+    (5, 1.044_291_543_999_999_93e3, 9.819_188_482_155_522_02e1),
+    (6, 1.305_364_429_999_999_91e2, 5.249_262_208_236_095_79e0),
+    (7, 1.044_291_543_999_999_93e3, 2.664_829_687_189_824_98e1),
+    (8, 2.610_728_859_999_999_83e2, 2.997_673_965_733_528_33e1),
+    (9, 2.610_728_859_999_999_83e2, 1.634_998_497_679_632_83e1),
+    (10, 1.305_364_429_999_999_91e2, 1.220_039_423_948_877_12e1),
+    (11, 2.610_728_859_999_999_83e2, 6.260_846_416_093_347_24e0),
+    (12, 1.305_364_429_999_999_91e2, 4.936_073_864_960_035_53e0),
+    (13, 1.044_291_543_999_999_93e3, 1.398_287_262_438_704_03e1),
+    (14, 1.305_364_429_999_999_91e2, 3.764_330_731_235_276_06e0),
+    (15, 1.044_291_543_999_999_93e3, 5.602_140_989_603_954_32e1),
+];
+
+#[test]
+fn taskset_for_seed_42_is_pinned() {
+    let platform = Platform::platform_a();
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(0.8, UtilizationDist::Uniform),
+        42,
+    );
+    let tasks = generator.generate();
+    assert_eq!(tasks.len(), EXPECTED.len(), "task count drifted");
+    for (t, &(id, period, wcet)) in tasks.iter().zip(EXPECTED) {
+        assert_eq!(t.id().index(), id);
+        assert_eq!(t.period(), period, "period of task {id} drifted");
+        assert_eq!(
+            t.reference_wcet(),
+            wcet,
+            "reference WCET of task {id} drifted"
+        );
+    }
+    assert_eq!(
+        tasks.reference_utilization(),
+        8.534_620_411_028_028_82e-1,
+        "total utilization drifted"
+    );
+}
+
+#[test]
+fn generation_is_bit_identical_across_runs() {
+    let platform = Platform::platform_a();
+    let make = || {
+        TasksetGenerator::new(
+            platform.resources(),
+            TasksetConfig::new(1.2, UtilizationDist::BimodalMedium),
+            0xDAC_2019,
+        )
+        .generate()
+    };
+    assert_eq!(make(), make());
+}

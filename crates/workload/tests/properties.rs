@@ -1,36 +1,36 @@
-//! Property-based tests for workload generation.
+//! Property-based tests for workload generation, driven by the
+//! in-tree seeded case harness (`vc2m_rng::cases`).
 
-use proptest::prelude::*;
 use vc2m_model::{Platform, ResourceSpace};
+use vc2m_rng::{cases::check, DetRng, Rng};
 use vc2m_workload::{ParsecBenchmark, TasksetConfig, TasksetGenerator, UtilizationDist};
 
-fn arb_dist() -> impl Strategy<Value = UtilizationDist> {
-    prop_oneof![
-        Just(UtilizationDist::Uniform),
-        Just(UtilizationDist::BimodalLight),
-        Just(UtilizationDist::BimodalMedium),
-        Just(UtilizationDist::BimodalHeavy),
-    ]
+fn arb_dist(rng: &mut DetRng) -> UtilizationDist {
+    let dists = [
+        UtilizationDist::Uniform,
+        UtilizationDist::BimodalLight,
+        UtilizationDist::BimodalMedium,
+        UtilizationDist::BimodalHeavy,
+    ];
+    dists[rng.gen_range(0..dists.len())]
 }
 
-fn arb_platform() -> impl Strategy<Value = Platform> {
-    prop_oneof![
-        Just(Platform::platform_a()),
-        Just(Platform::platform_b()),
-        Just(Platform::platform_c()),
-    ]
+fn arb_platform(rng: &mut DetRng) -> Platform {
+    let platforms = [
+        Platform::platform_a(),
+        Platform::platform_b(),
+        Platform::platform_c(),
+    ];
+    platforms[rng.gen_range(0..platforms.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_tasksets_satisfy_all_paper_invariants(
-        platform in arb_platform(),
-        dist in arb_dist(),
-        target in 0.1f64..2.0,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn generated_tasksets_satisfy_all_paper_invariants() {
+    check(48, |rng| {
+        let platform = arb_platform(rng);
+        let dist = arb_dist(rng);
+        let target = rng.gen_range(0.1f64..2.0);
+        let seed = rng.gen_range(0u64..10_000);
         let mut generator = TasksetGenerator::new(
             platform.resources(),
             TasksetConfig::new(target, dist),
@@ -40,38 +40,42 @@ proptest! {
         // Reaches the target, overshooting by at most one task's
         // utilization (≤ 0.9 for bimodal-heavy).
         let u = tasks.reference_utilization();
-        prop_assert!(u >= target);
-        prop_assert!(u < target + 0.91, "overshoot too large: {u} vs {target}");
+        assert!(u >= target);
+        assert!(u < target + 0.91, "overshoot too large: {u} vs {target}");
         // Harmonic periods in [100, 1100].
-        prop_assert!(tasks.is_harmonic());
+        assert!(tasks.is_harmonic());
         for t in tasks.iter() {
-            prop_assert!((100.0..=1100.0 + 1e-9).contains(&t.period()));
+            assert!((100.0..=1100.0 + 1e-9).contains(&t.period()));
             // The WCET surface is monotone (more resources never hurt)
             // and the worst corner matches e_max = u_i * p_i <= 0.9 p_i.
-            prop_assert!(t.wcet_surface().is_monotone_non_increasing());
+            assert!(t.wcet_surface().is_monotone_non_increasing());
             let e_max = t.wcet_surface().at_minimum();
-            prop_assert!(e_max <= 0.9 * t.period() + 1e-9);
-            prop_assert!(t.reference_wcet() <= e_max + 1e-12);
+            assert!(e_max <= 0.9 * t.period() + 1e-9);
+            assert!(t.reference_wcet() <= e_max + 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn benchmark_profiles_are_sane_on_any_platform(platform in arb_platform()) {
+#[test]
+fn benchmark_profiles_are_sane_on_any_platform() {
+    check(48, |rng| {
+        let platform = arb_platform(rng);
         let space = platform.resources();
         for bench in ParsecBenchmark::ALL {
             let s = bench.profile().slowdown_surface(&space);
-            prop_assert!((s.reference() - 1.0).abs() < 1e-12, "{bench}");
-            prop_assert!(s.is_monotone_non_increasing(), "{bench}");
-            prop_assert!(s.max_slowdown() >= 1.0 && s.max_slowdown() < 16.0, "{bench}");
+            assert!((s.reference() - 1.0).abs() < 1e-12, "{bench}");
+            assert!(s.is_monotone_non_increasing(), "{bench}");
+            assert!(s.max_slowdown() >= 1.0 && s.max_slowdown() < 16.0, "{bench}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn vm_split_conserves_tasks(
-        vm_count in 1usize..6,
-        target in 0.3f64..1.5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn vm_split_conserves_tasks() {
+    check(48, |rng| {
+        let vm_count = rng.gen_range(1usize..6);
+        let target = rng.gen_range(0.3f64..1.5);
+        let seed = rng.gen_range(0u64..1000);
         let platform = Platform::platform_a();
         let mut generator = TasksetGenerator::new(
             platform.resources(),
@@ -79,10 +83,10 @@ proptest! {
             seed,
         );
         let vms = generator.generate_vms();
-        prop_assert!(!vms.is_empty() && vms.len() <= vm_count);
+        assert!(!vms.is_empty() && vms.len() <= vm_count);
         // Union of VM tasksets = the full workload, utilization intact.
         let total: f64 = vms.iter().map(|vm| vm.reference_utilization()).sum();
-        prop_assert!(total >= target);
+        assert!(total >= target);
         // Ids unique across VMs.
         let mut ids: Vec<usize> = vms
             .iter()
@@ -91,18 +95,17 @@ proptest! {
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), n);
-    }
+        assert_eq!(ids.len(), n);
+    });
+}
 
-    #[test]
-    fn same_seed_same_taskset_different_seed_probably_not(
-        seed in 0u64..1000,
-        dist in arb_dist(),
-    ) {
+#[test]
+fn same_seed_same_taskset_different_seed_probably_not() {
+    check(48, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let dist = arb_dist(rng);
         let space: ResourceSpace = Platform::platform_a().resources();
-        let make = |s: u64| {
-            TasksetGenerator::new(space, TasksetConfig::new(0.8, dist), s).generate()
-        };
-        prop_assert_eq!(make(seed), make(seed));
-    }
+        let make = |s: u64| TasksetGenerator::new(space, TasksetConfig::new(0.8, dist), s).generate();
+        assert_eq!(make(seed), make(seed));
+    });
 }

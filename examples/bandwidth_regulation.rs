@@ -18,8 +18,7 @@
 //! cargo run --release --example bandwidth_regulation
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vc2m::rng::DetRng;
 use vc2m::alloc::{CoreAssignment, SystemAllocation};
 use vc2m::hypervisor::interference::{self, InterferenceConfig};
 use vc2m::membw::{budget_requests_per_period, BwRegulator, RegulatorConfig, ThrottleAction};
@@ -109,7 +108,7 @@ fn part3_isolation_study() {
         "benchmark", "isolated", "shared", "reduction"
     );
     for benchmark in ParsecBenchmark::ALL {
-        let mut rng = ChaCha8Rng::seed_from_u64(0xb10c);
+        let mut rng = DetRng::seed_from_u64(0xb10c);
         let m = interference::measure(&benchmark.profile(), &space, alloc, &config, &mut rng);
         println!(
             "{:<14} {:>10.2} {:>10.2} {:>9.2}x",

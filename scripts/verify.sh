@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Offline verification gate: build, test, lint — no network, no
+# registry. Run from the repository root.
+set -eu
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"
