@@ -66,10 +66,8 @@ pub fn heuristic<R: Rng>(
     let reference_total: f64 = vcpus.iter().map(|v| v.utilization(space.reference())).sum();
 
     // Cluster VCPUs once; cluster geometry does not depend on m.
-    let features: Vec<Vec<f64>> = vcpus
-        .iter()
-        .map(|v| v.slowdown_vector().as_slice().to_vec())
-        .collect();
+    let features: Vec<Vec<f64>> =
+        vc2m_model::Surface::batch_slowdown_rows(vcpus.iter().map(|v| v.budget_surface()));
     let feature_refs: Vec<&[f64]> = features.iter().map(|f| f.as_slice()).collect();
 
     for m in 1..=platform.max_usable_cores() {

@@ -18,9 +18,9 @@
 use crate::kmeans::kmeans;
 use crate::packing::{best_fit_open, sort_decreasing, Item};
 use crate::AllocError;
+use vc2m_analysis::{existing, regulated, AnalysisCache};
+use vc2m_model::{Alloc, Surface, Task, TaskSet, VcpuId, VcpuSpec, VmSpec};
 use vc2m_rng::Rng;
-use vc2m_analysis::{existing, regulated};
-use vc2m_model::{Alloc, Task, TaskSet, VcpuId, VcpuSpec, VmSpec};
 
 /// Which analysis computes a VCPU's `(Π, Θ(c,b))` from its tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +37,11 @@ pub enum VcpuSizing {
 
 /// Computes one VCPU's parameters for `taskset` under `sizing`.
 ///
+/// The existing-CSA sizings route their minimal-budget computations
+/// through `cache` (bit-identical results either way; pass
+/// [`AnalysisCache::disabled`] to opt out). The overhead-free sizing
+/// has no budget search to memoize.
+///
 /// # Errors
 ///
 /// Propagates the underlying analysis error (empty taskset,
@@ -46,11 +51,14 @@ pub fn size_vcpu(
     id: VcpuId,
     vm: vc2m_model::VmId,
     taskset: &TaskSet,
+    cache: &AnalysisCache,
 ) -> Result<VcpuSpec, AllocError> {
     let vcpu = match sizing {
         VcpuSizing::OverheadFree => regulated::regulated_vcpu(id, vm, taskset)?,
-        VcpuSizing::Existing => existing::existing_vcpu(id, vm, taskset)?,
-        VcpuSizing::ExistingWorstCase => existing::existing_vcpu_worst_case(id, vm, taskset)?,
+        VcpuSizing::Existing => existing::existing_vcpu_cached(id, vm, taskset, cache)?,
+        VcpuSizing::ExistingWorstCase => {
+            existing::existing_vcpu_worst_case_cached(id, vm, taskset, cache)?
+        }
     };
     Ok(vcpu)
 }
@@ -73,16 +81,15 @@ pub fn clustered<R: Rng>(
     m: usize,
     sizing: VcpuSizing,
     first_id: usize,
+    cache: &AnalysisCache,
     rng: &mut R,
 ) -> Result<Vec<VcpuSpec>, AllocError> {
     let tasks: Vec<&Task> = vm.tasks().iter().collect();
     let m = m.min(tasks.len()).max(1);
 
-    // Cluster by slowdown vector.
-    let features: Vec<Vec<f64>> = tasks
-        .iter()
-        .map(|t| t.slowdown_vector().as_slice().to_vec())
-        .collect();
+    // Cluster by slowdown vector (batch-evaluated over the taskset).
+    let features: Vec<Vec<f64>> =
+        Surface::batch_slowdown_rows(tasks.iter().map(|t| t.wcet_surface()));
     let feature_refs: Vec<&[f64]> = features.iter().map(|f| f.as_slice()).collect();
     let clustering = kmeans(&feature_refs, m, rng);
     let clusters = clustering.members();
@@ -154,7 +161,7 @@ pub fn clustered<R: Rng>(
     let mut vcpus = Vec::new();
     for (next_id, bin) in (first_id..).zip(bins.iter().filter(|b| !b.is_empty())) {
         let group: TaskSet = bin.iter().map(|&i| tasks[i].clone()).collect();
-        vcpus.push(size_vcpu(sizing, VcpuId(next_id), vm.id(), &group)?);
+        vcpus.push(size_vcpu(sizing, VcpuId(next_id), vm.id(), &group, cache)?);
     }
     Ok(vcpus)
 }
@@ -198,6 +205,7 @@ pub fn best_fit(
     sizing: VcpuSizing,
     packing_alloc: Alloc,
     first_id: usize,
+    cache: &AnalysisCache,
 ) -> Result<Vec<VcpuSpec>, AllocError> {
     let tasks: Vec<&Task> = vm.tasks().iter().collect();
     let mut items: Vec<Item> = tasks
@@ -215,6 +223,7 @@ pub fn best_fit(
             VcpuId(first_id + offset),
             vm.id(),
             &group,
+            cache,
         )?);
     }
     Ok(vcpus)
@@ -276,7 +285,7 @@ mod tests {
         tasks.extend((11..14).map(|i| sensitive_task(i, 200.0, 4.0, 0.05)));
         let vm = vm(tasks);
         let mut rng = DetRng::seed_from_u64(4);
-        let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
+        let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
         for v in &vcpus {
             assert!(
                 v.reference_utilization() <= 1.0 + 1e-9,
@@ -293,7 +302,7 @@ mod tests {
             .collect();
         let vm = vm(tasks);
         let mut rng = DetRng::seed_from_u64(3);
-        let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
+        let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
         assert!(!vcpus.is_empty() && vcpus.len() <= 4);
         let mut covered: Vec<usize> = vcpus
             .iter()
@@ -312,7 +321,7 @@ mod tests {
             .collect();
         let vm = vm(tasks);
         let mut rng = DetRng::seed_from_u64(9);
-        let vcpus = clustered(&vm, 2, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
+        let vcpus = clustered(&vm, 2, VcpuSizing::OverheadFree, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
         assert_eq!(vcpus.len(), 2);
         for v in &vcpus {
             let groups: std::collections::HashSet<bool> =
@@ -328,7 +337,7 @@ mod tests {
         let tasks: Vec<Task> = (0..6).map(|i| flat_task(i, 100.0, 10.0)).collect();
         let vm = vm(tasks);
         let mut rng = DetRng::seed_from_u64(1);
-        let vcpus = clustered(&vm, 2, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
+        let vcpus = clustered(&vm, 2, VcpuSizing::OverheadFree, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
         assert_eq!(vcpus.len(), 2);
         let u0 = vcpus[0].reference_utilization();
         let u1 = vcpus[1].reference_utilization();
@@ -339,7 +348,7 @@ mod tests {
     fn clustered_m_capped_by_task_count() {
         let vm = vm(vec![flat_task(0, 100.0, 10.0)]);
         let mut rng = DetRng::seed_from_u64(1);
-        let vcpus = clustered(&vm, 8, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
+        let vcpus = clustered(&vm, 8, VcpuSizing::OverheadFree, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
         assert_eq!(vcpus.len(), 1);
     }
 
@@ -348,7 +357,7 @@ mod tests {
         let tasks: Vec<Task> = (0..4).map(|i| flat_task(i, 100.0, 10.0)).collect();
         let vm = vm(tasks);
         let mut rng = DetRng::seed_from_u64(1);
-        let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 10, &mut rng).unwrap();
+        let vcpus = clustered(&vm, 4, VcpuSizing::OverheadFree, 10, &AnalysisCache::disabled(), &mut rng).unwrap();
         let mut ids: Vec<usize> = vcpus.iter().map(|v| v.id().index()).collect();
         ids.sort_unstable();
         assert_eq!(ids, (10..10 + vcpus.len()).collect::<Vec<_>>());
@@ -359,7 +368,7 @@ mod tests {
         // Utilization 0.4 each → best-fit pairs them two per VCPU.
         let tasks: Vec<Task> = (0..4).map(|i| flat_task(i, 100.0, 40.0)).collect();
         let vm = vm(tasks);
-        let vcpus = best_fit(&vm, VcpuSizing::OverheadFree, space().reference(), 0).unwrap();
+        let vcpus = best_fit(&vm, VcpuSizing::OverheadFree, space().reference(), 0, &AnalysisCache::disabled()).unwrap();
         assert_eq!(vcpus.len(), 2);
         for v in &vcpus {
             assert_eq!(v.tasks().len(), 2);
@@ -371,7 +380,7 @@ mod tests {
     fn best_fit_worst_case_sizing_is_flat() {
         let tasks: Vec<Task> = vec![sensitive_task(0, 100.0, 10.0, 1.0)];
         let vm = vm(tasks);
-        let vcpus = best_fit(&vm, VcpuSizing::ExistingWorstCase, space().minimum(), 0).unwrap();
+        let vcpus = best_fit(&vm, VcpuSizing::ExistingWorstCase, space().minimum(), 0, &AnalysisCache::disabled()).unwrap();
         assert_eq!(vcpus.len(), 1);
         let v = &vcpus[0];
         assert_eq!(v.budget(space().minimum()), v.budget(space().reference()));
@@ -384,8 +393,8 @@ mod tests {
         // some abstraction overhead even after its period search.
         let vm = vm(vec![flat_task(0, 10.0, 1.0)]);
         let mut rng = DetRng::seed_from_u64(1);
-        let of = clustered(&vm, 1, VcpuSizing::OverheadFree, 0, &mut rng).unwrap();
-        let ex = clustered(&vm, 1, VcpuSizing::Existing, 0, &mut rng).unwrap();
+        let of = clustered(&vm, 1, VcpuSizing::OverheadFree, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
+        let ex = clustered(&vm, 1, VcpuSizing::Existing, 0, &AnalysisCache::disabled(), &mut rng).unwrap();
         assert!(
             ex[0].reference_utilization() > of[0].reference_utilization() + 0.005,
             "existing {} vs overhead-free {}",

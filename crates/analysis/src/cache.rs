@@ -1,0 +1,385 @@
+//! The analysis interface cache.
+//!
+//! The sweep methodology of the paper (Section 5) analyzes every
+//! generated taskset with *all five* solutions, and the existing-CSA
+//! solutions re-derive a minimal periodic-resource budget for every
+//! cell of every VCPU's budget surface. Much of that work repeats:
+//!
+//! * the slowdown model plateaus once a task's working set fits in the
+//!   allocated cache, so many cells of one surface share the exact same
+//!   WCET vector;
+//! * the period search of `existing::best_period` evaluates the chosen
+//!   period's budget, which the surface's reference cell then needs
+//!   again;
+//! * different solutions cluster the same tasks into the same VCPUs
+//!   and re-analyze identical demands.
+//!
+//! [`AnalysisCache`] memoizes the minimal-budget computation keyed by
+//! the **exact bits** of the `(period, (pᵢ, eᵢ)…)` inputs, so a hit is
+//! provably bit-identical to recomputing — the property the sweep
+//! conformance suite (`crates/core/tests/sweep_conformance.rs`)
+//! verifies end to end.
+//!
+//! The cache is single-threaded by design (interior mutability via
+//! [`RefCell`], no locks): the sweep engine creates one cache per
+//! `(utilization point, repetition)` work unit and shares it across
+//! the five solutions analyzing that unit's taskset; parallel sweep
+//! workers each own their units' caches outright.
+
+use std::cell::RefCell;
+
+/// The FxHash multiply-rotate word hash (rustc's `FxHashMap`): a few
+/// cycles per word against SipHash's few cycles per *byte*. Memo keys
+/// are short `u64` runs of trusted, non-adversarial data (float bits of
+/// task parameters), which is exactly the regime this hash is meant
+/// for — with SipHash, key hashing rivals the memoized computation
+/// itself on small demands. Collisions only cost a probe walk; lookup
+/// correctness still rests on full key equality.
+fn fx_hash(words: &[u64]) -> u64 {
+    let mut hash = 0u64;
+    for &word in words {
+        hash = (hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+    hash
+}
+
+/// Hit/miss counters of an [`AnalysisCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Minimal-budget computations answered from the cache.
+    pub hits: u64,
+    /// Minimal-budget computations actually performed (and inserted).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups, hits + misses.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache; 0 when no lookup
+    /// happened (e.g. the cache was disabled).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self` — used to aggregate the
+    /// per-work-unit caches of a sweep into one figure.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// One occupied slot of the memo table: the key's hash (to skip most
+/// probe comparisons and to grow without re-hashing), its word range
+/// in the shared key arena, and the memoized budget.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    start: u32,
+    len: u32,
+    value: Option<f64>,
+}
+
+/// The memo store: an insert-only open-addressing table over an arena.
+///
+/// Keys are the resource period followed by every `(period, wcet)`
+/// pair of the demand, flattened to `f64::to_bits` words. Two demands
+/// collide only when every input float is bit-identical, in which case
+/// the deterministic `min_budget` provably returns the same bits.
+///
+/// A bespoke table instead of `HashMap<Vec<u64>, _>` because the memo
+/// sits on the sweep's hottest path (~10⁵ lookups per work unit) and
+/// the std map charges for generality the memo never uses: a heap
+/// allocation per stored key, SipHash-strength hashing, re-hashing
+/// every key on growth, and a second hash on the miss→insert step.
+/// Here all key words live back-to-back in one arena `Vec` (inserting
+/// is an `extend_from_slice`), the FxHash of the probe key is computed
+/// once and reused for insertion and growth, and slots are `Copy`.
+/// Entries are never deleted — a memo only grows — which keeps probing
+/// tombstone-free linear scanning.
+#[derive(Debug)]
+struct MemoTable {
+    /// Power-of-two slot array; `None` = empty, probing is linear.
+    slots: Vec<Option<Slot>>,
+    /// Mask (`slots.len() - 1`) turning a hash into a slot index.
+    mask: usize,
+    /// Occupied slot count; growth keeps load factor ≤ ~70 %.
+    occupied: usize,
+    /// All key words, back to back. Slots address into this.
+    arena: Vec<u64>,
+}
+
+const INITIAL_SLOTS: usize = 1024;
+
+impl Default for MemoTable {
+    fn default() -> Self {
+        MemoTable {
+            slots: vec![None; INITIAL_SLOTS],
+            mask: INITIAL_SLOTS - 1,
+            occupied: 0,
+            arena: Vec::new(),
+        }
+    }
+}
+
+impl MemoTable {
+    fn key_of(&self, slot: &Slot) -> &[u64] {
+        &self.arena[slot.start as usize..slot.start as usize + slot.len as usize]
+    }
+
+    /// Looks up `key` (with its precomputed `hash`), returning the
+    /// memoized value of the matching entry.
+    fn get(&self, hash: u64, key: &[u64]) -> Option<Option<f64>> {
+        let mut index = (hash as usize) & self.mask;
+        while let Some(slot) = &self.slots[index] {
+            if slot.hash == hash && self.key_of(slot) == key {
+                return Some(slot.value);
+            }
+            index = (index + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Inserts `key → value`, assuming `get` just returned `None` for
+    /// it (entries are never overwritten, so double-insertion of a key
+    /// would leave an unreachable duplicate — harmless but wasteful).
+    fn insert(&mut self, hash: u64, key: &[u64], value: Option<f64>) {
+        if (self.occupied + 1) * 10 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let start = u32::try_from(self.arena.len()).expect("memo arena exceeds u32 indexing");
+        self.arena.extend_from_slice(key);
+        let slot = Slot {
+            hash,
+            start,
+            len: key.len() as u32,
+            value,
+        };
+        let mut index = (hash as usize) & self.mask;
+        while self.slots[index].is_some() {
+            index = (index + 1) & self.mask;
+        }
+        self.slots[index] = Some(slot);
+        self.occupied += 1;
+    }
+
+    /// Doubles the slot array, re-placing every entry by its stored
+    /// hash — no key is re-hashed.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; new_len]);
+        self.mask = new_len - 1;
+        for slot in old.into_iter().flatten() {
+            let mut index = (slot.hash as usize) & self.mask;
+            while self.slots[index].is_some() {
+                index = (index + 1) & self.mask;
+            }
+            self.slots[index] = Some(slot);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    budgets: MemoTable,
+    /// Reusable lookup-key buffer.
+    key_scratch: Vec<u64>,
+    /// Bumped on every key build; lets the memo detect whether a
+    /// nested lookup clobbered `key_scratch` during `compute`.
+    generation: u64,
+    stats: CacheStats,
+}
+
+impl Inner {
+    /// Builds the probe key in `key_scratch` and returns its hash.
+    fn fill_key_scratch(&mut self, pairs: &[(f64, f64)], period: f64) -> u64 {
+        self.generation += 1;
+        self.key_scratch.clear();
+        self.key_scratch.reserve(1 + 2 * pairs.len());
+        self.key_scratch.push(period.to_bits());
+        for &(p, e) in pairs {
+            self.key_scratch.push(p.to_bits());
+            self.key_scratch.push(e.to_bits());
+        }
+        fx_hash(&self.key_scratch)
+    }
+}
+
+/// Memoizes minimal-budget computations across the solutions analyzing
+/// one taskset. See the [module docs](self) for the sharing structure
+/// and the bit-identity argument.
+///
+/// A *disabled* cache ([`AnalysisCache::disabled`], also the default)
+/// is a zero-cost pass-through: every lookup computes, nothing is
+/// stored, and the stats stay zero. This is what
+/// `Solution::allocate` uses, so allocation behavior is opt-in
+/// unchanged unless a cache is threaded in explicitly.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    inner: Option<RefCell<Inner>>,
+}
+
+impl AnalysisCache {
+    /// Creates an active cache.
+    pub fn enabled() -> Self {
+        AnalysisCache {
+            inner: Some(RefCell::new(Inner::default())),
+        }
+    }
+
+    /// Creates a pass-through cache that never stores anything.
+    pub fn disabled() -> Self {
+        AnalysisCache { inner: None }
+    }
+
+    /// Whether this cache actually memoizes.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The accumulated hit/miss counters (all zero when disabled).
+    pub fn stats(&self) -> CacheStats {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.borrow().stats)
+            .unwrap_or_default()
+    }
+
+    /// Returns the memoized minimal budget for the demand `pairs`
+    /// against a resource of period `period`, running `compute` on a
+    /// miss (or always, when disabled).
+    pub fn min_budget_memo(
+        &self,
+        pairs: &[(f64, f64)],
+        period: f64,
+        compute: impl FnOnce() -> Option<f64>,
+    ) -> Option<f64> {
+        let Some(inner) = &self.inner else {
+            return compute();
+        };
+        let (hash, generation) = {
+            let mut guard = inner.borrow_mut();
+            let hash = guard.fill_key_scratch(pairs, period);
+            let Inner {
+                budgets,
+                key_scratch,
+                stats,
+                ..
+            } = &mut *guard;
+            if let Some(cached) = budgets.get(hash, key_scratch) {
+                stats.hits += 1;
+                return cached;
+            }
+            (hash, guard.generation)
+        };
+        // Compute outside the borrow so `compute` may itself consult
+        // the cache (e.g. a nested memoized call) without panicking.
+        let value = compute();
+        let mut guard = inner.borrow_mut();
+        if guard.generation != generation {
+            // A nested lookup clobbered the scratch — rebuild the key,
+            // and re-probe since the nesting may have inserted it.
+            guard.fill_key_scratch(pairs, period);
+            let Inner {
+                budgets,
+                key_scratch,
+                stats,
+                ..
+            } = &mut *guard;
+            if budgets.get(hash, key_scratch).is_some() {
+                stats.hits += 1;
+                return value;
+            }
+        }
+        let Inner {
+            budgets,
+            key_scratch,
+            stats,
+            ..
+        } = &mut *guard;
+        stats.misses += 1;
+        budgets.insert(hash, key_scratch, value);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache = AnalysisCache::disabled();
+        assert!(!cache.is_enabled());
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.min_budget_memo(&[(10.0, 1.0)], 5.0, || {
+                calls += 1;
+                Some(1.5)
+            });
+            assert_eq!(v, Some(1.5));
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn enabled_cache_computes_once_per_key() {
+        let cache = AnalysisCache::enabled();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.min_budget_memo(&[(10.0, 1.0)], 5.0, || {
+                calls += 1;
+                Some(1.5)
+            });
+            assert_eq!(v, Some(1.5));
+        }
+        assert_eq!(calls, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_results_are_cached_too() {
+        let cache = AnalysisCache::enabled();
+        let mut calls = 0;
+        for _ in 0..2 {
+            let v = cache.min_budget_memo(&[(10.0, 12.0)], 10.0, || {
+                calls += 1;
+                None
+            });
+            assert_eq!(v, None);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn keys_are_bitwise_exact() {
+        let cache = AnalysisCache::enabled();
+        let a = cache.min_budget_memo(&[(10.0, 1.0)], 5.0, || Some(1.0));
+        // A WCET differing in the last ulp is a different key.
+        let e = f64::from_bits(1.0f64.to_bits() + 1);
+        let b = cache.min_budget_memo(&[(10.0, e)], 5.0, || Some(2.0));
+        // Same pairs but a different resource period: also distinct.
+        let c = cache.min_budget_memo(&[(10.0, 1.0)], 2.5, || Some(3.0));
+        assert_eq!((a, b, c), (Some(1.0), Some(2.0), Some(3.0)));
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut total = CacheStats::default();
+        total.merge(CacheStats { hits: 2, misses: 3 });
+        total.merge(CacheStats { hits: 5, misses: 0 });
+        assert_eq!(total, CacheStats { hits: 7, misses: 3 });
+        assert_eq!(total.lookups(), 10);
+    }
+}

@@ -49,6 +49,7 @@
 
 mod error;
 
+pub mod cache;
 pub mod core_check;
 pub mod existing;
 pub mod flattening;
@@ -56,4 +57,5 @@ pub mod overhead;
 pub mod regulated;
 pub mod regulated_supply;
 
+pub use cache::{AnalysisCache, CacheStats};
 pub use error::AnalysisError;

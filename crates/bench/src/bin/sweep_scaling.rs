@@ -1,0 +1,134 @@
+//! End-to-end sweep scaling: the serial, cache-disabled sweep (the
+//! engine's historical behaviour) against the interface cache and the
+//! repetition-granular parallel scheduler, on identical work.
+//!
+//! ```text
+//! cargo run --release -p vc2m-bench --bin sweep_scaling            # quick preset
+//! cargo run --release -p vc2m-bench --bin sweep_scaling -- --full  # paper scale
+//! ```
+//!
+//! Every variant must produce the *same* schedulable-fraction table —
+//! the run aborts otherwise — so the timings compare genuinely
+//! equivalent computations. Results land in
+//! `results/BENCH_sweep.json`: per-run wall-clock, speedup over the
+//! serial uncached baseline, and cache hit rates.
+
+use std::time::Instant;
+use vc2m::prelude::*;
+use vc2m::sweep::{run_sweep, run_sweep_parallel, SweepConfig};
+use vc2m_bench::timing::{json_array, JsonBuilder};
+use vc2m_bench::{full_scale_requested, write_results};
+
+/// One timed sweep variant. `threads == 0` means the serial driver
+/// ([`run_sweep`]); positive counts go through [`run_sweep_parallel`].
+struct Run {
+    name: &'static str,
+    threads: usize,
+    cached: bool,
+}
+
+const RUNS: &[Run] = &[
+    Run { name: "serial, no cache", threads: 0, cached: false },
+    Run { name: "serial, cache", threads: 0, cached: true },
+    Run { name: "parallel x1, cache", threads: 1, cached: true },
+    Run { name: "parallel x2, cache", threads: 2, cached: true },
+    Run { name: "parallel x4, cache", threads: 4, cached: true },
+];
+
+fn main() {
+    let platform = Platform::platform_a();
+    let (scale, config) = if full_scale_requested() {
+        ("paper", SweepConfig::paper(platform, UtilizationDist::Uniform))
+    } else {
+        ("quick", SweepConfig::quick(platform, UtilizationDist::Uniform))
+    };
+    println!(
+        "sweep scaling ({scale}): {} | {} points x {} tasksets x {} solutions",
+        platform,
+        config.utilizations.len(),
+        config.tasksets_per_point,
+        config.solutions.len(),
+    );
+
+    // One untimed warmup (page-cache / branch-predictor / allocator
+    // steady state), then best-of-N timed repeats per variant: the
+    // sweep is deterministic, so min is the noise-robust estimator.
+    let repeats = if full_scale_requested() { 1 } else { 3 };
+    let mut baseline: Option<(f64, String)> = None;
+    let mut rendered = Vec::with_capacity(RUNS.len());
+    let mut headline_speedup = f64::NAN;
+    for run in RUNS {
+        let variant = config.clone().with_cache(run.cached);
+        let execute = || {
+            if run.threads == 0 {
+                run_sweep(&variant)
+            } else {
+                run_sweep_parallel(&variant, run.threads, |_, _| {})
+            }
+        };
+        std::hint::black_box(execute());
+        let mut wall_s = f64::INFINITY;
+        let mut results = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let sweep = execute();
+            wall_s = wall_s.min(start.elapsed().as_secs_f64());
+            results = Some(sweep);
+        }
+        let results = results.expect("at least one timed repeat");
+
+        let csv = results.fractions_csv();
+        let (baseline_s, baseline_csv) =
+            baseline.get_or_insert_with(|| (wall_s, csv.clone()));
+        assert_eq!(
+            &csv, baseline_csv,
+            "variant '{}' diverged from the serial uncached sweep",
+            run.name
+        );
+        let speedup = *baseline_s / wall_s;
+        if run.threads == 4 && run.cached {
+            headline_speedup = speedup;
+        }
+
+        let stats = results.cache_stats();
+        println!(
+            "{:<20} {:>8.3} s  speedup {:>5.2}x  cache {:>6.1}% of {} lookups",
+            run.name,
+            wall_s,
+            speedup,
+            100.0 * stats.hit_rate(),
+            stats.lookups(),
+        );
+        rendered.push(
+            JsonBuilder::new()
+                .str("name", run.name)
+                .int("threads", run.threads as u64)
+                .bool("cache", run.cached)
+                .num("wall_s", wall_s)
+                .num("speedup_vs_serial_uncached", speedup)
+                .int("cache_hits", stats.hits)
+                .int("cache_misses", stats.misses)
+                .num("cache_hit_rate", stats.hit_rate())
+                .build(),
+        );
+    }
+
+    let json = JsonBuilder::new()
+        .str("bench", "sweep_scaling")
+        .str("scale", scale)
+        .str("platform", &platform.to_string())
+        .str("distribution", UtilizationDist::Uniform.name())
+        .int("utilization_points", config.utilizations.len() as u64)
+        .int("tasksets_per_point", config.tasksets_per_point as u64)
+        .int("solutions", config.solutions.len() as u64)
+        .int("total_units", config.total_units() as u64)
+        .bool("conformant", true)
+        .num("speedup_4_threads_cached", headline_speedup)
+        .raw("runs", json_array(rendered))
+        .build();
+    let path = write_results("BENCH_sweep.json", &json);
+    println!(
+        "\nheadline: 4 threads + cache = {headline_speedup:.2}x over serial uncached"
+    );
+    println!("wrote {}", path.display());
+}

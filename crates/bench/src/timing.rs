@@ -10,6 +10,13 @@
 //!
 //! `VC2M_BENCH_ITERS=<n>` overrides every measurement's iteration
 //! count (e.g. a quick smoke value of 1 in CI).
+//!
+//! Besides the human-readable rows, benches that feed automated
+//! tracking (e.g. `sweep_scaling` → `results/BENCH_sweep.json`) render
+//! machine-readable JSON through [`JsonBuilder`] / [`json_array`] — a
+//! hand-rolled writer covering exactly the subset the benches emit,
+//! since the workspace's dependency policy admits no serialization
+//! crates.
 
 use std::time::Instant;
 
@@ -60,6 +67,127 @@ impl Measurement {
             self.iters
         )
     }
+
+    /// Renders the measurement as a JSON object (microsecond stats).
+    pub fn json(&self) -> String {
+        JsonBuilder::new()
+            .str("name", &self.name)
+            .int("iters", self.iters)
+            .num("min_us", self.min_us())
+            .num("avg_us", self.avg_us())
+            .num("max_us", self.max_us())
+            .build()
+    }
+}
+
+/// Builds one JSON object, member by member, in insertion order.
+///
+/// Rendering is pretty-printed with two-space indentation; nested
+/// objects and arrays passed through [`JsonBuilder::raw`] are
+/// re-indented line by line, so composing builders yields uniformly
+/// indented documents. Numbers use Rust's shortest-roundtrip `{}`
+/// formatting; non-finite floats become `null` (JSON has no NaN).
+#[derive(Debug, Clone, Default)]
+pub struct JsonBuilder {
+    members: Vec<(String, String)>,
+}
+
+impl JsonBuilder {
+    /// An empty object (`{}` until members are added).
+    pub fn new() -> Self {
+        JsonBuilder::default()
+    }
+
+    /// Adds a string member (escaped).
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = format!("\"{}\"", escape_json(value));
+        self.raw(key, rendered)
+    }
+
+    /// Adds a floating-point member; non-finite values become `null`.
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, rendered)
+    }
+
+    /// Adds an unsigned-integer member.
+    pub fn int(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a boolean member.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds an already-rendered JSON value (nested object or array).
+    pub fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.members.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        if self.members.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{\n");
+        let last = self.members.len() - 1;
+        for (i, (key, value)) in self.members.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(&escape_json(key));
+            out.push_str("\": ");
+            out.push_str(&value.replace('\n', "\n  "));
+            if i < last {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders already-rendered JSON values as a pretty-printed array.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    let last = items.len() - 1;
+    for (i, item) in items.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&item.replace('\n', "\n  "));
+        if i < last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn iteration_count(default_iters: u64) -> u64 {
@@ -162,5 +290,53 @@ mod tests {
         );
         // Warmup iterations also call setup, so at least `iters` total.
         assert!(setups.get() >= m.iters());
+    }
+
+    #[test]
+    fn json_builder_renders_members_in_order() {
+        let json = JsonBuilder::new()
+            .str("name", "quick")
+            .int("units", 72)
+            .num("speedup", 1.5)
+            .bool("cache", true)
+            .build();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"quick\",\n  \"units\": 72,\n  \"speedup\": 1.5,\n  \"cache\": true\n}"
+        );
+        assert_eq!(JsonBuilder::new().build(), "{}");
+    }
+
+    #[test]
+    fn json_builder_escapes_and_nulls() {
+        let json = JsonBuilder::new()
+            .str("path", "a\\b\"c\nd\u{1}")
+            .num("nan", f64::NAN)
+            .num("inf", f64::INFINITY)
+            .build();
+        assert!(json.contains("\"a\\\\b\\\"c\\nd\\u0001\""));
+        assert!(json.contains("\"nan\": null"));
+        assert!(json.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn json_nesting_reindents() {
+        let inner = JsonBuilder::new().int("x", 1).build();
+        let arr = json_array([inner.clone(), inner.clone()]);
+        assert_eq!(json_array(Vec::<String>::new()), "[]");
+        let outer = JsonBuilder::new().raw("runs", arr).build();
+        // Every line of the nested object gains one indent level per
+        // wrapping, so the innermost member sits at three levels.
+        assert!(outer.contains("\n      \"x\": 1"));
+        assert!(outer.ends_with("  ]\n}"));
+    }
+
+    #[test]
+    fn measurement_json_has_all_stats() {
+        let m = run("jsonable", 4, || 2 + 2);
+        let json = m.json();
+        for key in ["\"name\": \"jsonable\"", "\"iters\": 4", "\"min_us\"", "\"avg_us\"", "\"max_us\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

@@ -245,6 +245,7 @@ pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     config.solutions = options.solutions()?;
     config.base_seed = options.parse_or("seed", config.base_seed)?;
+    config.use_cache = !options.switch("no-cache");
     let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = options.parse_or("threads", default_threads)?;
     if threads == 0 {

@@ -75,6 +75,7 @@ COMMON OPTIONS:
 SWEEP OPTIONS:
     --full                        Paper scale (step 0.05, 50 tasksets/point)
     --threads <usize>             Worker threads (default: all cores)
+    --no-cache                    Disable the analysis interface cache
     --out <path>                  Write the fractions CSV here
 
 SIMULATE OPTIONS:

@@ -69,6 +69,7 @@ pub use vc2m_workload as workload;
 pub mod prelude {
     pub use crate::sweep::{utilization_steps, SweepConfig, SweepResults};
     pub use vc2m_alloc::{AllocationOutcome, Solution, SystemAllocation};
+    pub use vc2m_analysis::{AnalysisCache, CacheStats};
     pub use vc2m_hypervisor::{HypervisorSim, IsolationMode, SimConfig, SimReport};
     pub use vc2m_model::{
         Alloc, Platform, ResourceSpace, Task, TaskId, TaskSet, VcpuId, VcpuSpec, VmId, VmSpec,

@@ -6,10 +6,22 @@
 //! the fraction of schedulable tasksets (Figures 2 and 3) and the
 //! analysis running time (Figure 4). The same tasksets are presented
 //! to every solution, as in the paper.
+//!
+//! The unit of work is one `(utilization point, repetition)` pair: the
+//! pair derives its own seed, generates its taskset, and analyzes it
+//! with every configured solution through one shared [`AnalysisCache`]
+//! (enabled via [`SweepConfig::use_cache`]). [`run_sweep_parallel`]
+//! distributes these units — not whole points — over worker threads,
+//! so load stays balanced even when the thread count approaches the
+//! number of points; per-cell results merge by plain integer addition,
+//! which is order-independent, so the parallel sweep is cell-for-cell
+//! identical to the serial one (the sweep conformance suite pins
+//! this).
 
 use std::fmt;
 use std::time::{Duration, Instant};
 use vc2m_alloc::Solution;
+use vc2m_analysis::{AnalysisCache, CacheStats};
 use vc2m_model::{Platform, VmId, VmSpec};
 use vc2m_workload::{TasksetConfig, TasksetGenerator, UtilizationDist};
 
@@ -41,6 +53,10 @@ pub struct SweepConfig {
     pub solutions: Vec<Solution>,
     /// Base RNG seed; every (point, taskset) pair derives its own.
     pub base_seed: u64,
+    /// Whether each work unit's solutions share an [`AnalysisCache`].
+    /// Results are bit-identical either way; the cache only removes
+    /// redundant minimal-budget computations.
+    pub use_cache: bool,
 }
 
 impl SweepConfig {
@@ -56,6 +72,7 @@ impl SweepConfig {
             tasksets_per_point: 50,
             solutions: Solution::ALL.to_vec(),
             base_seed: 0xDAC_2019,
+            use_cache: true,
         }
     }
 
@@ -70,6 +87,7 @@ impl SweepConfig {
             tasksets_per_point: 8,
             solutions: Solution::ALL.to_vec(),
             base_seed: 0xDAC_2019,
+            use_cache: true,
         }
     }
 
@@ -83,6 +101,17 @@ impl SweepConfig {
     pub fn with_solutions(mut self, solutions: Vec<Solution>) -> Self {
         self.solutions = solutions;
         self
+    }
+
+    /// Returns a copy with the analysis cache switched on or off.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Total `(point, repetition)` work units of this sweep.
+    pub fn total_units(&self) -> usize {
+        self.utilizations.len() * self.tasksets_per_point
     }
 }
 
@@ -131,12 +160,19 @@ pub struct SweepRow {
 pub struct SweepResults {
     solutions: Vec<Solution>,
     rows: Vec<SweepRow>,
+    cache: CacheStats,
 }
 
 impl SweepResults {
     /// The solutions, in column order.
     pub fn solutions(&self) -> &[Solution] {
         &self.solutions
+    }
+
+    /// Aggregated analysis-cache counters over all work units (all
+    /// zero when the sweep ran with [`SweepConfig::use_cache`] off).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 
     /// The rows, in utilization order.
@@ -253,13 +289,19 @@ pub fn run_sweep_with_progress(
     mut progress: impl FnMut(usize, usize),
 ) -> SweepResults {
     let mut rows = Vec::with_capacity(config.utilizations.len());
+    let mut cache = CacheStats::default();
     for pi in 0..config.utilizations.len() {
-        rows.push(sweep_point(config, pi));
+        let mut row = empty_row(config, pi);
+        for rep in 0..config.tasksets_per_point {
+            merge_unit(&mut row, &mut cache, sweep_unit(config, pi, rep));
+        }
+        rows.push(row);
         progress(pi + 1, config.utilizations.len());
     }
     SweepResults {
         solutions: config.solutions.clone(),
         rows,
+        cache,
     }
 }
 
@@ -268,14 +310,19 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResults {
     run_sweep_with_progress(config, |_, _| {})
 }
 
-/// Runs a sweep with the utilization points distributed over
-/// `threads` worker threads.
+/// Runs a sweep with the `(point, repetition)` work units distributed
+/// over `threads` worker threads.
 ///
-/// Results are **identical** to [`run_sweep`]: every `(point,
-/// repetition)` pair derives its own seed, so the partitioning cannot
-/// change any outcome — only the wall-clock time. `progress` is called
-/// from worker threads as points complete (total order of calls is
-/// nondeterministic, the `(done, total)` counts are monotone).
+/// Results are **identical** to [`run_sweep`]: every unit derives its
+/// own seed and cells merge by order-independent addition, so the
+/// partitioning cannot change any outcome — only the wall-clock time.
+/// Repetition granularity (1950 units at paper scale rather than ≤ 39
+/// points) keeps the work queue balanced even at thread counts where
+/// whole points would leave most workers idle. `progress` is called
+/// from worker threads as units complete, with monotonically
+/// increasing `(units_done, units_total)` counts, ending at
+/// `(units_total, units_total)`; it runs under the result lock, so it
+/// must not block on the sweep itself.
 ///
 /// # Panics
 ///
@@ -286,70 +333,109 @@ pub fn run_sweep_parallel(
     progress: impl Fn(usize, usize) + Sync,
 ) -> SweepResults {
     assert!(threads > 0, "need at least one thread");
-    let total = config.utilizations.len();
-    let done = std::sync::atomic::AtomicUsize::new(0);
-    let mut rows: Vec<Option<SweepRow>> = Vec::new();
-    rows.resize_with(total, || None);
-    let rows_mutex = std::sync::Mutex::new(&mut rows);
+    let points = config.utilizations.len();
+    let reps = config.tasksets_per_point;
+    let total_units = points * reps;
+    let mut rows: Vec<SweepRow> = (0..points).map(|pi| empty_row(config, pi)).collect();
+    let mut cache = CacheStats::default();
+    // One lock guards row merging, stats aggregation and the progress
+    // counter, so observed (done, total) pairs are strictly monotone.
+    let merged = std::sync::Mutex::new((&mut rows, &mut cache, 0usize));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(total.max(1)) {
+        for _ in 0..threads.min(total_units.max(1)) {
             scope.spawn(|| loop {
-                let pi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if pi >= total {
+                let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if unit >= total_units {
                     break;
                 }
-                let row = sweep_point(config, pi);
-                {
-                    let mut rows = rows_mutex.lock().expect("no poisoned workers");
-                    rows[pi] = Some(row);
-                }
-                let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                progress(d, total);
+                let (pi, rep) = (unit / reps, unit % reps);
+                let outcome = sweep_unit(config, pi, rep);
+                let mut guard = merged.lock().expect("no poisoned workers");
+                let (rows, cache, done) = &mut *guard;
+                merge_unit(&mut rows[pi], cache, outcome);
+                *done += 1;
+                progress(*done, total_units);
             });
         }
     });
 
     SweepResults {
         solutions: config.solutions.clone(),
-        rows: rows
-            .into_iter()
-            .map(|r| r.expect("all points computed"))
-            .collect(),
+        rows,
+        cache,
     }
 }
 
-/// Computes one utilization point of a sweep (all repetitions, all
-/// solutions). Deterministic in `(config.base_seed, point_index)`.
-fn sweep_point(config: &SweepConfig, point_index: usize) -> SweepRow {
-    let utilization = config.utilizations[point_index];
-    let mut cells = vec![SweepCell::default(); config.solutions.len()];
-    for rep in 0..config.tasksets_per_point {
-        let seed = config
-            .base_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((point_index as u64) << 32)
-            .wrapping_add(rep as u64);
-        let mut generator = TasksetGenerator::new(
-            config.platform.resources(),
-            TasksetConfig::new(utilization, config.distribution),
-            seed,
-        );
-        let tasks = generator.generate();
-        let vms = vec![VmSpec::new(VmId(0), tasks).expect("generated taskset is non-empty")];
-        for (ci, &solution) in config.solutions.iter().enumerate() {
-            let start = Instant::now();
-            let outcome = solution.allocate(&vms, &config.platform, seed);
-            let elapsed = start.elapsed();
-            cells[ci].total += 1;
-            cells[ci].runtime += elapsed;
-            if outcome.is_schedulable() {
-                cells[ci].schedulable += 1;
-            }
+/// Per-solution outcome of one `(point, repetition)` work unit.
+struct UnitOutcome {
+    /// `(schedulable, analysis wall-clock)` per solution, in
+    /// configuration order.
+    cells: Vec<(bool, Duration)>,
+    cache: CacheStats,
+}
+
+/// A point's row with every cell still empty.
+fn empty_row(config: &SweepConfig, point_index: usize) -> SweepRow {
+    SweepRow {
+        utilization: config.utilizations[point_index],
+        cells: vec![SweepCell::default(); config.solutions.len()],
+    }
+}
+
+/// Folds a unit's outcome into its row. All updates are plain integer
+/// additions (`Duration` included), so merge order cannot affect the
+/// result.
+fn merge_unit(row: &mut SweepRow, cache: &mut CacheStats, unit: UnitOutcome) {
+    for (cell, (schedulable, elapsed)) in row.cells.iter_mut().zip(unit.cells) {
+        cell.total += 1;
+        cell.runtime += elapsed;
+        if schedulable {
+            cell.schedulable += 1;
         }
     }
-    SweepRow { utilization, cells }
+    cache.merge(unit.cache);
+}
+
+/// Computes one `(point, repetition)` work unit: generates the unit's
+/// taskset and analyzes it with every configured solution, all sharing
+/// one [`AnalysisCache`] when [`SweepConfig::use_cache`] is set — the
+/// paper's methodology presents the *same* taskset to every solution,
+/// which is exactly when analyses repeat each other's budget searches.
+/// Deterministic in `(config.base_seed, point_index, rep)`.
+fn sweep_unit(config: &SweepConfig, point_index: usize, rep: usize) -> UnitOutcome {
+    let utilization = config.utilizations[point_index];
+    let seed = config
+        .base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((point_index as u64) << 32)
+        .wrapping_add(rep as u64);
+    let mut generator = TasksetGenerator::new(
+        config.platform.resources(),
+        TasksetConfig::new(utilization, config.distribution),
+        seed,
+    );
+    let tasks = generator.generate();
+    let vms = vec![VmSpec::new(VmId(0), tasks).expect("generated taskset is non-empty")];
+    let cache = if config.use_cache {
+        AnalysisCache::enabled()
+    } else {
+        AnalysisCache::disabled()
+    };
+    let cells = config
+        .solutions
+        .iter()
+        .map(|&solution| {
+            let start = Instant::now();
+            let outcome = solution.allocate_with_cache(&vms, &config.platform, seed, &cache);
+            (outcome.is_schedulable(), start.elapsed())
+        })
+        .collect();
+    UnitOutcome {
+        cells,
+        cache: cache.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +478,7 @@ mod tests {
             tasksets_per_point: 3,
             solutions: vec![Solution::HeuristicFlattening, Solution::Baseline],
             base_seed: 7,
+            use_cache: true,
         };
         let results = run_sweep(&config);
         assert_eq!(results.rows().len(), 2);
@@ -421,6 +508,7 @@ mod tests {
             tasksets_per_point: 2,
             solutions: vec![Solution::HeuristicFlattening],
             base_seed: 3,
+            use_cache: true,
         };
         let results = run_sweep(&config);
         let breakdown = results.breakdown_utilization(Solution::HeuristicFlattening);
@@ -437,6 +525,7 @@ mod tests {
             tasksets_per_point: 1,
             solutions: vec![Solution::Baseline],
             base_seed: 1,
+            use_cache: true,
         };
         let results = run_sweep(&config);
         let csv = results.fractions_csv();
@@ -456,6 +545,7 @@ mod tests {
             tasksets_per_point: 1,
             solutions: vec![Solution::HeuristicFlattening],
             base_seed: 1,
+            use_cache: true,
         };
         let mut calls = Vec::new();
         let _ = run_sweep_with_progress(&config, |done, total| calls.push((done, total)));
@@ -471,6 +561,7 @@ mod tests {
             tasksets_per_point: 2,
             solutions: vec![Solution::HeuristicFlattening, Solution::Baseline],
             base_seed: 13,
+            use_cache: true,
         };
         let serial = run_sweep(&config);
         let parallel = run_sweep_parallel(&config, 3, |_, _| {});
@@ -496,5 +587,66 @@ mod tests {
         let a = run_sweep(&small);
         let b = run_sweep(&small);
         assert_eq!(a.fractions_csv(), b.fractions_csv());
+    }
+
+    #[test]
+    fn parallel_progress_counts_units_monotonically() {
+        let config = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.2, 0.5, 0.8],
+            tasksets_per_point: 4,
+            solutions: vec![Solution::HeuristicFlattening],
+            base_seed: 11,
+            use_cache: true,
+        };
+        assert_eq!(config.total_units(), 12);
+        let calls = std::sync::Mutex::new(Vec::new());
+        let _ = run_sweep_parallel(&config, 4, |done, total| {
+            calls.lock().unwrap().push((done, total));
+        });
+        let calls = calls.into_inner().unwrap();
+        assert_eq!(calls.len(), 12);
+        for (i, &(done, total)) in calls.iter().enumerate() {
+            assert_eq!(total, 12);
+            assert_eq!(done, i + 1, "progress counts must be strictly monotone");
+        }
+        assert_eq!(calls.last(), Some(&(12, 12)));
+    }
+
+    #[test]
+    fn cached_sweep_equals_uncached() {
+        let base = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.6, 1.2],
+            tasksets_per_point: 2,
+            solutions: vec![Solution::HeuristicExisting, Solution::Baseline],
+            base_seed: 21,
+            use_cache: true,
+        };
+        let cached = run_sweep(&base);
+        let uncached = run_sweep(&base.clone().with_cache(false));
+        assert_eq!(cached.fractions_csv(), uncached.fractions_csv());
+        assert!(cached.cache_stats().hits > 0, "cache never hit");
+        assert_eq!(uncached.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn zero_repetitions_yield_empty_cells() {
+        let config = SweepConfig {
+            platform: Platform::platform_a(),
+            distribution: UtilizationDist::Uniform,
+            utilizations: vec![0.5, 1.0],
+            tasksets_per_point: 0,
+            solutions: vec![Solution::Baseline],
+            base_seed: 1,
+            use_cache: true,
+        };
+        for results in [run_sweep(&config), run_sweep_parallel(&config, 2, |_, _| {})] {
+            assert_eq!(results.rows().len(), 2);
+            assert_eq!(results.cell(0, Solution::Baseline).total, 0);
+            assert_eq!(results.cell(0, Solution::Baseline).fraction(), 0.0);
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! Differential conformance for the sweep engine's two optimizations:
+//! the analysis interface cache and repetition-granular parallelism.
+//!
+//! Neither is allowed to change a single result bit. These tests prove
+//! it differentially, against the unoptimized configuration as the
+//! reference implementation:
+//!
+//! * per solution, the cached VM-level interface (every VCPU's period
+//!   and full budget surface, compared bit for bit) and the final
+//!   allocation verdict equal the uncached ones, both with a private
+//!   cache and with one cache shared across all five solutions — the
+//!   sharing structure the sweep actually uses;
+//! * [`run_sweep_parallel`] at 1, 2 and 8 threads reproduces
+//!   [`run_sweep`] cell for cell (schedulable and total counts;
+//!   runtimes are wall-clock and legitimately differ);
+//! * a cached sweep reproduces an uncached sweep cell for cell while
+//!   actually hitting the cache.
+
+use vc2m::model::{VmId, VmSpec};
+use vc2m::prelude::*;
+use vc2m::rng::DetRng;
+use vc2m::sweep::{run_sweep, run_sweep_parallel, SweepConfig};
+
+/// A sweep configuration small enough for a debug-build test but still
+/// covering infeasible, contended and easy utilization points.
+fn small_config() -> SweepConfig {
+    let mut config = SweepConfig::quick(Platform::platform_a(), UtilizationDist::Uniform);
+    config.utilizations = vec![0.4, 1.2, 2.0];
+    config.tasksets_per_point = 2;
+    config
+}
+
+fn generate_vms(utilization: f64, seed: u64) -> Vec<VmSpec> {
+    let platform = Platform::platform_a();
+    let mut generator = TasksetGenerator::new(
+        platform.resources(),
+        TasksetConfig::new(utilization, UtilizationDist::Uniform),
+        seed,
+    );
+    vec![VmSpec::new(VmId(0), generator.generate()).expect("non-empty taskset")]
+}
+
+/// Asserts two VM-level interfaces are bit-identical: same VCPUs, same
+/// periods, and budget surfaces equal in their `f64` bits.
+fn assert_interfaces_bit_identical(
+    reference: &[vc2m::model::VcpuSpec],
+    optimized: &[vc2m::model::VcpuSpec],
+    context: &str,
+) {
+    assert_eq!(reference.len(), optimized.len(), "{context}: VCPU count");
+    for (r, o) in reference.iter().zip(optimized) {
+        assert_eq!(r.id(), o.id(), "{context}: id");
+        assert_eq!(r.vm(), o.vm(), "{context}: vm");
+        assert_eq!(
+            r.period().to_bits(),
+            o.period().to_bits(),
+            "{context}: period bits of {:?}",
+            r.id()
+        );
+        assert_eq!(r.tasks(), o.tasks(), "{context}: task assignment");
+        let rb: Vec<(vc2m::model::Alloc, f64)> = r.budget_surface().iter().collect();
+        let ob: Vec<(vc2m::model::Alloc, f64)> = o.budget_surface().iter().collect();
+        assert_eq!(rb.len(), ob.len(), "{context}: surface size");
+        for ((alloc, a), (_, b)) in rb.iter().zip(&ob) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{context}: budget bits of {:?} at {alloc:?} ({a} vs {b})",
+                r.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_vm_level_interface_is_bit_identical_per_solution() {
+    let platform = Platform::platform_a();
+    for &(utilization, seed) in &[(0.5, 7u64), (1.0, 42), (1.6, 1234)] {
+        let vms = generate_vms(utilization, seed);
+        for solution in Solution::ALL {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let reference = solution.vm_level(&vms, &platform, &mut rng);
+            let cache = AnalysisCache::enabled();
+            let mut rng = DetRng::seed_from_u64(seed);
+            let cached = solution.vm_level_with_cache(&vms, &platform, &cache, &mut rng);
+            let context = format!("{solution:?} at u={utilization} seed={seed}");
+            match (&reference, &cached) {
+                (Ok(r), Ok(c)) => assert_interfaces_bit_identical(r, c, &context),
+                (Err(_), Err(_)) => {}
+                _ => panic!("{context}: cached and uncached disagree on failure"),
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_cache_across_solutions_matches_uncached_allocation() {
+    let platform = Platform::platform_a();
+    for &(utilization, seed) in &[(0.5, 7u64), (1.0, 42), (1.6, 1234)] {
+        let vms = generate_vms(utilization, seed);
+        // One cache shared across the five solutions, as sweep_unit
+        // shares it: earlier solutions' memo entries must not leak
+        // wrong answers into later ones.
+        let shared = AnalysisCache::enabled();
+        for solution in Solution::ALL {
+            let reference = solution.allocate(&vms, &platform, seed);
+            let cached = solution.allocate_with_cache(&vms, &platform, seed, &shared);
+            assert_eq!(
+                reference.is_schedulable(),
+                cached.is_schedulable(),
+                "{solution:?} verdict at u={utilization} seed={seed}"
+            );
+            assert_eq!(
+                reference, cached,
+                "{solution:?} allocation at u={utilization} seed={seed}"
+            );
+        }
+        assert!(
+            shared.stats().hits > 0,
+            "sharing across solutions produced no hits at u={utilization}"
+        );
+    }
+}
+
+/// Cell-for-cell equality of two sweeps: utilizations, schedulable
+/// counts and totals (runtime is wall-clock and may differ).
+fn assert_sweeps_equal(reference: &vc2m::sweep::SweepResults, other: &vc2m::sweep::SweepResults, context: &str) {
+    assert_eq!(reference.solutions(), other.solutions(), "{context}: solutions");
+    assert_eq!(reference.rows().len(), other.rows().len(), "{context}: rows");
+    for (row, (r, o)) in reference.rows().iter().zip(other.rows()).enumerate() {
+        assert_eq!(
+            r.utilization.to_bits(),
+            o.utilization.to_bits(),
+            "{context}: row {row} utilization"
+        );
+        assert_eq!(r.cells.len(), o.cells.len(), "{context}: row {row} width");
+        for (col, (rc, oc)) in r.cells.iter().zip(&o.cells).enumerate() {
+            assert_eq!(
+                (rc.schedulable, rc.total),
+                (oc.schedulable, oc.total),
+                "{context}: cell ({row}, {col})"
+            );
+        }
+    }
+    // The rendered artifact the figures are built from must also agree.
+    assert_eq!(reference.fractions_csv(), other.fractions_csv(), "{context}: csv");
+}
+
+#[test]
+fn parallel_sweep_matches_serial_at_every_thread_count() {
+    let config = small_config();
+    let serial = run_sweep(&config);
+    for threads in [1, 2, 8] {
+        let parallel = run_sweep_parallel(&config, threads, |_, _| {});
+        assert_sweeps_equal(&serial, &parallel, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn cached_sweep_matches_uncached_sweep() {
+    let config = small_config();
+    let uncached = run_sweep(&config.clone().with_cache(false));
+    let cached = run_sweep(&config.clone().with_cache(true));
+    assert_sweeps_equal(&uncached, &cached, "cache");
+    assert_eq!(uncached.cache_stats(), CacheStats::default());
+    assert!(cached.cache_stats().hits > 0, "cache never hit");
+}
+
+#[test]
+fn parallel_cached_sweep_matches_serial_uncached() {
+    // The full optimized configuration against the fully unoptimized
+    // one — the exact comparison the scaling bench enforces at scale.
+    let config = small_config();
+    let reference = run_sweep(&config.clone().with_cache(false));
+    let optimized = run_sweep_parallel(&config.clone().with_cache(true), 4, |_, _| {});
+    assert_sweeps_equal(&reference, &optimized, "parallel+cache");
+}

@@ -69,6 +69,57 @@ fn gantt_marks_exactly_the_executed_cells() {
     });
 }
 
+/// Regression (from a retired shrinker seed): intervals whose
+/// endpoints carry float noise near cell boundaries — e.g. an
+/// execution ending at `0.020000000000000004` ms inside a 1 ms cell,
+/// or one spanning `10.243…‥10.263…` right at the start of cell 10.
+/// The renderer must mark exactly the cells these intervals overlap
+/// (beyond the 1e-6 ms rounding tolerance) and no others.
+#[test]
+fn regression_gantt_boundary_noise_intervals_mark_exact_cells() {
+    let intervals = [
+        (0.0, 0.020000000000000004),
+        (3.2315874535240154, 3.2515874535240155),
+        (10.243242625565522, 10.263242625565521),
+        (10.920415198067866, 13.228895548928268),
+        (22.350581221842855, 24.347602527483613),
+    ];
+    let mut log = SupplyLog::new(SimDuration::from_ms(10.0), SimTime::ZERO);
+    for &(s, e) in &intervals {
+        log.record(SimTime::from_ms(s), SimTime::from_ms(e));
+    }
+    let logs: BTreeMap<VcpuId, SupplyLog> = [(VcpuId(0), log)].into_iter().collect();
+    let width = 100usize;
+    let out = gantt::render(&logs, SimTime::ZERO, SimTime::from_ms(100.0), width);
+    let row = out.lines().nth(1).expect("one row");
+    let cells: Vec<char> = row
+        .split('|')
+        .nth(1)
+        .expect("framed row")
+        .chars()
+        .collect();
+    assert_eq!(cells.len(), width);
+    let cell_ms = 1.0;
+    for (i, &c) in cells.iter().enumerate() {
+        let lo = i as f64 * cell_ms;
+        let hi = lo + cell_ms;
+        let intersects = intervals.iter().any(|&(s, e)| s < hi && e > lo);
+        if c == '#' {
+            assert!(intersects, "cell {i} marked without execution");
+        } else {
+            let overlap: f64 = intervals
+                .iter()
+                .map(|&(s, e)| (e.min(hi) - s.max(lo)).max(0.0))
+                .sum();
+            assert!(overlap < 1e-6, "cell {i} unmarked despite {overlap} ms overlap");
+        }
+    }
+    // The seed's specific cells: 0–3 and 10–13 and 22–24 executed.
+    for marked in [0, 3, 10, 11, 12, 13, 22, 23, 24] {
+        assert_eq!(cells[marked], '#', "cell {marked} must be marked");
+    }
+}
+
 #[test]
 fn supply_log_total_matches_interval_sum() {
     check(48, |rng| {

@@ -119,11 +119,30 @@ impl Surface {
     /// The slowdown vector sᵢ = \[eᵢ(c,b)/e*ᵢ\] of this surface
     /// (Section 4.1), used as the clustering feature.
     pub fn slowdown_vector(&self) -> SlowdownVector {
-        let reference = self.reference();
         SlowdownVector {
             space: self.space,
-            values: self.values.iter().map(|v| v / reference).collect(),
+            values: self.slowdown_values(),
         }
+    }
+
+    /// The raw slowdown values eᵢ(c,b)/e*ᵢ in row-major order, without
+    /// the [`SlowdownVector`] wrapper — the bare feature row consumed
+    /// by the k-means clustering. Same numbers as
+    /// `self.slowdown_vector().as_slice().to_vec()` with a single
+    /// allocation instead of two.
+    pub fn slowdown_values(&self) -> Vec<f64> {
+        let reference = self.reference();
+        self.values.iter().map(|v| v / reference).collect()
+    }
+
+    /// Batch slowdown-surface evaluation: one feature row per surface,
+    /// in input order. The allocation algorithms feed a whole
+    /// taskset's (or VCPU set's) surfaces through this before
+    /// clustering.
+    pub fn batch_slowdown_rows<'a>(
+        surfaces: impl IntoIterator<Item = &'a Surface>,
+    ) -> Vec<Vec<f64>> {
+        surfaces.into_iter().map(Surface::slowdown_values).collect()
     }
 
     /// The maximum slowdown factor s^max = max eᵢ(c,b) / e*ᵢ.
@@ -375,5 +394,25 @@ mod tests {
         let s = Surface::flat(&space(), 1.5).unwrap();
         assert_eq!(s.iter().count(), 9);
         assert!(s.iter().all(|(_, v)| v == 1.5));
+    }
+
+    #[test]
+    fn slowdown_values_match_slowdown_vector_bitwise() {
+        let a = Surface::from_fn(&space(), |al| 10.0 / (al.cache + al.bandwidth) as f64).unwrap();
+        let b = Surface::from_fn(&space(), |al| 1.0 + al.cache as f64).unwrap();
+        for s in [&a, &b] {
+            let bits: Vec<u64> = s.slowdown_values().iter().map(|v| v.to_bits()).collect();
+            let via_vector: Vec<u64> = s
+                .slowdown_vector()
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(bits, via_vector);
+        }
+        let rows = Surface::batch_slowdown_rows([&a, &b]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], a.slowdown_values());
+        assert_eq!(rows[1], b.slowdown_values());
     }
 }

@@ -171,6 +171,226 @@ pub fn min_budget(demand: &Demand, period: f64) -> Option<f64> {
     Some(hi)
 }
 
+/// Repeated minimal-budget solver for demands sharing one period
+/// vector.
+///
+/// The existing-CSA analysis ([`min_budget`] behind
+/// `vc2m_analysis::existing`) evaluates the minimal budget once per
+/// allocation cell of a budget surface — hundreds of calls whose
+/// demands share *periods* and differ only in their WCETs. The horizon,
+/// the checkpoints and the per-checkpoint job counts ⌊t/pᵢ⌋ depend only
+/// on the periods, so this solver computes them once and repeats only
+/// the WCET-dependent part per cell.
+///
+/// Results are **bit-identical** to `min_budget(&Demand::new(periods ⨯
+/// wcets), period)`: every floating-point operation of the search is
+/// performed in the same order on the same values (`solver_matches_
+/// min_budget_bitwise` below, and the sweep conformance suite, pin
+/// this).
+#[derive(Debug, Clone)]
+pub struct MinBudgetSolver {
+    periods: Vec<f64>,
+    period: f64,
+    points: Vec<f64>,
+    /// `floors[j][i] = ⌊points[j] / periods[i] + 1e-9⌋` — the job count
+    /// of task `i` at checkpoint `j`, so `dbf(points[j])` is a dot
+    /// product with the WCET vector.
+    floors: Vec<Vec<f64>>,
+    /// Reusable per-call buffer for the checkpoint demands (the solver
+    /// is called once per surface cell; the allocation is not).
+    demands: std::cell::RefCell<Vec<f64>>,
+    /// Reusable `(active, retained)` index buffers for the active-set
+    /// bisection (see [`MinBudgetSolver::min_budget`]).
+    active: std::cell::RefCell<(Vec<u32>, Vec<u32>)>,
+}
+
+impl MinBudgetSolver {
+    /// Precomputes the checkpoint structure for demands over
+    /// `task_periods` analyzed against a resource of period `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or any task period is not positive and
+    /// finite.
+    pub fn new(task_periods: &[f64], period: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "resource period must be positive and finite, got {period}"
+        );
+        // A unit-WCET proxy demand: checkpoints and hyperperiod depend
+        // only on the periods, except that zero-WCET tasks are skipped
+        // — the all-positive fast path of `min_budget` below relies on
+        // this, and mixed-zero WCET vectors fall back to the reference
+        // implementation.
+        let proxy = Demand::new(task_periods.iter().map(|&p| (p, 1.0)).collect())
+            .expect("task periods must be positive and finite");
+        let horizon = proxy.hyperperiod().unwrap_or(10_000.0).max(2.0 * period);
+        let points = proxy.checkpoints(horizon, 100_000);
+        let floors = points
+            .iter()
+            .map(|&t| {
+                task_periods
+                    .iter()
+                    .map(|&p| ((t / p) + 1e-9).floor())
+                    .collect()
+            })
+            .collect();
+        MinBudgetSolver {
+            periods: task_periods.to_vec(),
+            period,
+            points,
+            floors,
+            demands: std::cell::RefCell::new(Vec::new()),
+            active: std::cell::RefCell::new((Vec::new(), Vec::new())),
+        }
+    }
+
+    /// The resource period Π this solver was built for.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Computes the minimal budget for the demand pairing this solver's
+    /// periods with `wcets`, bit-identical to [`min_budget`] on the
+    /// corresponding [`Demand`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcets` has the wrong length or contains a negative or
+    /// non-finite WCET.
+    // The negated comparisons are load-bearing: `!(e > 0.0)` routes
+    // NaN WCETs to the fallback (where `Demand::new` rejects them),
+    // and the feasibility guards must evaluate the reference's exact
+    // boolean expressions, negation included.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn min_budget(&self, wcets: &[f64]) -> Option<f64> {
+        assert_eq!(
+            wcets.len(),
+            self.periods.len(),
+            "WCET vector length must match the solver's period vector"
+        );
+        if wcets.iter().all(|&e| e == 0.0) {
+            return Some(0.0);
+        }
+        if wcets.iter().any(|&e| !(e > 0.0)) {
+            // A mix of zero and positive WCETs changes the checkpoint
+            // set (zero-WCET tasks contribute no deadlines); defer to
+            // the reference implementation rather than replicate that
+            // rarely-exercised branch. Negative or non-finite WCETs
+            // also land here, where `Demand::new` rejects them.
+            let demand =
+                Demand::new(self.periods.iter().copied().zip(wcets.iter().copied()).collect())
+                    .expect("solver WCETs must be finite and non-negative");
+            return min_budget(&demand, self.period);
+        }
+        // From here on the arithmetic mirrors `min_budget` operation
+        // for operation: same folds, same order, same tolerances. The
+        // *set of points checked* per probe shrinks (see `probe`), but
+        // every per-point comparison that is performed uses the exact
+        // float expressions of `PeriodicResource::sbf`, and skipped
+        // comparisons are provably `true` — so every probe's boolean,
+        // hence the bisection trajectory, hence the returned bits, are
+        // identical to the reference.
+        let utilization: f64 = self.periods.iter().zip(wcets).map(|(p, e)| e / p).sum();
+        let mut demands = self.demands.borrow_mut();
+        demands.clear();
+        demands.extend(
+            self.floors
+                .iter()
+                .map(|row| row.iter().zip(wcets).map(|(k, e)| k * e).sum::<f64>()),
+        );
+        let demands = &*demands;
+        let mut guard = self.active.borrow_mut();
+        let (active, retained) = &mut *guard;
+        active.clear();
+        active.extend(0..self.points.len() as u32);
+
+        // The reference's feasible(Π) utilization guard compares
+        // against Π/Π + 1e-12; x/x is exactly 1.0 for any finite
+        // positive x, so the constant is bit-identical.
+        if utilization > 1.0 + 1e-12 || !self.probe(self.period, demands, active, retained) {
+            return None;
+        }
+        let mut lo = (utilization * self.period).min(self.period);
+        if !(utilization > lo / self.period + 1e-12) && self.probe(lo, demands, active, retained) {
+            return Some(lo);
+        }
+        // In the bisection the utilization guard of the reference's
+        // `feasible` can never fire: reaching here means U ≤ 1 + 1e-12,
+        // and if U > 1 then lo = Π and feasible(Π) above already
+        // returned. So U ≤ 1, lo = U·Π (one rounding), and every probe
+        // θ = ½(lo + hi) ≥ lo, giving U − θ/Π ≤ a few ulps of U —
+        // orders below the guard's 1e-12 slack. The guard is therefore
+        // omitted from the loop; its boolean is identically `false`.
+        let mut hi = self.period;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.probe(mid, demands, active, retained) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo < 1e-9 {
+                break;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Margin for retiring a checkpoint from the active set: a point
+    /// satisfied by more than this at an infeasible probe θ is
+    /// satisfied at every larger θ and is never checked again.
+    ///
+    /// Soundness: the mathematical sbf is non-decreasing in Θ for fixed
+    /// (t, Π), and the float evaluation in [`PeriodicResource::sbf`]
+    /// (< 10 operations on values bounded by the `1e6` ms horizon cap)
+    /// deviates from it by at most a few ulps of the horizon,
+    /// ≈ `1e-9`. A retired point has `d ≤ sbf(θ) − 1e-6`, so at any
+    /// θ' ≥ θ the *computed* supply is within `2·1e-9` of a value at
+    /// least `sbf(θ)`, leaving `d ≤ sbf(θ') + 1e-9` true by a margin
+    /// of ~`1e-6` — the skipped comparison is provably `true`.
+    const DROP_MARGIN: f64 = 1e-6;
+
+    /// One feasibility probe at budget `theta` over the active
+    /// checkpoints. When the probe is infeasible (θ becomes the new
+    /// bisection `lo`, so all later probes are larger), comfortably
+    /// satisfied points are retired from `active`.
+    // Negated comparisons mirror the reference's booleans exactly; see
+    // `min_budget`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn probe(&self, theta: f64, demands: &[f64], active: &mut Vec<u32>, retained: &mut Vec<u32>) -> bool {
+        // `PeriodicResource::sbf` with `blackout` hoisted out of the
+        // point loop — same expressions, same rounding, per point.
+        let blackout = self.period - theta;
+        retained.clear();
+        let mut feasible = true;
+        for &j in active.iter() {
+            let t = self.points[j as usize];
+            let d = demands[j as usize];
+            let supply = if t <= blackout || theta == 0.0 {
+                0.0
+            } else {
+                let t_eff = t - blackout;
+                let k = (t_eff / self.period + 1e-12).floor();
+                let supplied = k * theta;
+                let partial = (t_eff - k * self.period - blackout).max(0.0);
+                supplied + partial.min(theta)
+            };
+            if !(d <= supply + 1e-9) {
+                feasible = false;
+                retained.push(j);
+            } else if !(d + Self::DROP_MARGIN <= supply) {
+                retained.push(j);
+            }
+        }
+        if !feasible {
+            std::mem::swap(active, retained);
+        }
+        feasible
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,5 +520,71 @@ mod tests {
     fn dedicated_resource_schedules_up_to_full_utilization() {
         let demand = Demand::new(vec![(10.0, 5.0), (20.0, 10.0)]).unwrap(); // U = 1.0
         assert!(PeriodicResource::new(10.0, 10.0).can_schedule(&demand));
+    }
+
+    fn assert_solver_matches(periods: &[f64], period: f64, wcet_vectors: &[Vec<f64>]) {
+        let solver = MinBudgetSolver::new(periods, period);
+        for wcets in wcet_vectors {
+            let demand =
+                Demand::new(periods.iter().copied().zip(wcets.iter().copied()).collect()).unwrap();
+            let reference = min_budget(&demand, period);
+            let fast = solver.min_budget(wcets);
+            assert_eq!(
+                fast.map(f64::to_bits),
+                reference.map(f64::to_bits),
+                "solver diverged for periods {periods:?}, wcets {wcets:?}, period {period}: \
+                 {fast:?} vs {reference:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_matches_min_budget_bitwise() {
+        // Harmonic periods (the paper's workloads) at several resource
+        // periods, spanning feasible, tight and infeasible WCETs.
+        assert_solver_matches(
+            &[100.0, 200.0, 400.0],
+            100.0,
+            &[
+                vec![1.0, 2.0, 4.0],
+                vec![30.0, 40.0, 80.0],
+                vec![90.0, 100.0, 200.0], // infeasible: U > 1
+                vec![0.017, 123.4, 5.0],
+            ],
+        );
+        assert_solver_matches(
+            &[100.0, 200.0, 400.0],
+            100.0 / 16.0,
+            &[vec![1.0, 2.0, 4.0], vec![0.5, 0.25, 0.125]],
+        );
+        // Non-harmonic periods exercise the LCM hyperperiod path.
+        assert_solver_matches(
+            &[4.0, 6.0, 10.0],
+            2.0,
+            &[vec![0.5, 1.0, 2.0], vec![1.9, 2.9, 4.9]],
+        );
+        // A period that defeats the ns-scaled LCM falls back to the
+        // capped horizon.
+        assert_solver_matches(&[3.0000001, 7.0], 3.0, &[vec![0.2, 0.4]]);
+    }
+
+    #[test]
+    fn solver_zero_and_mixed_wcets_match() {
+        let periods = [10.0, 20.0];
+        let solver = MinBudgetSolver::new(&periods, 5.0);
+        assert_eq!(solver.min_budget(&[0.0, 0.0]), Some(0.0));
+        // Mixed zero WCETs change the checkpoint set; the solver must
+        // still agree with the reference implementation.
+        let demand = Demand::new(vec![(10.0, 0.0), (20.0, 4.0)]).unwrap();
+        assert_eq!(
+            solver.min_budget(&[0.0, 4.0]).map(f64::to_bits),
+            min_budget(&demand, 5.0).map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn solver_rejects_wrong_arity() {
+        let _ = MinBudgetSolver::new(&[10.0, 20.0], 5.0).min_budget(&[1.0]);
     }
 }

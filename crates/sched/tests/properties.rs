@@ -71,6 +71,37 @@ fn dbf_is_superadditive_on_periods() {
     });
 }
 
+/// Regression (from a retired shrinker seed): a period that is *not*
+/// representable in whole nanoseconds, e.g. `47.0532022340515`, gets a
+/// ns-rounded hyperperiod *smaller* than the period itself, so
+/// `dbf(H) = 0` while `dbf(2H) = e` — superadditivity over the
+/// reported hyperperiod fails. The workload generator avoids the trap
+/// by quantizing period bases to whole nanoseconds
+/// (`(p·1e6).round()/1e6`) before building tasks; this test pins both
+/// the failure mode and the fix.
+#[test]
+fn regression_unquantized_period_breaks_hyperperiod_superadditivity() {
+    let p = 47.0532022340515;
+    let e = 0.470532022340515;
+    let raw = Demand::new(vec![(p, e)]).expect("valid demand");
+    let h = raw.hyperperiod().expect("single task has a hyperperiod");
+    // The ns-rounded hyperperiod undershoots the true period …
+    assert!(h < p, "hyperperiod {h} not below period {p}");
+    // … so no job deadline falls inside it: dbf(H) = 0 ≠ dbf(2H).
+    assert_eq!(raw.dbf(h), 0.0);
+    assert_eq!(raw.dbf(2.0 * h), e);
+    // Quantizing the period the way the generator does restores the
+    // k·dbf(H) identity exactly.
+    let pq = (p * 1e6f64).round() / 1e6;
+    let quantized = Demand::new(vec![(pq, e)]).expect("valid demand");
+    let hq = quantized.hyperperiod().expect("hyperperiod");
+    assert_eq!(hq, pq);
+    for k in 1..5u32 {
+        let expected = f64::from(k) * quantized.dbf(hq);
+        assert!((quantized.dbf(f64::from(k) * hq) - expected).abs() < 1e-12);
+    }
+}
+
 #[test]
 fn min_budget_is_sound_and_tight() {
     check(64, |rng| {

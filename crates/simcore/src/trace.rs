@@ -145,6 +145,47 @@ mod tests {
     }
 
     #[test]
+    fn dropped_accumulates_across_sustained_overflow() {
+        let mut buf = TraceBuffer::with_capacity(3);
+        for i in 0..100 {
+            buf.push(SimTime::from_ms(i as f64), i);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 97);
+        let kept: Vec<i32> = buf.iter().map(|r| r.payload).collect();
+        assert_eq!(kept, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_counts_every_push() {
+        let mut buf = TraceBuffer::with_capacity(0);
+        assert!(!buf.is_enabled());
+        for i in 0..50 {
+            buf.push(SimTime::ZERO, i);
+        }
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.dropped(), 50);
+        assert_eq!(buf.iter().count(), 0);
+    }
+
+    #[test]
+    fn clear_then_overflow_keeps_accumulating_drops() {
+        let mut buf = TraceBuffer::with_capacity(2);
+        for i in 0..5 {
+            buf.push(SimTime::ZERO, i);
+        }
+        assert_eq!(buf.dropped(), 3);
+        buf.clear();
+        // The ring is empty again: the next pushes fit, then evict.
+        for i in 0..4 {
+            buf.push(SimTime::ZERO, i);
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 5);
+    }
+
+    #[test]
     fn record_display() {
         let rec = TraceRecord {
             time: SimTime::from_ms(1.5),

@@ -24,6 +24,31 @@ fn arb_platform(rng: &mut DetRng) -> Platform {
     platforms[rng.gen_range(0..platforms.len())]
 }
 
+/// The paper's workload invariants for one generated taskset: target
+/// utilization reached without large overshoot, harmonic periods in
+/// range, monotone WCET surfaces with bounded worst corners.
+fn assert_paper_invariants(platform: Platform, dist: UtilizationDist, target: f64, seed: u64) {
+    let mut generator =
+        TasksetGenerator::new(platform.resources(), TasksetConfig::new(target, dist), seed);
+    let tasks = generator.generate();
+    // Reaches the target, overshooting by at most one task's
+    // utilization (≤ 0.9 for bimodal-heavy).
+    let u = tasks.reference_utilization();
+    assert!(u >= target);
+    assert!(u < target + 0.91, "overshoot too large: {u} vs {target}");
+    // Harmonic periods in [100, 1100].
+    assert!(tasks.is_harmonic());
+    for t in tasks.iter() {
+        assert!((100.0..=1100.0 + 1e-9).contains(&t.period()));
+        // The WCET surface is monotone (more resources never hurt)
+        // and the worst corner matches e_max = u_i * p_i <= 0.9 p_i.
+        assert!(t.wcet_surface().is_monotone_non_increasing());
+        let e_max = t.wcet_surface().at_minimum();
+        assert!(e_max <= 0.9 * t.period() + 1e-9);
+        assert!(t.reference_wcet() <= e_max + 1e-12);
+    }
+}
+
 #[test]
 fn generated_tasksets_satisfy_all_paper_invariants() {
     check(48, |rng| {
@@ -31,29 +56,27 @@ fn generated_tasksets_satisfy_all_paper_invariants() {
         let dist = arb_dist(rng);
         let target = rng.gen_range(0.1f64..2.0);
         let seed = rng.gen_range(0u64..10_000);
-        let mut generator = TasksetGenerator::new(
-            platform.resources(),
-            TasksetConfig::new(target, dist),
-            seed,
-        );
-        let tasks = generator.generate();
-        // Reaches the target, overshooting by at most one task's
-        // utilization (≤ 0.9 for bimodal-heavy).
-        let u = tasks.reference_utilization();
-        assert!(u >= target);
-        assert!(u < target + 0.91, "overshoot too large: {u} vs {target}");
-        // Harmonic periods in [100, 1100].
-        assert!(tasks.is_harmonic());
-        for t in tasks.iter() {
-            assert!((100.0..=1100.0 + 1e-9).contains(&t.period()));
-            // The WCET surface is monotone (more resources never hurt)
-            // and the worst corner matches e_max = u_i * p_i <= 0.9 p_i.
-            assert!(t.wcet_surface().is_monotone_non_increasing());
-            let e_max = t.wcet_surface().at_minimum();
-            assert!(e_max <= 0.9 * t.period() + 1e-9);
-            assert!(t.reference_wcet() <= e_max + 1e-12);
-        }
+        assert_paper_invariants(platform, dist, target, seed);
     });
+}
+
+/// Regression (from a retired shrinker seed that shrank to platform A,
+/// 4 cores / cache 2..=20 / bandwidth 1..=20): pin the invariant run
+/// on that exact platform across every distribution and a spread of
+/// targets and seeds, independent of the harness's case sampling.
+#[test]
+fn regression_platform_a_paper_invariants_pinned() {
+    let dists = [
+        UtilizationDist::Uniform,
+        UtilizationDist::BimodalLight,
+        UtilizationDist::BimodalMedium,
+        UtilizationDist::BimodalHeavy,
+    ];
+    for dist in dists {
+        for (target, seed) in [(0.1, 0u64), (0.7, 17), (1.3, 4242), (2.0, 9001)] {
+            assert_paper_invariants(Platform::platform_a(), dist, target, seed);
+        }
+    }
 }
 
 #[test]
