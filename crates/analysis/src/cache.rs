@@ -27,6 +27,7 @@
 //! workers each own their units' caches outright.
 
 use std::cell::RefCell;
+use vc2m_simcore::MetricsRegistry;
 
 /// The FxHash multiply-rotate word hash (rustc's `FxHashMap`): a few
 /// cycles per word against SipHash's few cycles per *byte*. Memo keys
@@ -73,6 +74,22 @@ impl CacheStats {
     pub fn merge(&mut self, other: CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+    }
+
+    /// Exports the counters into `out` under `prefix` (e.g.
+    /// `"analysis.cache."`): counters `{prefix}hits`, `{prefix}misses`,
+    /// `{prefix}lookups` and `{prefix}evictions`, plus the gauge
+    /// `{prefix}hit_rate`.
+    ///
+    /// `evictions` is structurally zero today — the memo table is
+    /// insert-only — but is exported so the metrics schema stays stable
+    /// if an eviction policy is ever added.
+    pub fn export_metrics(&self, prefix: &str, out: &mut MetricsRegistry) {
+        out.counter_add(&format!("{prefix}hits"), self.hits);
+        out.counter_add(&format!("{prefix}misses"), self.misses);
+        out.counter_add(&format!("{prefix}lookups"), self.lookups());
+        out.counter_add(&format!("{prefix}evictions"), 0);
+        out.gauge_set(&format!("{prefix}hit_rate"), self.hit_rate());
     }
 }
 
@@ -381,5 +398,17 @@ mod tests {
         total.merge(CacheStats { hits: 5, misses: 0 });
         assert_eq!(total, CacheStats { hits: 7, misses: 3 });
         assert_eq!(total.lookups(), 10);
+    }
+
+    #[test]
+    fn stats_export_metrics() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        let mut m = MetricsRegistry::new();
+        stats.export_metrics("analysis.cache.", &mut m);
+        assert_eq!(m.counter("analysis.cache.hits"), Some(3));
+        assert_eq!(m.counter("analysis.cache.misses"), Some(1));
+        assert_eq!(m.counter("analysis.cache.lookups"), Some(4));
+        assert_eq!(m.counter("analysis.cache.evictions"), Some(0));
+        assert_eq!(m.gauge("analysis.cache.hit_rate"), Some(0.75));
     }
 }

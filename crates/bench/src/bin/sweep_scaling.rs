@@ -14,10 +14,11 @@
 //! serial uncached baseline, and cache hit rates.
 
 use std::time::Instant;
+use vc2m::model::SimDuration;
 use vc2m::prelude::*;
 use vc2m::sweep::{run_sweep, run_sweep_parallel, SweepConfig};
 use vc2m_bench::timing::{json_array, JsonBuilder};
-use vc2m_bench::{full_scale_requested, write_results};
+use vc2m_bench::{full_scale_requested, scheduler_stress_system, write_results};
 
 /// One timed sweep variant. `threads == 0` means the serial driver
 /// ([`run_sweep`]); positive counts go through [`run_sweep_parallel`].
@@ -113,6 +114,41 @@ fn main() {
         );
     }
 
+    // Typed-trace overhead on the simulator itself: the same stress
+    // system, run with the trace ring disabled and enabled. The typed
+    // event path copies a small enum either way (no per-event
+    // allocation — pinned by the hypervisor's trace_alloc test), so
+    // the delta should stay within noise of zero.
+    let (allocation, tasks) = scheduler_stress_system(&platform, 24);
+    let horizon_ms = if full_scale_requested() { 10_000.0 } else { 2_500.0 };
+    let time_sim = |trace_capacity: usize| -> (f64, u64) {
+        let config = SimConfig::default()
+            .with_horizon(SimDuration::from_ms(horizon_ms))
+            .with_trace_capacity(trace_capacity);
+        let run = || {
+            HypervisorSim::new(&platform, &allocation, &tasks, config)
+                .expect("stress system simulates")
+                .run_observed()
+        };
+        std::hint::black_box(run());
+        let mut wall_s = f64::INFINITY;
+        let mut events = 0;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let (_, observation) = run();
+            wall_s = wall_s.min(start.elapsed().as_secs_f64());
+            events = observation.trace.len() as u64 + observation.trace_dropped;
+        }
+        (wall_s, events)
+    };
+    let (untraced_s, sim_events) = time_sim(0);
+    let (traced_s, _) = time_sim(4096);
+    let trace_overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s;
+    println!(
+        "\nsim trace delta ({horizon_ms:.0} ms horizon, {sim_events} events): \
+         off {untraced_s:.3} s | on {traced_s:.3} s | {trace_overhead_pct:+.1}%"
+    );
+
     let json = JsonBuilder::new()
         .str("bench", "sweep_scaling")
         .str("scale", scale)
@@ -125,6 +161,16 @@ fn main() {
         .bool("conformant", true)
         .num("speedup_4_threads_cached", headline_speedup)
         .raw("runs", json_array(rendered))
+        .raw(
+            "sim_trace",
+            JsonBuilder::new()
+                .num("horizon_ms", horizon_ms)
+                .int("events", sim_events)
+                .num("untraced_s", untraced_s)
+                .num("traced_s", traced_s)
+                .num("overhead_pct", trace_overhead_pct)
+                .build(),
+        )
         .build();
     let path = write_results("BENCH_sweep.json", &json);
     println!(

@@ -172,6 +172,48 @@ pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
     out
 }
 
+/// Renders a [`MetricsRegistry`] as one schema-stable JSON object:
+///
+/// ```json
+/// {
+///   "counters": { "name": 1, ... },
+///   "gauges": { "name": 0.5, ... },
+///   "histograms": { "name": { "count": 2, "min": ..., "avg": ..., "max": ... }, ... }
+/// }
+/// ```
+///
+/// All three sections are always present (empty objects when unused)
+/// and iterate in name order, so the rendered text is byte-identical
+/// run to run for equal registries — the property the CLI golden tests
+/// pin for `--metrics-out`.
+pub fn metrics_json(metrics: &vc2m::simcore::MetricsRegistry) -> String {
+    let counters = metrics
+        .counters()
+        .fold(JsonBuilder::new(), |b, (name, value)| b.int(name, value))
+        .build();
+    let gauges = metrics
+        .gauges()
+        .fold(JsonBuilder::new(), |b, (name, value)| b.num(name, value))
+        .build();
+    let histograms = metrics
+        .histograms()
+        .fold(JsonBuilder::new(), |b, (name, summary)| {
+            let rendered = JsonBuilder::new()
+                .int("count", summary.count())
+                .num("min", summary.min().unwrap_or(f64::NAN))
+                .num("avg", summary.avg().unwrap_or(f64::NAN))
+                .num("max", summary.max().unwrap_or(f64::NAN))
+                .build();
+            b.raw(name, rendered)
+        })
+        .build();
+    JsonBuilder::new()
+        .raw("counters", counters)
+        .raw("gauges", gauges)
+        .raw("histograms", histograms)
+        .build()
+}
+
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -329,6 +371,47 @@ mod tests {
         // wrapping, so the innermost member sits at three levels.
         assert!(outer.contains("\n      \"x\": 1"));
         assert!(outer.ends_with("  ]\n}"));
+    }
+
+    #[test]
+    fn metrics_json_is_schema_stable() {
+        use vc2m::simcore::MetricsRegistry;
+        let mut m = MetricsRegistry::new();
+        m.counter_add("sim.jobs.completed", 42);
+        m.counter_add("analysis.cache.hits", 7);
+        m.gauge_set("sim.horizon_ms", 1000.0);
+        m.observe("sim.response_ms.T0", 2.0);
+        m.observe("sim.response_ms.T0", 4.0);
+        let json = metrics_json(&m);
+        assert_eq!(
+            json,
+            concat!(
+                "{\n",
+                "  \"counters\": {\n",
+                "    \"analysis.cache.hits\": 7,\n",
+                "    \"sim.jobs.completed\": 42\n",
+                "  },\n",
+                "  \"gauges\": {\n",
+                "    \"sim.horizon_ms\": 1000\n",
+                "  },\n",
+                "  \"histograms\": {\n",
+                "    \"sim.response_ms.T0\": {\n",
+                "      \"count\": 2,\n",
+                "      \"min\": 2,\n",
+                "      \"avg\": 3,\n",
+                "      \"max\": 4\n",
+                "    }\n",
+                "  }\n",
+                "}"
+            )
+        );
+        // Equal registries render byte-identically.
+        assert_eq!(metrics_json(&m.clone()), json);
+        // An empty registry still carries all three sections.
+        assert_eq!(
+            metrics_json(&MetricsRegistry::new()),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::io::Write;
 use vc2m::model::{Alloc, Platform, SimDuration, TaskSet, VmSpec};
 use vc2m::prelude::*;
 use vc2m::sweep::{run_sweep_parallel, SweepConfig};
+use vc2m_bench::timing::{json_array, metrics_json, JsonBuilder};
 
 /// `vc2m platforms`: lists the built-in evaluation platforms.
 pub fn platforms(out: &mut dyn Write) -> Result<(), CliError> {
@@ -129,6 +130,13 @@ pub fn analyze(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `vc2m simulate`: allocates, then validates the allocation on the
 /// simulated hypervisor.
+///
+/// With `--trace-out <path>` the retained event trace (most recent
+/// 4096 records per solution) is written as text; with
+/// `--metrics-out <path>` the per-solution metrics registries are
+/// written as one schema-stable JSON document (see DESIGN.md). Both
+/// captures are passive: the printed report is identical with or
+/// without them.
 pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let options = Options::parse(argv)?;
     let workload = build_workload(&options)?;
@@ -137,6 +145,11 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::new("--horizon-ms must be positive"));
     }
     let solutions = options.solutions()?;
+    let trace_out = options.value("trace-out").map(str::to_string);
+    let metrics_out = options.value("metrics-out").map(str::to_string);
+    let observe = trace_out.is_some() || metrics_out.is_some();
+    let mut trace_text = String::new();
+    let mut metric_runs: Vec<String> = Vec::new();
     for solution in solutions {
         let outcome = solution.allocate(&workload.vms, &workload.platform, workload.seed);
         let Some(allocation) = outcome.allocation() else {
@@ -151,10 +164,37 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let gantt = options.switch("gantt");
         let config = SimConfig::default()
             .with_horizon(SimDuration::from_ms(horizon_ms))
-            .with_supply_recording(gantt);
-        let report = HypervisorSim::new(&workload.platform, allocation, &workload.tasks, config)
-            .map_err(|e| CliError::new(format!("simulation build failed: {e}")))?
-            .run();
+            .with_supply_recording(gantt)
+            .with_trace_capacity(if trace_out.is_some() { 4096 } else { 0 });
+        let sim = HypervisorSim::new(&workload.platform, allocation, &workload.tasks, config)
+            .map_err(|e| CliError::new(format!("simulation build failed: {e}")))?;
+        let (report, observation) = if observe {
+            let (report, observation) = sim.run_observed();
+            (report, Some(observation))
+        } else {
+            (sim.run(), None)
+        };
+        if let Some(observation) = observation {
+            if trace_out.is_some() {
+                trace_text.push_str(&format!(
+                    "# {} ({} recorded, {} dropped)\n",
+                    solution.name(),
+                    observation.trace.len(),
+                    observation.trace_dropped
+                ));
+                for (time, event) in &observation.trace {
+                    trace_text.push_str(&format!("[{time}] {event}\n"));
+                }
+            }
+            if metrics_out.is_some() {
+                metric_runs.push(
+                    JsonBuilder::new()
+                        .str("solution", solution.name())
+                        .raw("metrics", metrics_json(&observation.metrics))
+                        .build(),
+                );
+            }
+        }
         writeln!(
             out,
             "{}: {} cores, {}",
@@ -182,6 +222,21 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             )
             .map_err(io_error)?;
         }
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace_text)
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote {path}").map_err(io_error)?;
+    }
+    if let Some(path) = metrics_out {
+        let document = JsonBuilder::new()
+            .str("schema", "vc2m-metrics-v1")
+            .str("command", "simulate")
+            .raw("runs", json_array(metric_runs))
+            .build();
+        std::fs::write(&path, document + "\n")
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote {path}").map_err(io_error)?;
     }
     Ok(())
 }
@@ -264,7 +319,46 @@ pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
         writeln!(out, "wrote {path}").map_err(io_error)?;
     }
+    if let Some(path) = options.value("metrics-out") {
+        let document = JsonBuilder::new()
+            .str("schema", "vc2m-metrics-v1")
+            .str("command", "sweep")
+            .raw("metrics", metrics_json(&sweep_metrics(&results)))
+            .build();
+        std::fs::write(path, document + "\n")
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote {path}").map_err(io_error)?;
+    }
     Ok(())
+}
+
+/// Aggregates a sweep into one deterministic metrics registry: taskset
+/// counts, per-solution breakdown utilizations, and the analysis-cache
+/// counters. Wall-clock analysis runtimes are deliberately excluded so
+/// the rendered JSON is reproducible run to run.
+fn sweep_metrics(results: &vc2m::sweep::SweepResults) -> vc2m::simcore::MetricsRegistry {
+    let mut metrics = vc2m::simcore::MetricsRegistry::new();
+    metrics.counter_add("sweep.points", results.rows().len() as u64);
+    metrics.counter_add("sweep.solutions", results.solutions().len() as u64);
+    let mut analyzed = 0u64;
+    let mut schedulable = 0u64;
+    for row in results.rows() {
+        for cell in &row.cells {
+            analyzed += cell.total as u64;
+            schedulable += cell.schedulable as u64;
+        }
+    }
+    metrics.counter_add("sweep.tasksets.analyzed", analyzed);
+    metrics.counter_add("sweep.tasksets.schedulable", schedulable);
+    for &solution in results.solutions() {
+        if let Some(u) = results.breakdown_utilization(solution) {
+            metrics.gauge_set(&format!("sweep.breakdown.{}", solution.name()), u);
+        }
+    }
+    results
+        .cache_stats()
+        .export_metrics("analysis.cache.", &mut metrics);
+    metrics
 }
 
 #[cfg(test)]

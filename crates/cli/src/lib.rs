@@ -77,10 +77,13 @@ SWEEP OPTIONS:
     --threads <usize>             Worker threads (default: all cores)
     --no-cache                    Disable the analysis interface cache
     --out <path>                  Write the fractions CSV here
+    --metrics-out <path>          Write the aggregate sweep metrics as JSON
 
 SIMULATE OPTIONS:
     --horizon-ms <f64>            Simulation horizon (default: 2500)
     --gantt                       Print an ASCII schedule chart (first 200 ms)
+    --trace-out <path>            Write the event trace (last 4096 records/run)
+    --metrics-out <path>          Write per-solution run metrics as JSON
 ";
 
 /// Runs the CLI on the given arguments (without the program name).

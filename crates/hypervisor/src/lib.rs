@@ -60,9 +60,11 @@ pub mod gantt;
 pub mod interference;
 pub mod probes;
 pub mod regulation;
+pub mod trace;
 
 pub use config::{IsolationMode, SimConfig};
 pub use energy::{CoreTime, EnergyModel, ThrottlePolicy};
 pub use regulation::{RegulationViolation, SupplyLog};
 pub use report::{DeadlineMiss, HandlerKind, SimReport};
 pub use sim::{HypervisorSim, SimBuildError};
+pub use trace::{SimObservation, TraceEvent};

@@ -25,6 +25,7 @@
 use crate::config::{IsolationMode, SimConfig};
 use crate::probes::Probes;
 use crate::report::{DeadlineMiss, HandlerKind, SimReport};
+use crate::trace::{SimObservation, TraceEvent};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -35,7 +36,7 @@ use vc2m_model::{
     Alloc, BudgetSurface, Platform, SimDuration, SimTime, Task, TaskId, TaskSet, WcetSurface,
 };
 use vc2m_sched::server::{PeriodicServer, ServerState};
-use vc2m_simcore::{EventQueue, MinAvgMax, TraceBuffer};
+use vc2m_simcore::{EventQueue, MetricsRegistry, MinAvgMax, TraceBuffer};
 
 /// Error building a simulation from an allocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,7 +199,7 @@ pub struct HypervisorSim {
     #[allow(dead_code)] // programmed for fidelity; queried by tests
     cat: CatController,
     probes: Probes,
-    trace: TraceBuffer<String>,
+    trace: TraceBuffer<TraceEvent>,
     /// Per-VCPU execution logs (only when config.record_supply).
     supply_logs: Vec<Option<crate::regulation::SupplyLog>>,
     misses: Vec<DeadlineMiss>,
@@ -349,14 +350,58 @@ impl HypervisorSim {
     /// Runs the simulation and also returns the retained event trace
     /// (useful for debugging scheduling behavior; enable tracing via
     /// [`SimConfig::with_trace_capacity`]).
-    pub fn run_traced(mut self) -> (SimReport, Vec<(vc2m_model::SimTime, String)>) {
+    pub fn run_traced(mut self) -> (SimReport, Vec<(SimTime, TraceEvent)>) {
         let report = self.run_inner();
-        let trace = self
-            .trace
-            .iter()
-            .map(|r| (r.time, r.payload.clone()))
-            .collect();
+        let trace = self.trace.iter().map(|r| (r.time, r.payload)).collect();
         (report, trace)
+    }
+
+    /// Runs the simulation and returns the report together with the
+    /// full [`SimObservation`] — the retained trace and a
+    /// [`MetricsRegistry`] of the run's deterministic counters,
+    /// gauges and histograms (simulator event counts, per-core time
+    /// accounting, per-task response summaries, trace ring statistics,
+    /// and the bandwidth regulator's counters).
+    ///
+    /// Observation is passive: the report is bit-identical to what
+    /// [`HypervisorSim::run`] produces for the same configuration.
+    pub fn run_observed(mut self) -> (SimReport, SimObservation) {
+        let report = self.run_inner();
+        let metrics = self.collect_metrics(&report);
+        let observation = SimObservation {
+            trace: self.trace.iter().map(|r| (r.time, r.payload)).collect(),
+            trace_dropped: self.trace.dropped(),
+            metrics,
+        };
+        (report, observation)
+    }
+
+    /// Builds the metrics registry from the finished run. Strictly a
+    /// read-out of already-accumulated state — nothing here may touch
+    /// simulation behavior. Wall-clock handler overheads are left out
+    /// deliberately: the registry holds only deterministic values, so
+    /// its JSON rendering can be golden-pinned.
+    fn collect_metrics(&self, report: &SimReport) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("sim.jobs.released", report.jobs_released);
+        m.counter_add("sim.jobs.completed", report.jobs_completed);
+        m.counter_add("sim.deadline.misses", report.deadline_misses.len() as u64);
+        m.counter_add("sim.throttle.events", report.throttle_events);
+        m.counter_add("sim.context.switches", report.context_switches);
+        m.counter_add("sim.trace.recorded", self.trace.len() as u64);
+        m.counter_add("sim.trace.dropped", self.trace.dropped());
+        m.gauge_set("sim.horizon_ms", report.horizon_ms);
+        for (k, ct) in report.core_times.iter().enumerate() {
+            m.gauge_set(&format!("sim.core{k}.busy_ms"), ct.busy_ms);
+            m.gauge_set(&format!("sim.core{k}.throttled_ms"), ct.throttled_ms);
+        }
+        for (task, response) in &report.response_times {
+            m.observe_summary(&format!("sim.response_ms.{task}"), response);
+        }
+        if self.config.isolation == IsolationMode::Isolated {
+            self.regulator.export_metrics("membw.", &mut m);
+        }
+        m
     }
 
     /// Runs the simulation to the configured horizon and produces the
@@ -478,6 +523,22 @@ impl HypervisorSim {
             self.handle(now, event);
         }
 
+        // Horizon flush: close in-flight run segments and open
+        // throttle intervals, or busy/throttled time (and supply logs,
+        // and the energy model on top of them) undercount the final
+        // partial period. The flush cannot complete a job: every event
+        // at or before the horizon has been drained, so an in-flight
+        // segment's planned end lies strictly beyond it, and the
+        // elapsed slice is strictly shorter than the job's remaining
+        // work. A flush-induced throttle opens its interval *at* the
+        // horizon and closes immediately — zero length, as it must be.
+        for core in 0..self.cores.len() {
+            self.suspend(core, horizon);
+            if let Some(since) = self.cores[core].throttled_since.take() {
+                self.cores[core].throttled_ns += horizon.since(since).as_ns();
+            }
+        }
+
         SimReport {
             deadline_misses: std::mem::take(&mut self.misses),
             jobs_completed: self.jobs_completed,
@@ -530,7 +591,8 @@ impl HypervisorSim {
                 let next = self.vcpus[vcpu].server.deadline();
                 self.queue
                     .push(next, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
-                self.trace(now, format!("replenish {}", self.vcpus[vcpu].server.id()));
+                let id = self.vcpus[vcpu].server.id();
+                self.trace(now, TraceEvent::Replenish { vcpu: id });
                 self.schedule(core, now);
             }
             Event::Refill => {
@@ -551,12 +613,13 @@ impl HypervisorSim {
                 let woken = self
                     .probes
                     .time(HandlerKind::BwReplenish, || self.regulator.replenish_all());
+                self.trace(now, TraceEvent::Refill { woken: woken.len() });
                 for core in woken {
                     self.cores[core].throttled = false;
                     if let Some(since) = self.cores[core].throttled_since.take() {
                         self.cores[core].throttled_ns += now.since(since).as_ns();
                     }
-                    self.trace(now, format!("unthrottle core {core}"));
+                    self.trace(now, TraceEvent::Unthrottle { core });
                 }
                 suspended.extend((0..self.cores.len()).filter(|&c| !self.cores[c].throttled));
                 suspended.sort_unstable();
@@ -631,7 +694,8 @@ impl HypervisorSim {
                             job,
                             deadline: now,
                         });
-                        self.trace(now, format!("MISS {} job {job}", self.tasks[task].id));
+                        let id = self.tasks[task].id;
+                        self.trace(now, TraceEvent::Miss { task: id, job });
                     }
                 }
                 if running_this_job {
@@ -693,7 +757,7 @@ impl HypervisorSim {
                     });
                     self.cores[core].throttled_since = Some(now);
                     self.throttle_events += 1;
-                    self.trace(now, format!("throttle core {core}"));
+                    self.trace(now, TraceEvent::Throttle { core });
                 }
             }
         }
@@ -809,12 +873,11 @@ impl HypervisorSim {
         );
         self.trace(
             now,
-            format!(
-                "run {} task {:?} for {}",
-                self.vcpus[vcpu].server.id(),
-                task.map(|t| self.tasks[t].id),
-                limit
-            ),
+            TraceEvent::RunSegment {
+                vcpu: self.vcpus[vcpu].server.id(),
+                task: task.map(|t| self.tasks[t].id),
+                limit,
+            },
         );
     }
 
@@ -869,13 +932,17 @@ impl HypervisorSim {
                 self.tasks[ti].exec = SimDuration::from_ms(wcet);
             }
         }
-        self.trace(now, format!("reallocate core {core} to {alloc}"));
+        self.trace(now, TraceEvent::Reallocate { core, alloc });
         self.schedule(core, now);
     }
 
-    fn trace(&mut self, now: SimTime, message: String) {
-        if self.trace.is_enabled() {
-            self.trace.push(now, message);
-        }
+    /// Records a trace event. `TraceEvent` is `Copy`, so the event is
+    /// built on the caller's stack and pushing is allocation-free
+    /// whether or not the buffer is enabled — the disabled-path
+    /// guarantee the `trace_alloc` test pins. A disabled buffer counts
+    /// the push as dropped, so `recorded + dropped` is always the total
+    /// number of events the run emitted.
+    fn trace(&mut self, now: SimTime, event: TraceEvent) {
+        self.trace.push(now, event);
     }
 }

@@ -1,0 +1,190 @@
+//! Typed simulator trace events.
+//!
+//! The simulator used to trace by pushing `format!`-built `String`s
+//! into its [`TraceBuffer`](vc2m_simcore::TraceBuffer) — which meant a
+//! heap allocation per event *even with tracing disabled* (the string
+//! was built before the buffer could reject it). [`TraceEvent`] is the
+//! structured replacement: a small `Copy` enum carrying the event's
+//! identifiers and quantities, constructed on the stack at the call
+//! site. A disabled buffer now performs **zero** allocations on the
+//! event path, and an enabled one allocates only its preallocated
+//! ring — properties pinned by the `trace_alloc` integration test.
+//!
+//! Rendering to text is deferred to consumers via [`fmt::Display`]
+//! (e.g. `vc2m simulate --trace-out`), so the cost of formatting is
+//! paid only for the records actually retained and printed.
+
+use std::fmt;
+use vc2m_model::{Alloc, SimDuration, SimTime, TaskId, VcpuId};
+use vc2m_simcore::MetricsRegistry;
+
+/// One structured event of the hypervisor simulation.
+///
+/// Variants mirror the handler paths of the discrete-event loop; each
+/// carries just enough identifiers to reconstruct what happened. The
+/// enum is `Copy` (a few words), so emitting an event never touches
+/// the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A VCPU's periodic server replenished its budget.
+    Replenish {
+        /// The replenished VCPU.
+        vcpu: VcpuId,
+    },
+    /// A run segment started on a core: `vcpu` executes `task` (or
+    /// idles its budget away when `None`) for at most `limit`.
+    RunSegment {
+        /// The VCPU whose server runs.
+        vcpu: VcpuId,
+        /// The task executing inside the VCPU, if any.
+        task: Option<TaskId>,
+        /// The planned segment length (budget, deadline gap, remaining
+        /// work, and traffic cap already applied).
+        limit: SimDuration,
+    },
+    /// A core's bandwidth budget overflowed: the core is throttled for
+    /// the rest of the regulation period.
+    Throttle {
+        /// The throttled core.
+        core: usize,
+    },
+    /// The refiller woke a previously throttled core.
+    Unthrottle {
+        /// The woken core.
+        core: usize,
+    },
+    /// A job exhausted its deadline with work remaining.
+    Miss {
+        /// The tardy task.
+        task: TaskId,
+        /// The tardy job's index (0 = first release).
+        job: u64,
+    },
+    /// A dynamic (vCAT-style) reallocation was applied to a core.
+    Reallocate {
+        /// The re-programmed core.
+        core: usize,
+        /// The core's new resource allocation.
+        alloc: Alloc,
+    },
+    /// The bandwidth refiller ran at a regulation-period boundary.
+    Refill {
+        /// Number of throttled cores woken by this refill.
+        woken: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Replenish { vcpu } => write!(f, "replenish {vcpu}"),
+            TraceEvent::RunSegment {
+                vcpu,
+                task: Some(task),
+                limit,
+            } => write!(f, "run {vcpu} task {task} for {limit}"),
+            TraceEvent::RunSegment {
+                vcpu,
+                task: None,
+                limit,
+            } => write!(f, "run {vcpu} idle for {limit}"),
+            TraceEvent::Throttle { core } => write!(f, "throttle core {core}"),
+            TraceEvent::Unthrottle { core } => write!(f, "unthrottle core {core}"),
+            TraceEvent::Miss { task, job } => write!(f, "MISS {task} job {job}"),
+            TraceEvent::Reallocate { core, alloc } => {
+                write!(f, "reallocate core {core} to {alloc}")
+            }
+            TraceEvent::Refill { woken } => write!(f, "refill woke {woken} cores"),
+        }
+    }
+}
+
+/// Everything the simulator observed beyond the [`SimReport`]: the
+/// retained trace and the metrics registry.
+///
+/// Produced by [`HypervisorSim::run_observed`]; observation is
+/// strictly *passive* — both the trace and the metrics are derived
+/// from state the simulation accumulates anyway, so a `SimReport` is
+/// bit-identical whether or not it was observed (pinned by the
+/// `observability_conformance` test).
+///
+/// [`SimReport`]: crate::SimReport
+/// [`HypervisorSim::run_observed`]: crate::HypervisorSim::run_observed
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimObservation {
+    /// The retained trace records, oldest first (empty unless
+    /// [`SimConfig::trace_capacity`](crate::SimConfig) was non-zero).
+    pub trace: Vec<(SimTime, TraceEvent)>,
+    /// Events not retained: discarded while disabled, or evicted when
+    /// the ring was full.
+    pub trace_dropped: u64,
+    /// Deterministic counters/gauges/histograms of the run (see the
+    /// DESIGN.md trace/metrics section for the name schema). Wall-clock
+    /// handler overheads stay in
+    /// [`SimReport::handler_overheads`](crate::SimReport) — the
+    /// registry holds only values that are reproducible bit-for-bit.
+    pub metrics: MetricsRegistry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_compactly() {
+        let cases = [
+            (
+                TraceEvent::Replenish { vcpu: VcpuId(3) },
+                "replenish V3".to_string(),
+            ),
+            (
+                TraceEvent::RunSegment {
+                    vcpu: VcpuId(0),
+                    task: Some(TaskId(7)),
+                    limit: SimDuration::from_ms(4.0),
+                },
+                format!("run V0 task T7 for {}", SimDuration::from_ms(4.0)),
+            ),
+            (
+                TraceEvent::RunSegment {
+                    vcpu: VcpuId(1),
+                    task: None,
+                    limit: SimDuration::from_ms(2.0),
+                },
+                format!("run V1 idle for {}", SimDuration::from_ms(2.0)),
+            ),
+            (TraceEvent::Throttle { core: 2 }, "throttle core 2".into()),
+            (
+                TraceEvent::Unthrottle { core: 2 },
+                "unthrottle core 2".into(),
+            ),
+            (
+                TraceEvent::Miss {
+                    task: TaskId(5),
+                    job: 9,
+                },
+                "MISS T5 job 9".into(),
+            ),
+            (
+                TraceEvent::Reallocate {
+                    core: 0,
+                    alloc: Alloc::new(14, 8),
+                },
+                "reallocate core 0 to (c=14, b=8)".into(),
+            ),
+            (TraceEvent::Refill { woken: 1 }, "refill woke 1 cores".into()),
+        ];
+        for (event, expected) in cases {
+            assert_eq!(event.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn trace_event_is_small_and_copy() {
+        // The zero-allocation guarantee rests on events being plain
+        // stack values; keep them a few words at most.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TraceEvent>();
+        assert!(std::mem::size_of::<TraceEvent>() <= 32);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::{MembwError, PerfCounter, CACHE_LINE_BYTES};
 use std::fmt;
+use vc2m_simcore::MetricsRegistry;
 
 /// Configuration of the bandwidth regulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -244,6 +245,20 @@ impl BwRegulator {
     pub fn total_throttles(&self) -> u64 {
         self.total_throttles
     }
+
+    /// Exports the regulator's cumulative statistics into `out` under
+    /// `prefix` (e.g. `"membw."`): counters `{prefix}periods_elapsed`,
+    /// `{prefix}throttles` and `{prefix}cores`, plus the gauge
+    /// `{prefix}period_ms`.
+    ///
+    /// Pull-only — reads accumulated state, never mutates the
+    /// regulator, so exporting cannot perturb a simulation.
+    pub fn export_metrics(&self, prefix: &str, out: &mut MetricsRegistry) {
+        out.counter_add(&format!("{prefix}periods_elapsed"), self.periods_elapsed);
+        out.counter_add(&format!("{prefix}throttles"), self.total_throttles);
+        out.counter_add(&format!("{prefix}cores"), self.cores.len() as u64);
+        out.gauge_set(&format!("{prefix}period_ms"), self.config.period_ms());
+    }
 }
 
 impl fmt::Display for BwRegulator {
@@ -391,5 +406,18 @@ mod tests {
     fn display() {
         let r = regulator();
         assert!(r.to_string().contains("4 cores"));
+    }
+
+    #[test]
+    fn metrics_export_reflects_counters() {
+        let mut r = regulator();
+        r.record_requests(0, 200).unwrap();
+        r.replenish_all();
+        let mut m = MetricsRegistry::new();
+        r.export_metrics("membw.", &mut m);
+        assert_eq!(m.counter("membw.periods_elapsed"), Some(1));
+        assert_eq!(m.counter("membw.throttles"), Some(1));
+        assert_eq!(m.counter("membw.cores"), Some(4));
+        assert_eq!(m.gauge("membw.period_ms"), Some(1.0));
     }
 }

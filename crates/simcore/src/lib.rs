@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod metrics;
 mod queue;
 mod stats;
 mod trace;
 
+pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use stats::{MinAvgMax, SampleSet};
 pub use trace::{TraceBuffer, TraceRecord};

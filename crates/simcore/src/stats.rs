@@ -19,12 +19,22 @@ use std::fmt;
 /// assert_eq!(stats.max(), Some(1.15));
 /// assert_eq!(stats.count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinAvgMax {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`MinAvgMax::new`]. (A derived `Default` would zero the
+/// min/max sentinels, so any accumulator built with `or_default()`
+/// would report a spurious minimum of 0 — the bug that once pinned
+/// every handler-overhead minimum in the probe tables to 0.)
+impl Default for MinAvgMax {
+    fn default() -> Self {
+        MinAvgMax::new()
+    }
 }
 
 impl MinAvgMax {
@@ -154,6 +164,18 @@ mod tests {
     #[should_panic(expected = "must be finite")]
     fn nan_rejected() {
         MinAvgMax::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn default_is_a_proper_empty_accumulator() {
+        // Regression: the derived Default zeroed the sentinels, so the
+        // first positive sample recorded into an `or_default()` entry
+        // reported min 0 instead of the sample.
+        let mut s = MinAvgMax::default();
+        assert_eq!(s, MinAvgMax::new());
+        s.record(2.5);
+        assert_eq!(s.min(), Some(2.5));
+        assert_eq!(s.max(), Some(2.5));
     }
 
     #[test]
