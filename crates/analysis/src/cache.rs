@@ -215,13 +215,16 @@ struct Inner {
 }
 
 impl Inner {
-    /// Builds the probe key in `key_scratch` and returns its hash.
-    fn fill_key_scratch(&mut self, pairs: &[(f64, f64)], period: f64) -> u64 {
+    /// Builds the probe key in `key_scratch` and returns its hash. The
+    /// word sequence (resource period, then interleaved `pᵢ, eᵢ` bits)
+    /// is unchanged from the pre-SoA key layout, so memoized entries
+    /// hash and compare identically across the `Demand` storage change.
+    fn fill_key_scratch(&mut self, periods: &[f64], wcets: &[f64], period: f64) -> u64 {
         self.generation += 1;
         self.key_scratch.clear();
-        self.key_scratch.reserve(1 + 2 * pairs.len());
+        self.key_scratch.reserve(1 + 2 * periods.len());
         self.key_scratch.push(period.to_bits());
-        for &(p, e) in pairs {
+        for (&p, &e) in periods.iter().zip(wcets) {
             self.key_scratch.push(p.to_bits());
             self.key_scratch.push(e.to_bits());
         }
@@ -269,21 +272,33 @@ impl AnalysisCache {
             .unwrap_or_default()
     }
 
-    /// Returns the memoized minimal budget for the demand `pairs`
-    /// against a resource of period `period`, running `compute` on a
-    /// miss (or always, when disabled).
+    /// Returns the memoized minimal budget for the demand given as
+    /// parallel `periods`/`wcets` slices (the SoA halves of a
+    /// [`Demand`](vc2m_sched::dbf::Demand)) against a resource of
+    /// period `period`, running `compute` on a miss (or always, when
+    /// disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
     pub fn min_budget_memo(
         &self,
-        pairs: &[(f64, f64)],
+        periods: &[f64],
+        wcets: &[f64],
         period: f64,
         compute: impl FnOnce() -> Option<f64>,
     ) -> Option<f64> {
+        assert_eq!(
+            periods.len(),
+            wcets.len(),
+            "memo key slices must be parallel"
+        );
         let Some(inner) = &self.inner else {
             return compute();
         };
         let (hash, generation) = {
             let mut guard = inner.borrow_mut();
-            let hash = guard.fill_key_scratch(pairs, period);
+            let hash = guard.fill_key_scratch(periods, wcets, period);
             let Inner {
                 budgets,
                 key_scratch,
@@ -303,7 +318,7 @@ impl AnalysisCache {
         if guard.generation != generation {
             // A nested lookup clobbered the scratch — rebuild the key,
             // and re-probe since the nesting may have inserted it.
-            guard.fill_key_scratch(pairs, period);
+            guard.fill_key_scratch(periods, wcets, period);
             let Inner {
                 budgets,
                 key_scratch,
@@ -337,7 +352,7 @@ mod tests {
         assert!(!cache.is_enabled());
         let mut calls = 0;
         for _ in 0..3 {
-            let v = cache.min_budget_memo(&[(10.0, 1.0)], 5.0, || {
+            let v = cache.min_budget_memo(&[10.0], &[1.0], 5.0, || {
                 calls += 1;
                 Some(1.5)
             });
@@ -352,7 +367,7 @@ mod tests {
         let cache = AnalysisCache::enabled();
         let mut calls = 0;
         for _ in 0..3 {
-            let v = cache.min_budget_memo(&[(10.0, 1.0)], 5.0, || {
+            let v = cache.min_budget_memo(&[10.0], &[1.0], 5.0, || {
                 calls += 1;
                 Some(1.5)
             });
@@ -369,7 +384,7 @@ mod tests {
         let cache = AnalysisCache::enabled();
         let mut calls = 0;
         for _ in 0..2 {
-            let v = cache.min_budget_memo(&[(10.0, 12.0)], 10.0, || {
+            let v = cache.min_budget_memo(&[10.0], &[12.0], 10.0, || {
                 calls += 1;
                 None
             });
@@ -381,12 +396,12 @@ mod tests {
     #[test]
     fn keys_are_bitwise_exact() {
         let cache = AnalysisCache::enabled();
-        let a = cache.min_budget_memo(&[(10.0, 1.0)], 5.0, || Some(1.0));
+        let a = cache.min_budget_memo(&[10.0], &[1.0], 5.0, || Some(1.0));
         // A WCET differing in the last ulp is a different key.
         let e = f64::from_bits(1.0f64.to_bits() + 1);
-        let b = cache.min_budget_memo(&[(10.0, e)], 5.0, || Some(2.0));
+        let b = cache.min_budget_memo(&[10.0], &[e], 5.0, || Some(2.0));
         // Same pairs but a different resource period: also distinct.
-        let c = cache.min_budget_memo(&[(10.0, 1.0)], 2.5, || Some(3.0));
+        let c = cache.min_budget_memo(&[10.0], &[1.0], 2.5, || Some(3.0));
         assert_eq!((a, b, c), (Some(1.0), Some(2.0), Some(3.0)));
         assert_eq!(cache.stats().misses, 3);
     }

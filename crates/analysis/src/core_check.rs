@@ -28,15 +28,28 @@ pub fn core_utilization<'a>(vcpus: impl IntoIterator<Item = &'a VcpuSpec>, alloc
 /// Whether a core holding `vcpus` is schedulable under allocation
 /// `alloc`.
 ///
+/// Evaluated in a single pass: each VCPU's feasibility check and its
+/// utilization lookup share one traversal (the hypervisor-level
+/// allocators call this per candidate placement, so the surfaces are
+/// walked millions of times per sweep). The boolean is identical to
+/// the two-pass `all(feasible) && Σ utilization ≤ 1 + ε` form: the
+/// feasibility conjunction short-circuits at the same VCPU, and the
+/// utilization sum accumulates in the same order — and is only
+/// compared when every feasibility test passed, exactly as `&&`
+/// ordered it.
+///
 /// # Panics
 ///
 /// Panics if `alloc` is outside the VCPUs' resource space.
-pub fn core_schedulable<'a>(
-    vcpus: impl IntoIterator<Item = &'a VcpuSpec> + Clone,
-    alloc: Alloc,
-) -> bool {
-    vcpus.clone().into_iter().all(|v| v.is_feasible_at(alloc))
-        && core_utilization(vcpus, alloc) <= 1.0 + UTILIZATION_EPS
+pub fn core_schedulable<'a>(vcpus: impl IntoIterator<Item = &'a VcpuSpec>, alloc: Alloc) -> bool {
+    let mut utilization = 0.0;
+    for v in vcpus {
+        if !v.is_feasible_at(alloc) {
+            return false;
+        }
+        utilization += v.utilization(alloc);
+    }
+    utilization <= 1.0 + UTILIZATION_EPS
 }
 
 #[cfg(test)]

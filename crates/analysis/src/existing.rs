@@ -31,6 +31,7 @@ use crate::cache::AnalysisCache;
 use crate::AnalysisError;
 use vc2m_model::{BudgetSurface, Task, TaskSet, VcpuId, VcpuSpec, VmId};
 use vc2m_sched::dbf::Demand;
+use vc2m_sched::kernel::{record_vcpu_build, with_workspace};
 use vc2m_sched::sbf::{min_budget, MinBudgetSolver};
 
 /// Sentinel multiplier marking an infeasible cell: the budget is set
@@ -50,7 +51,32 @@ const PERIOD_DIVISORS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 /// Picks the candidate VCPU period minimizing the periodic-resource
 /// bandwidth for `demand` (ties broken toward larger periods, which
 /// cost fewer context switches at run time).
+///
+/// Budgets are evaluated with the thread's shared
+/// [`AnalysisWorkspace`](vc2m_sched::kernel::AnalysisWorkspace), whose
+/// results are bit-identical to [`min_budget`] — so the chosen period
+/// is too.
 fn best_period(demand: &Demand, p_min: f64) -> f64 {
+    let mut best = p_min;
+    let mut best_bandwidth = f64::INFINITY;
+    for divisor in PERIOD_DIVISORS {
+        let period = p_min / divisor;
+        let theta = with_workspace(|ws| ws.min_budget(demand, period));
+        let bandwidth = match theta {
+            Some(theta) => theta / period,
+            None => f64::INFINITY,
+        };
+        if bandwidth + 1e-12 < best_bandwidth {
+            best_bandwidth = bandwidth;
+            best = period;
+        }
+    }
+    best
+}
+
+/// [`best_period`] evaluated with the naive [`min_budget`] — part of
+/// the preserved reference path (see [`existing_vcpu_reference`]).
+fn best_period_reference(demand: &Demand, p_min: f64) -> f64 {
     let mut best = p_min;
     let mut best_bandwidth = f64::INFINITY;
     for divisor in PERIOD_DIVISORS {
@@ -74,6 +100,12 @@ fn best_period(demand: &Demand, p_min: f64) -> f64 {
 ///
 /// Cells where no budget ≤ Π suffices are marked infeasible (budget
 /// 2Π), so allocation algorithms reject them via the utilization test.
+///
+/// Per-cell budgets are computed by a [`MinBudgetSolver`] sharing one
+/// checkpoint/floor table across the whole surface, bit-identical to
+/// the historical per-cell fresh-`Demand` evaluation preserved as
+/// [`existing_vcpu_reference`] (the conformance tests pin the two
+/// against each other).
 ///
 /// # Errors
 ///
@@ -99,6 +131,49 @@ pub fn existing_vcpu(id: VcpuId, vm: VmId, taskset: &TaskSet) -> Result<VcpuSpec
     )
     .expect("task parameters are validated at construction");
     let period = best_period(&reference_demand, p_min);
+    let periods: Vec<f64> = taskset.iter().map(Task::period).collect();
+    let solver = MinBudgetSolver::new(&periods, period);
+    let mut wcets = vec![0.0; periods.len()];
+    let budget = BudgetSurface::from_fn(&space, |alloc| {
+        for (wcet, t) in wcets.iter_mut().zip(taskset.iter()) {
+            *wcet = t.wcet(alloc);
+        }
+        solver.min_budget(&wcets).unwrap_or(INFEASIBLE_FACTOR * period)
+    })?;
+    let tasks = taskset.iter().map(Task::id).collect();
+    record_vcpu_build();
+    Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
+}
+
+/// The historical [`existing_vcpu`] implementation: naive
+/// [`min_budget`] on a freshly built [`Demand`] per surface cell.
+///
+/// Kept as the conformance anchor and the "naive" arm of the kernel
+/// microbench — the production path must stay bit-identical to this.
+#[doc(hidden)]
+pub fn existing_vcpu_reference(
+    id: VcpuId,
+    vm: VmId,
+    taskset: &TaskSet,
+) -> Result<VcpuSpec, AnalysisError> {
+    if taskset.is_empty() {
+        return Err(AnalysisError::EmptyTaskset);
+    }
+    let p_min = taskset.min_period().expect("taskset is non-empty");
+    let space = *taskset
+        .iter()
+        .next()
+        .expect("taskset is non-empty")
+        .wcet_surface()
+        .space();
+    let reference_demand = Demand::new(
+        taskset
+            .iter()
+            .map(|t| (t.period(), t.reference_wcet()))
+            .collect(),
+    )
+    .expect("task parameters are validated at construction");
+    let period = best_period_reference(&reference_demand, p_min);
     let budget = BudgetSurface::from_fn(&space, |alloc| {
         let demand = Demand::new(
             taskset
@@ -118,6 +193,11 @@ pub fn existing_vcpu(id: VcpuId, vm: VmId, taskset: &TaskSet) -> Result<VcpuSpec
 /// its worst-case WCET (no cache allocated, worst-case bandwidth —
 /// the `(Cmin, Bmin)` corner of its surface), and the resulting budget
 /// is the same for every allocation.
+///
+/// The single budget is evaluated with the thread's shared
+/// [`AnalysisWorkspace`](vc2m_sched::kernel::AnalysisWorkspace),
+/// bit-identical to the naive path preserved as
+/// [`existing_vcpu_worst_case_reference`].
 ///
 /// # Errors
 ///
@@ -145,6 +225,41 @@ pub fn existing_vcpu_worst_case(
     )
     .expect("task parameters are validated at construction");
     let period = best_period(&demand, p_min);
+    let theta = with_workspace(|ws| ws.min_budget(&demand, period))
+        .unwrap_or(INFEASIBLE_FACTOR * period);
+    let budget = BudgetSurface::flat(&space, theta)?;
+    let tasks = taskset.iter().map(Task::id).collect();
+    record_vcpu_build();
+    Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
+}
+
+/// The historical [`existing_vcpu_worst_case`] implementation (naive
+/// [`min_budget`]), kept as the conformance anchor and microbench
+/// baseline.
+#[doc(hidden)]
+pub fn existing_vcpu_worst_case_reference(
+    id: VcpuId,
+    vm: VmId,
+    taskset: &TaskSet,
+) -> Result<VcpuSpec, AnalysisError> {
+    if taskset.is_empty() {
+        return Err(AnalysisError::EmptyTaskset);
+    }
+    let p_min = taskset.min_period().expect("taskset is non-empty");
+    let space = *taskset
+        .iter()
+        .next()
+        .expect("taskset is non-empty")
+        .wcet_surface()
+        .space();
+    let demand = Demand::new(
+        taskset
+            .iter()
+            .map(|t| (t.period(), t.wcet_surface().at_minimum()))
+            .collect(),
+    )
+    .expect("task parameters are validated at construction");
+    let period = best_period_reference(&demand, p_min);
     let theta = min_budget(&demand, period).unwrap_or(INFEASIBLE_FACTOR * period);
     let budget = BudgetSurface::flat(&space, theta)?;
     let tasks = taskset.iter().map(Task::id).collect();
@@ -160,7 +275,9 @@ fn best_period_cached(demand: &Demand, p_min: f64, cache: &AnalysisCache) -> f64
     let mut best_bandwidth = f64::INFINITY;
     for divisor in PERIOD_DIVISORS {
         let period = p_min / divisor;
-        let theta = cache.min_budget_memo(demand.tasks(), period, || min_budget(demand, period));
+        let theta = cache.min_budget_memo(demand.periods(), demand.wcets(), period, || {
+            with_workspace(|ws| ws.min_budget(demand, period))
+        });
         let bandwidth = match theta {
             Some(theta) => theta / period,
             None => f64::INFINITY,
@@ -214,19 +331,17 @@ pub fn existing_vcpu_cached(
     let period = best_period_cached(&reference_demand, p_min, cache);
     let periods: Vec<f64> = taskset.iter().map(Task::period).collect();
     let solver = MinBudgetSolver::new(&periods, period);
-    let mut pairs: Vec<(f64, f64)> = periods.iter().map(|&p| (p, 0.0)).collect();
     let mut wcets = vec![0.0; periods.len()];
     let budget = BudgetSurface::from_fn(&space, |alloc| {
-        for ((pair, wcet), t) in pairs.iter_mut().zip(wcets.iter_mut()).zip(taskset.iter()) {
-            let e = t.wcet(alloc);
-            pair.1 = e;
-            *wcet = e;
+        for (wcet, t) in wcets.iter_mut().zip(taskset.iter()) {
+            *wcet = t.wcet(alloc);
         }
         cache
-            .min_budget_memo(&pairs, period, || solver.min_budget(&wcets))
+            .min_budget_memo(&periods, &wcets, period, || solver.min_budget(&wcets))
             .unwrap_or(INFEASIBLE_FACTOR * period)
     })?;
     let tasks = taskset.iter().map(Task::id).collect();
+    record_vcpu_build();
     Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
 }
 
@@ -265,10 +380,13 @@ pub fn existing_vcpu_worst_case_cached(
     let period = best_period_cached(&demand, p_min, cache);
     // The chosen period's budget was just memoized by the search.
     let theta = cache
-        .min_budget_memo(demand.tasks(), period, || min_budget(&demand, period))
+        .min_budget_memo(demand.periods(), demand.wcets(), period, || {
+            with_workspace(|ws| ws.min_budget(&demand, period))
+        })
         .unwrap_or(INFEASIBLE_FACTOR * period);
     let budget = BudgetSurface::flat(&space, theta)?;
     let tasks = taskset.iter().map(Task::id).collect();
+    record_vcpu_build();
     Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
 }
 
@@ -402,6 +520,24 @@ mod tests {
                 "budgets diverge at {alloc}"
             );
         }
+    }
+
+    #[test]
+    fn production_paths_match_reference_bitwise() {
+        // The solver/workspace-based builders must replay the
+        // historical naive analysis bit for bit — period selection,
+        // every surface cell, and the flat worst-case budget.
+        let surface = WcetSurface::from_fn(&space(), |a| 0.5 + 2.0 / f64::from(a.cache)).unwrap();
+        let t0 = Task::new(TaskId(0), 10.0, surface).unwrap();
+        let t1 = task(1, 20.0, 3.0);
+        let t2 = task(2, 40.0, 0.017);
+        let ts: TaskSet = vec![t0, t1, t2].into_iter().collect();
+        let fast = existing_vcpu(VcpuId(0), VmId(0), &ts).unwrap();
+        let reference = existing_vcpu_reference(VcpuId(0), VmId(0), &ts).unwrap();
+        assert_bit_identical(&fast, &reference);
+        let fast_wc = existing_vcpu_worst_case(VcpuId(1), VmId(0), &ts).unwrap();
+        let reference_wc = existing_vcpu_worst_case_reference(VcpuId(1), VmId(0), &ts).unwrap();
+        assert_bit_identical(&fast_wc, &reference_wc);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub fn flatten_task(
     vm: vc2m_model::VmId,
     task: &Task,
 ) -> Result<VcpuSpec, AnalysisError> {
+    vc2m_sched::kernel::record_vcpu_build();
     Ok(VcpuSpec::new(
         id,
         vm,

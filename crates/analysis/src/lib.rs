@@ -59,3 +59,32 @@ pub mod regulated_supply;
 
 pub use cache::{AnalysisCache, CacheStats};
 pub use error::AnalysisError;
+pub use vc2m_sched::kernel::KernelCounters;
+
+/// Exports kernel telemetry counters into `out` under the
+/// `analysis.checkpoints.*` / `analysis.kernel.*` metric names the
+/// sweep driver publishes (`vc2m sweep --metrics-out`):
+///
+/// * `analysis.checkpoints.merges` / `.emitted` — checkpoint merge
+///   sweeps and the points they produced;
+/// * `analysis.checkpoints.truncated` — merges where the
+///   [`MAX_CHECKPOINTS`](vc2m_sched::kernel::MAX_CHECKPOINTS) cap
+///   dropped in-horizon deadlines (a bounded-horizon approximation);
+/// * `analysis.checkpoints.fallback_horizons` — analyses that used the
+///   bounded 10 000 ms horizon because no hyperperiod exists;
+/// * `analysis.kernel.can_schedule` / `.min_budget` /
+///   `.solver_min_budget` — incremental kernel invocations;
+/// * `analysis.kernel.vcpu_builds` — VCPU interfaces constructed.
+pub fn export_kernel_metrics(counters: &KernelCounters, out: &mut vc2m_simcore::MetricsRegistry) {
+    out.counter_add("analysis.checkpoints.merges", counters.checkpoint_merges);
+    out.counter_add("analysis.checkpoints.emitted", counters.checkpoints_emitted);
+    out.counter_add("analysis.checkpoints.truncated", counters.checkpoints_truncated);
+    out.counter_add(
+        "analysis.checkpoints.fallback_horizons",
+        counters.fallback_horizons,
+    );
+    out.counter_add("analysis.kernel.can_schedule", counters.can_schedule_calls);
+    out.counter_add("analysis.kernel.min_budget", counters.min_budget_calls);
+    out.counter_add("analysis.kernel.solver_min_budget", counters.solver_calls);
+    out.counter_add("analysis.kernel.vcpu_builds", counters.vcpu_builds);
+}

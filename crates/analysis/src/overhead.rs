@@ -76,10 +76,11 @@ impl OverheadModel {
         if self.task_preemption_ms == 0.0 {
             return Ok(task.clone());
         }
+        let (id, period) = (task.id(), task.period());
         let preemptions: f64 = taskset
             .iter()
-            .filter(|other| other.id() != task.id() && other.period() < task.period())
-            .map(|other| (task.period() / other.period()).ceil())
+            .filter(|other| other.id() != id && other.period() < period)
+            .map(|other| (period / other.period()).ceil())
             .sum();
         let delta = self.task_preemption_ms * preemptions;
         let surface = vc2m_model::WcetSurface::from_fn(task.wcet_surface().space(), |alloc| {
@@ -105,22 +106,18 @@ impl OverheadModel {
         if self.vcpu_event_ms == 0.0 {
             return Ok(vcpu.clone());
         }
+        let (id, period) = (vcpu.id(), vcpu.period());
         let preemptions: f64 = co_located
             .iter()
-            .filter(|other| other.id() != vcpu.id() && other.period() < vcpu.period())
-            .map(|other| (vcpu.period() / other.period()).ceil())
+            .filter(|other| other.id() != id && other.period() < period)
+            .map(|other| (period / other.period()).ceil())
             .sum();
         let delta = self.vcpu_event_ms * (1.0 + preemptions);
         let surface = vc2m_model::BudgetSurface::from_fn(vcpu.budget_surface().space(), |alloc| {
             vcpu.budget(alloc) + delta
         })?;
-        VcpuSpec::new(
-            vcpu.id(),
-            vcpu.vm(),
-            vcpu.period(),
-            surface,
-            vcpu.tasks().to_vec(),
-        )
+        vc2m_sched::kernel::record_vcpu_build();
+        VcpuSpec::new(id, vcpu.vm(), period, surface, vcpu.tasks().to_vec())
     }
 }
 

@@ -45,10 +45,17 @@ pub fn regulated_vcpu(id: VcpuId, vm: VmId, taskset: &TaskSet) -> Result<VcpuSpe
         .expect("taskset is non-empty")
         .wcet_surface()
         .space();
+    // Hoist the task walk out of the per-cell closure: the surface has
+    // hundreds of cells and `from_fn` evaluates the closure per cell,
+    // so resolving the taskset's storage once keeps the inner loop a
+    // plain slice scan. Same tasks in the same order — the utilization
+    // sum is bit-identical.
+    let tasks_ref: Vec<&Task> = taskset.iter().collect();
     let budget = BudgetSurface::from_fn(&space, |alloc| {
-        period * taskset.iter().map(|t| t.utilization(alloc)).sum::<f64>()
+        period * tasks_ref.iter().map(|t| t.utilization(alloc)).sum::<f64>()
     })?;
     let tasks = taskset.iter().map(Task::id).collect();
+    vc2m_sched::kernel::record_vcpu_build();
     Ok(VcpuSpec::new(id, vm, period, budget, tasks)?)
 }
 

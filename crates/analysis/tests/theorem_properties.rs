@@ -72,9 +72,9 @@ fn theorem_2_holds_for_arbitrary_patterns() {
         let demand = arb_harmonic(0.95, rng);
         let offsets = arb_offsets(5, rng);
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         let theta = period * demand.utilization();
         if !(theta > 1e-9 && theta < period) {
@@ -103,9 +103,9 @@ fn under_budget_never_schedules() {
         let demand = arb_harmonic(0.9, rng);
         let shrink = rng.gen_range(0.5f64..0.98);
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         let theta = period * demand.utilization() * shrink;
         if theta <= 1e-9 {
@@ -124,9 +124,9 @@ fn theorem_2_budget_is_tight_at_the_worst_pattern() {
     check(128, |rng| {
         let demand = arb_harmonic(0.9, rng);
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         let u = demand.utilization();
         if u <= 0.05 {

@@ -333,9 +333,11 @@ pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// Aggregates a sweep into one deterministic metrics registry: taskset
-/// counts, per-solution breakdown utilizations, and the analysis-cache
-/// counters. Wall-clock analysis runtimes are deliberately excluded so
-/// the rendered JSON is reproducible run to run.
+/// counts, per-solution breakdown utilizations, the analysis-cache
+/// counters, and the schedulability-kernel telemetry (checkpoint
+/// merges, truncations, fallback horizons, kernel call counts).
+/// Wall-clock analysis runtimes are deliberately excluded so the
+/// rendered JSON is reproducible run to run.
 fn sweep_metrics(results: &vc2m::sweep::SweepResults) -> vc2m::simcore::MetricsRegistry {
     let mut metrics = vc2m::simcore::MetricsRegistry::new();
     metrics.counter_add("sweep.points", results.rows().len() as u64);
@@ -358,6 +360,7 @@ fn sweep_metrics(results: &vc2m::sweep::SweepResults) -> vc2m::simcore::MetricsR
     results
         .cache_stats()
         .export_metrics("analysis.cache.", &mut metrics);
+    vc2m::analysis::export_kernel_metrics(&results.kernel_stats(), &mut metrics);
     metrics
 }
 

@@ -105,6 +105,14 @@ const SWEEP_GOLDEN: &str = r#"{
       "analysis.cache.hits": 567,
       "analysis.cache.lookups": 3402,
       "analysis.cache.misses": 2835,
+      "analysis.checkpoints.emitted": 13620,
+      "analysis.checkpoints.fallback_horizons": 0,
+      "analysis.checkpoints.merges": 2835,
+      "analysis.checkpoints.truncated": 0,
+      "analysis.kernel.can_schedule": 0,
+      "analysis.kernel.min_budget": 2835,
+      "analysis.kernel.solver_min_budget": 0,
+      "analysis.kernel.vcpu_builds": 567,
       "sweep.points": 10,
       "sweep.solutions": 1,
       "sweep.tasksets.analyzed": 80,

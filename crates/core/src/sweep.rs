@@ -21,7 +21,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 use vc2m_alloc::Solution;
-use vc2m_analysis::{AnalysisCache, CacheStats};
+use vc2m_analysis::{AnalysisCache, CacheStats, KernelCounters};
 use vc2m_model::{Platform, VmId, VmSpec};
 use vc2m_workload::{TasksetConfig, TasksetGenerator, UtilizationDist};
 
@@ -161,6 +161,7 @@ pub struct SweepResults {
     solutions: Vec<Solution>,
     rows: Vec<SweepRow>,
     cache: CacheStats,
+    kernel: KernelCounters,
 }
 
 impl SweepResults {
@@ -173,6 +174,17 @@ impl SweepResults {
     /// zero when the sweep ran with [`SweepConfig::use_cache`] off).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache
+    }
+
+    /// Aggregated schedulability-kernel telemetry over all work units:
+    /// checkpoint merges/emissions/truncations, fallback horizons, and
+    /// `can_schedule`/`min_budget`/solver-probe call counts. Every work
+    /// unit snapshots its thread's counters before and after analysis
+    /// and contributes the delta, so the totals are exact and
+    /// order-independent regardless of how units were distributed over
+    /// worker threads.
+    pub fn kernel_stats(&self) -> KernelCounters {
+        self.kernel
     }
 
     /// The rows, in utilization order.
@@ -290,10 +302,11 @@ pub fn run_sweep_with_progress(
 ) -> SweepResults {
     let mut rows = Vec::with_capacity(config.utilizations.len());
     let mut cache = CacheStats::default();
+    let mut kernel = KernelCounters::new();
     for pi in 0..config.utilizations.len() {
         let mut row = empty_row(config, pi);
         for rep in 0..config.tasksets_per_point {
-            merge_unit(&mut row, &mut cache, sweep_unit(config, pi, rep));
+            merge_unit(&mut row, &mut cache, &mut kernel, sweep_unit(config, pi, rep));
         }
         rows.push(row);
         progress(pi + 1, config.utilizations.len());
@@ -302,6 +315,7 @@ pub fn run_sweep_with_progress(
         solutions: config.solutions.clone(),
         rows,
         cache,
+        kernel,
     }
 }
 
@@ -338,9 +352,10 @@ pub fn run_sweep_parallel(
     let total_units = points * reps;
     let mut rows: Vec<SweepRow> = (0..points).map(|pi| empty_row(config, pi)).collect();
     let mut cache = CacheStats::default();
+    let mut kernel = KernelCounters::new();
     // One lock guards row merging, stats aggregation and the progress
     // counter, so observed (done, total) pairs are strictly monotone.
-    let merged = std::sync::Mutex::new((&mut rows, &mut cache, 0usize));
+    let merged = std::sync::Mutex::new((&mut rows, &mut cache, &mut kernel, 0usize));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -353,8 +368,8 @@ pub fn run_sweep_parallel(
                 let (pi, rep) = (unit / reps, unit % reps);
                 let outcome = sweep_unit(config, pi, rep);
                 let mut guard = merged.lock().expect("no poisoned workers");
-                let (rows, cache, done) = &mut *guard;
-                merge_unit(&mut rows[pi], cache, outcome);
+                let (rows, cache, kernel, done) = &mut *guard;
+                merge_unit(&mut rows[pi], cache, kernel, outcome);
                 *done += 1;
                 progress(*done, total_units);
             });
@@ -365,6 +380,7 @@ pub fn run_sweep_parallel(
         solutions: config.solutions.clone(),
         rows,
         cache,
+        kernel,
     }
 }
 
@@ -374,6 +390,9 @@ struct UnitOutcome {
     /// configuration order.
     cells: Vec<(bool, Duration)>,
     cache: CacheStats,
+    /// The worker thread's kernel-counter delta over this unit's
+    /// analyses (thread-local snapshots taken before and after).
+    kernel: KernelCounters,
 }
 
 /// A point's row with every cell still empty.
@@ -387,7 +406,12 @@ fn empty_row(config: &SweepConfig, point_index: usize) -> SweepRow {
 /// Folds a unit's outcome into its row. All updates are plain integer
 /// additions (`Duration` included), so merge order cannot affect the
 /// result.
-fn merge_unit(row: &mut SweepRow, cache: &mut CacheStats, unit: UnitOutcome) {
+fn merge_unit(
+    row: &mut SweepRow,
+    cache: &mut CacheStats,
+    kernel: &mut KernelCounters,
+    unit: UnitOutcome,
+) {
     for (cell, (schedulable, elapsed)) in row.cells.iter_mut().zip(unit.cells) {
         cell.total += 1;
         cell.runtime += elapsed;
@@ -396,6 +420,7 @@ fn merge_unit(row: &mut SweepRow, cache: &mut CacheStats, unit: UnitOutcome) {
         }
     }
     cache.merge(unit.cache);
+    kernel.merge(&unit.kernel);
 }
 
 /// Computes one `(point, repetition)` work unit: generates the unit's
@@ -423,6 +448,10 @@ fn sweep_unit(config: &SweepConfig, point_index: usize, rep: usize) -> UnitOutco
     } else {
         AnalysisCache::disabled()
     };
+    // Kernel counters are thread-local; the delta across this unit's
+    // analyses is this unit's exact contribution no matter which
+    // worker thread ran it (units never interleave within a thread).
+    let kernel_before = vc2m_sched::kernel::counters();
     let cells = config
         .solutions
         .iter()
@@ -435,6 +464,7 @@ fn sweep_unit(config: &SweepConfig, point_index: usize, rep: usize) -> UnitOutco
     UnitOutcome {
         cells,
         cache: cache.stats(),
+        kernel: vc2m_sched::kernel::counters().since(&kernel_before),
     }
 }
 
@@ -567,6 +597,11 @@ mod tests {
         let parallel = run_sweep_parallel(&config, 3, |_, _| {});
         assert_eq!(serial.fractions_csv(), parallel.fractions_csv());
         assert_eq!(serial.solutions(), parallel.solutions());
+        // Kernel telemetry is a sum of per-unit deltas: identical no
+        // matter how the units were spread over worker threads.
+        assert_eq!(serial.kernel_stats(), parallel.kernel_stats());
+        assert!(serial.kernel_stats().vcpu_builds > 0, "no VCPUs built?");
+        assert!(serial.kernel_stats().checkpoint_merges > 0);
     }
 
     #[test]

@@ -16,10 +16,17 @@
 use std::fmt;
 
 /// Validated demand description of an implicit-deadline periodic
-/// taskset: a list of `(period, wcet)` pairs.
+/// taskset.
+///
+/// Stored structure-of-arrays (`periods[]` / `wcets[]` as parallel
+/// slices) so the analysis kernels can stream each array
+/// independently: the checkpoint merge walks `periods` alone, the
+/// zero-WCET screens walk `wcets` alone, and `dbf` zips both without
+/// loading unused halves of `(f64, f64)` pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Demand {
-    tasks: Vec<(f64, f64)>,
+    periods: Vec<f64>,
+    wcets: Vec<f64>,
     utilization: f64,
     hyperperiod: Option<f64>,
 }
@@ -63,16 +70,38 @@ impl Demand {
         }
         let utilization = tasks.iter().map(|(p, e)| e / p).sum();
         let hyperperiod = hyperperiod(tasks.iter().map(|&(p, _)| p));
+        let (periods, wcets) = tasks.into_iter().unzip();
         Ok(Demand {
-            tasks,
+            periods,
+            wcets,
             utilization,
             hyperperiod,
         })
     }
 
-    /// The `(period, wcet)` pairs.
-    pub fn tasks(&self) -> &[(f64, f64)] {
-        &self.tasks
+    /// The task periods, parallel to [`wcets`](Demand::wcets).
+    pub fn periods(&self) -> &[f64] {
+        &self.periods
+    }
+
+    /// The task WCETs, parallel to [`periods`](Demand::periods).
+    pub fn wcets(&self) -> &[f64] {
+        &self.wcets
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// Whether the taskset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// The `(period, wcet)` pairs, zipped back from the SoA storage.
+    pub fn pairs(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.periods.iter().zip(&self.wcets).map(|(&p, &e)| (p, e))
     }
 
     /// Total utilization Σ eᵢ/pᵢ.
@@ -96,37 +125,47 @@ impl Demand {
         if t <= 0.0 {
             return 0.0;
         }
-        self.tasks
+        self.periods
             .iter()
-            .map(|&(p, e)| ((t / p) + 1e-9).floor() * e)
+            .zip(&self.wcets)
+            .map(|(&p, &e)| ((t / p) + 1e-9).floor() * e)
             .sum()
     }
 
     /// The sorted, de-duplicated checkpoints (job deadlines) in
     /// `(0, horizon]` at which `dbf` increases.
     ///
-    /// The number of checkpoints is capped at `max_points`; if the
-    /// horizon would produce more, the list is truncated (callers that
-    /// need completeness should pass a horizon equal to the
-    /// hyperperiod, which for the paper's harmonic tasksets is small).
+    /// Implemented as a k-way merge over the per-task deadline
+    /// progressions ([`kernel::merge_checkpoints`][crate::kernel]), so
+    /// points come out in order without a sort pass.
+    ///
+    /// Two caps bound the enumeration, and both keep the **earliest**
+    /// points when they bite (never a mid-task prefix, which the
+    /// historical collect-sort path could produce):
+    ///
+    /// * at most `max_points` checkpoints are returned;
+    /// * each task contributes at most `max_points` deadline multiples.
+    ///
+    /// Truncation by either cap is recorded in the thread's
+    /// [`kernel::KernelCounters::checkpoints_truncated`][crate::kernel::KernelCounters]
+    /// counter, which sweeps export so a bounded enumeration is never
+    /// silent. Callers that need completeness should pass a horizon
+    /// equal to the hyperperiod, which for the paper's harmonic
+    /// tasksets is small.
     pub fn checkpoints(&self, horizon: f64, max_points: usize) -> Vec<f64> {
-        let mut points: Vec<f64> = Vec::new();
-        for &(p, e) in &self.tasks {
-            if e == 0.0 {
-                continue;
-            }
-            let mut t = p;
-            while t <= horizon + 1e-9 {
+        let mut scratch = crate::kernel::MergeScratch::default();
+        let mut points = Vec::new();
+        crate::kernel::merge_checkpoints(
+            &self.periods,
+            &self.wcets,
+            horizon,
+            max_points,
+            &mut scratch,
+            |t| {
                 points.push(t);
-                t += p;
-                if points.len() > 4 * max_points {
-                    break;
-                }
-            }
-        }
-        points.sort_by(|a, b| a.partial_cmp(b).expect("checkpoints are finite"));
-        points.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-        points.truncate(max_points);
+                true
+            },
+        );
         points
     }
 }
@@ -136,7 +175,9 @@ impl Demand {
 /// LCM exceeds 10¹² ns (1000 s of simulated time) — beyond that the
 /// periods are effectively incommensurate and checkpoint enumeration
 /// over a hyperperiod is useless; callers fall back to a bounded
-/// horizon.
+/// horizon. (The cap is only checked when combining periods: a single
+/// period is returned as-is, since it is its own — trivially
+/// enumerable — hyperperiod.)
 pub fn hyperperiod(periods: impl IntoIterator<Item = f64>) -> Option<f64> {
     let mut acc: Option<u128> = None;
     for p in periods {
@@ -158,12 +199,16 @@ pub fn hyperperiod(periods: impl IntoIterator<Item = f64>) -> Option<f64> {
     acc.map(|ns| ns as f64 / 1e6)
 }
 
-fn gcd(a: u128, b: u128) -> u128 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
+/// Iterative Euclid — constant stack depth regardless of how long the
+/// remainder chain is (adversarial near-Fibonacci inputs recurse ~90
+/// deep in the naive version; harmless for u128 but pointless).
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
     }
+    a
 }
 
 fn lcm(a: u128, b: u128) -> u128 {
@@ -182,6 +227,17 @@ mod tests {
         assert!(Demand::new(vec![(f64::NAN, 1.0)]).is_err());
         assert!(Demand::new(vec![(10.0, 0.0)]).is_ok(), "zero wcet allowed");
         assert!(Demand::new(vec![]).is_ok(), "empty taskset allowed");
+    }
+
+    #[test]
+    fn soa_accessors_agree() {
+        let d = Demand::new(vec![(10.0, 1.0), (20.0, 4.0)]).unwrap();
+        assert_eq!(d.periods(), &[10.0, 20.0]);
+        assert_eq!(d.wcets(), &[1.0, 4.0]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.pairs().collect::<Vec<_>>(), vec![(10.0, 1.0), (20.0, 4.0)]);
+        assert!(Demand::new(vec![]).unwrap().is_empty());
     }
 
     #[test]
@@ -236,6 +292,27 @@ mod tests {
     }
 
     #[test]
+    fn checkpoints_keep_earliest_points_across_tasks() {
+        // The historical enumeration broke out of the *current task's*
+        // loop once 4 × max_points raw entries were collected, so a
+        // later task contributed only its first deadline and its early
+        // multiples (here 7.5, 12.5, …) vanished from the truncated
+        // result. The merge keeps the globally earliest points.
+        let d = Demand::new(vec![(1.0, 0.1), (2.5, 0.1)]).unwrap();
+        let cps = d.checkpoints(1e6, 50);
+        assert_eq!(cps.len(), 50);
+        for needle in [2.5, 7.5, 12.5, 17.5] {
+            assert!(
+                cps.iter().any(|&t| (t - needle).abs() < 1e-9),
+                "expected early deadline {needle} in {cps:?}"
+            );
+        }
+        let mut sorted = cps.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(cps, sorted, "merge must emit in ascending order");
+    }
+
+    #[test]
     fn hyperperiod_harmonic_is_max() {
         assert_eq!(hyperperiod([100.0, 200.0, 400.0]), Some(400.0));
         let d = Demand::new(vec![(100.0, 1.0), (400.0, 1.0)]).unwrap();
@@ -246,6 +323,25 @@ mod tests {
     fn hyperperiod_non_harmonic() {
         assert_eq!(hyperperiod([4.0, 6.0]), Some(12.0));
         assert_eq!(hyperperiod(std::iter::empty::<f64>()), None);
+    }
+
+    #[test]
+    fn hyperperiod_respects_lcm_overflow_boundary() {
+        // lcm(1e6 ms, 2e5 ms) = 1e6 ms = exactly 1e12 ns: at the cap,
+        // still representable.
+        assert_eq!(hyperperiod([1_000_000.0, 200_000.0]), Some(1_000_000.0));
+        // lcm(1e6 ms, 3e5 ms) = 3e6 ms = 3e12 ns: one combination past
+        // the cap, rejected.
+        assert_eq!(hyperperiod([1_000_000.0, 300_000.0]), None);
+        // Sub-nanosecond period rounds to 0 ns: not representable.
+        assert_eq!(hyperperiod([4.0e-7]), None);
+        // Adjacent Fibonacci numbers (as ns) drive Euclid through its
+        // longest remainder chain; the iterative gcd handles it and the
+        // LCM is their product (gcd = 1), under the cap.
+        assert_eq!(
+            hyperperiod([0.514229, 0.832040]),
+            Some(514_229.0 * 832_040.0 / 1e6)
+        );
     }
 
     #[test]

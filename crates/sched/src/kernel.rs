@@ -1,0 +1,509 @@
+//! Allocation-free incremental schedulability kernels.
+//!
+//! The analysis inner loops — `can_schedule` probes and minimal-budget
+//! searches — run millions of times per sweep. The reference
+//! implementations in [`dbf`](crate::dbf) and [`sbf`](crate::sbf) are
+//! written for clarity: every call materializes a fresh checkpoint
+//! `Vec`, and historically also sorted and de-duplicated it. This
+//! module provides the production kernels:
+//!
+//! * [`merge_checkpoints`](self) — a k-way merge over the per-task
+//!   deadline progressions `p, 2p, 3p, …` that emits checkpoints in
+//!   ascending order directly (no sort, no intermediate collection),
+//!   de-duplicating against the last emitted point exactly the way the
+//!   historical `sort`/`dedup_by` pass did. `Demand::checkpoints` is
+//!   built on it, so the merged stream *is* the reference stream.
+//! * [`AnalysisWorkspace`] — reusable scratch buffers (merge cursors,
+//!   checkpoint/demand arrays, active-set indices) threading the same
+//!   pattern `MinBudgetSolver` uses for `active`/`retained`, turning
+//!   `can_schedule` into a single O(total points) streaming pass and
+//!   `min_budget` into a zero-per-call-allocation bisection. Results
+//!   are bit-identical to the reference functions: every float
+//!   expression is evaluated in the same order on the same values
+//!   (`crates/sched/tests/kernel_conformance.rs` pins this).
+//! * [`KernelCounters`] — thread-local telemetry (merge sweeps,
+//!   truncations, fallback horizons, kernel calls) that the sweep
+//!   driver snapshots per work unit and exports as `analysis.*`
+//!   metrics.
+//!
+//! # Why the demand sum is *not* a running accumulator
+//!
+//! A literal running demand sum (`d += e` as each task's deadline
+//! passes) is mathematically equal to `dbf(t)` but not **bit**-equal:
+//! float addition is non-associative, and the accumulated per-task
+//! progression `t += p` drifts from the reference's `⌊t/p + 1e-9⌋`
+//! job count by more than the 1e-9 tolerance at large multiples. The
+//! kernels therefore stream checkpoints incrementally but evaluate the
+//! per-point demand with the reference's own task-order expression
+//! `Σᵢ ⌊t/pᵢ + 1e-9⌋·eᵢ` — the same trade `MinBudgetSolver`'s floor
+//! table makes, preserving bit-identity while still eliminating the
+//! sort, the per-call allocations, and (via the active set) most probe
+//! comparisons.
+
+use crate::dbf::Demand;
+use crate::sbf::{bisect_active, PeriodicResource};
+use std::cell::{Cell, RefCell};
+
+/// The checkpoint cap used by every analysis entry point: at most this
+/// many merged checkpoints are enumerated per `can_schedule` /
+/// `min_budget` evaluation, and at most this many multiples of any
+/// single task period. When the cap bites (or the no-hyperperiod
+/// fallback horizon is used), the analysis is a bounded-horizon
+/// approximation; [`KernelCounters::checkpoints_truncated`] and
+/// [`KernelCounters::fallback_horizons`] make that visible to sweeps.
+pub const MAX_CHECKPOINTS: usize = 100_000;
+
+/// Per-thread kernel telemetry counters.
+///
+/// Counters accumulate monotonically per thread; consumers snapshot
+/// [`counters`] before and after a unit of work and keep the
+/// [`KernelCounters::since`] delta, which merges order-independently
+/// across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounters {
+    /// Checkpoint merge sweeps performed (one per `checkpoints` /
+    /// streaming kernel evaluation).
+    pub checkpoint_merges: u64,
+    /// Checkpoints emitted across all merge sweeps.
+    pub checkpoints_emitted: u64,
+    /// Merge sweeps truncated by [`MAX_CHECKPOINTS`] (globally or for
+    /// a single task's progression).
+    pub checkpoints_truncated: u64,
+    /// Analyses that fell back to the bounded 10 000 ms horizon
+    /// because the taskset has no representable hyperperiod.
+    pub fallback_horizons: u64,
+    /// [`AnalysisWorkspace::can_schedule`] calls.
+    pub can_schedule_calls: u64,
+    /// [`AnalysisWorkspace::min_budget`] calls.
+    pub min_budget_calls: u64,
+    /// `MinBudgetSolver::min_budget` fast-path calls (floor-table
+    /// reuse).
+    pub solver_calls: u64,
+    /// VCPU interface constructions recorded by the analysis crate.
+    pub vcpu_builds: u64,
+}
+
+impl KernelCounters {
+    /// All-zero counters (`const`, so the thread-local can be
+    /// zero-initialized without lazy setup).
+    pub const fn new() -> Self {
+        KernelCounters {
+            checkpoint_merges: 0,
+            checkpoints_emitted: 0,
+            checkpoints_truncated: 0,
+            fallback_horizons: 0,
+            can_schedule_calls: 0,
+            min_budget_calls: 0,
+            solver_calls: 0,
+            vcpu_builds: 0,
+        }
+    }
+
+    /// The field-wise difference `self - baseline` — the work done
+    /// between two [`counters`] snapshots on the same thread.
+    pub fn since(&self, baseline: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            checkpoint_merges: self.checkpoint_merges.wrapping_sub(baseline.checkpoint_merges),
+            checkpoints_emitted: self.checkpoints_emitted.wrapping_sub(baseline.checkpoints_emitted),
+            checkpoints_truncated: self
+                .checkpoints_truncated
+                .wrapping_sub(baseline.checkpoints_truncated),
+            fallback_horizons: self.fallback_horizons.wrapping_sub(baseline.fallback_horizons),
+            can_schedule_calls: self.can_schedule_calls.wrapping_sub(baseline.can_schedule_calls),
+            min_budget_calls: self.min_budget_calls.wrapping_sub(baseline.min_budget_calls),
+            solver_calls: self.solver_calls.wrapping_sub(baseline.solver_calls),
+            vcpu_builds: self.vcpu_builds.wrapping_sub(baseline.vcpu_builds),
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (plain integer addition, so
+    /// aggregation order cannot affect the result).
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.checkpoint_merges += other.checkpoint_merges;
+        self.checkpoints_emitted += other.checkpoints_emitted;
+        self.checkpoints_truncated += other.checkpoints_truncated;
+        self.fallback_horizons += other.fallback_horizons;
+        self.can_schedule_calls += other.can_schedule_calls;
+        self.min_budget_calls += other.min_budget_calls;
+        self.solver_calls += other.solver_calls;
+        self.vcpu_builds += other.vcpu_builds;
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<KernelCounters> = const { Cell::new(KernelCounters::new()) };
+    static WORKSPACE: RefCell<AnalysisWorkspace> = RefCell::new(AnalysisWorkspace::new());
+}
+
+/// Snapshot of this thread's kernel counters.
+pub fn counters() -> KernelCounters {
+    COUNTERS.with(Cell::get)
+}
+
+/// Applies `f` to this thread's counters (plain `Cell` get/set — the
+/// counters are `Copy` and small, so no locking or atomics).
+pub(crate) fn tick(f: impl FnOnce(&mut KernelCounters)) {
+    COUNTERS.with(|cell| {
+        let mut value = cell.get();
+        f(&mut value);
+        cell.set(value);
+    });
+}
+
+/// Records one VCPU interface construction. Called by the analysis
+/// crate's VCPU builders so sweeps can relate kernel-call counts to
+/// analysis work units.
+pub fn record_vcpu_build() {
+    tick(|c| c.vcpu_builds += 1);
+}
+
+/// Runs `f` with this thread's shared [`AnalysisWorkspace`].
+///
+/// Analysis call sites that cannot conveniently own a workspace (the
+/// period search, cache-miss closures, one-shot worst-case budgets)
+/// borrow the thread-local one; each worker thread of a parallel sweep
+/// gets its own, so no synchronization is involved.
+///
+/// # Panics
+///
+/// Panics if `f` re-enters `with_workspace` on the same thread (the
+/// workspace is a single exclusive scratch buffer).
+pub fn with_workspace<R>(f: impl FnOnce(&mut AnalysisWorkspace) -> R) -> R {
+    WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// The analysis horizon for `demand` against a period-`period`
+/// resource: the hyperperiod when representable, else the bounded
+/// 10 000 ms fallback (counted in
+/// [`KernelCounters::fallback_horizons`]); never below two resource
+/// periods. Bit-identical to the reference expression
+/// `demand.hyperperiod().unwrap_or(10_000.0).max(2.0 * period)`.
+pub fn analysis_horizon(demand: &Demand, period: f64) -> f64 {
+    let hyperperiod = match demand.hyperperiod() {
+        Some(h) => h,
+        None => {
+            tick(|c| c.fallback_horizons += 1);
+            10_000.0
+        }
+    };
+    hyperperiod.max(2.0 * period)
+}
+
+/// Reusable cursor state for [`merge_checkpoints`]: one slot per task
+/// with a pending deadline, holding the next deadline value, the task
+/// period, and how many deadlines the cursor has yielded.
+#[derive(Debug, Default)]
+pub(crate) struct MergeScratch {
+    next: Vec<f64>,
+    periods: Vec<f64>,
+    yielded: Vec<u32>,
+}
+
+impl MergeScratch {
+    fn clear(&mut self) {
+        self.next.clear();
+        self.periods.clear();
+        self.yielded.clear();
+    }
+
+    fn swap_remove(&mut self, slot: usize) {
+        self.next.swap_remove(slot);
+        self.periods.swap_remove(slot);
+        self.yielded.swap_remove(slot);
+    }
+}
+
+/// K-way merge over the per-task deadline progressions, emitting the
+/// sorted de-duplicated checkpoint stream of the demand `periods` ×
+/// `wcets` in `(0, horizon]` directly — no intermediate collection, no
+/// sort.
+///
+/// Semantics match the (fixed) reference enumeration exactly:
+///
+/// * zero-WCET tasks contribute no deadlines;
+/// * each task's progression `p, p+p, …` uses the same accumulated
+///   float values the reference loop produces, and is capped at
+///   `max_points` multiples;
+/// * a point within `1e-9` of the last *emitted* point is dropped
+///   (the `dedup_by` rule);
+/// * emission stops after `max_points` points — the **earliest**
+///   points are kept, never a mid-task prefix.
+///
+/// `emit` returning `false` aborts the sweep early (streaming
+/// `can_schedule` stops at the first violated checkpoint). Returns
+/// `(emitted, truncated)` where `truncated` reports whether either cap
+/// dropped in-horizon deadlines; both are also added to this thread's
+/// [`KernelCounters`].
+pub(crate) fn merge_checkpoints(
+    periods: &[f64],
+    wcets: &[f64],
+    horizon: f64,
+    max_points: usize,
+    scratch: &mut MergeScratch,
+    mut emit: impl FnMut(f64) -> bool,
+) -> (usize, bool) {
+    scratch.clear();
+    for (&p, &e) in periods.iter().zip(wcets) {
+        if e == 0.0 {
+            continue;
+        }
+        if p <= horizon + 1e-9 {
+            scratch.next.push(p);
+            scratch.periods.push(p);
+            scratch.yielded.push(0);
+        }
+    }
+    let mut last = f64::NEG_INFINITY;
+    let mut emitted = 0usize;
+    let mut truncated = false;
+    while !scratch.next.is_empty() {
+        // Linear min-scan over the cursors: k is the task count, which
+        // is the same factor every dbf evaluation already pays, so the
+        // merge stays O(k · points) like the work it feeds.
+        let mut slot = 0usize;
+        for (i, &t) in scratch.next.iter().enumerate().skip(1) {
+            if t < scratch.next[slot] {
+                slot = i;
+            }
+        }
+        let t = scratch.next[slot];
+        // Advance or retire the cursor, replicating the reference
+        // loop's accumulated `t += p` values bit for bit.
+        scratch.yielded[slot] += 1;
+        let next_t = t + scratch.periods[slot];
+        if scratch.yielded[slot] as usize >= max_points {
+            if next_t <= horizon + 1e-9 {
+                truncated = true; // per-task cap dropped in-horizon deadlines
+            }
+            scratch.swap_remove(slot);
+        } else if next_t > horizon + 1e-9 {
+            scratch.swap_remove(slot);
+        } else {
+            scratch.next[slot] = next_t;
+        }
+        // De-duplicate against the last emitted point (the reference's
+        // `dedup_by(|a, b| (a - b).abs() < 1e-9)` keeps the first of
+        // each cluster; the stream is ascending, so comparing against
+        // the last emitted value is the same rule).
+        if (t - last).abs() < 1e-9 {
+            continue;
+        }
+        if emitted == max_points {
+            truncated = true; // an emittable point exists beyond the cap
+            break;
+        }
+        last = t;
+        emitted += 1;
+        if !emit(t) {
+            break;
+        }
+    }
+    tick(|c| {
+        c.checkpoint_merges += 1;
+        c.checkpoints_emitted += emitted as u64;
+        c.checkpoints_truncated += u64::from(truncated);
+    });
+    (emitted, truncated)
+}
+
+/// Reusable scratch buffers for the incremental schedulability
+/// kernels.
+///
+/// One workspace serves any number of demands: every buffer is
+/// `clear()`ed (capacity retained) per call, so steady-state kernel
+/// calls perform **zero heap allocations**
+/// (`crates/sched/tests/kernel_alloc.rs` pins this with a counting
+/// global allocator). Results are bit-identical to the reference
+/// [`PeriodicResource::can_schedule`] and
+/// [`min_budget`](crate::sbf::min_budget) — the conformance argument
+/// is the [module docs](self) plus the active-set proof on
+/// [`MinBudgetSolver::min_budget`](crate::sbf::MinBudgetSolver::min_budget).
+#[derive(Debug, Default)]
+pub struct AnalysisWorkspace {
+    merge: MergeScratch,
+    points: Vec<f64>,
+    demands: Vec<f64>,
+    active: Vec<u32>,
+    retained: Vec<u32>,
+}
+
+impl AnalysisWorkspace {
+    /// Creates an empty workspace; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        AnalysisWorkspace::default()
+    }
+
+    /// Whether `demand` is EDF-schedulable on `resource` — the
+    /// streaming, allocation-free equivalent of
+    /// [`PeriodicResource::can_schedule`], returning the identical
+    /// boolean (same checkpoint stream, same `dbf`/`sbf` expressions,
+    /// same first-violation early exit).
+    pub fn can_schedule(&mut self, resource: &PeriodicResource, demand: &Demand) -> bool {
+        tick(|c| c.can_schedule_calls += 1);
+        if demand.utilization() > resource.bandwidth() + 1e-12 {
+            return false;
+        }
+        let horizon = analysis_horizon(demand, resource.period());
+        let mut ok = true;
+        merge_checkpoints(
+            demand.periods(),
+            demand.wcets(),
+            horizon,
+            MAX_CHECKPOINTS,
+            &mut self.merge,
+            |t| {
+                if demand.dbf(t) > resource.sbf(t) + 1e-9 {
+                    ok = false;
+                    return false;
+                }
+                true
+            },
+        );
+        ok
+    }
+
+    /// The minimal budget Θ making `demand` schedulable on a
+    /// period-`period` resource — bit-identical to
+    /// [`min_budget`](crate::sbf::min_budget), with the checkpoints
+    /// merged into reused buffers and the bisection probing only the
+    /// active checkpoint set.
+    ///
+    /// Unlike [`MinBudgetSolver`](crate::sbf::MinBudgetSolver), the
+    /// checkpoint stream is built from the *actual* WCETs, so demands
+    /// mixing zero and positive WCETs take the fast path too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive and finite.
+    pub fn min_budget(&mut self, demand: &Demand, period: f64) -> Option<f64> {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "resource period must be positive and finite, got {period}"
+        );
+        tick(|c| c.min_budget_calls += 1);
+        if demand.wcets().iter().all(|&e| e == 0.0) {
+            return Some(0.0);
+        }
+        let horizon = analysis_horizon(demand, period);
+        let AnalysisWorkspace {
+            merge,
+            points,
+            demands,
+            active,
+            retained,
+        } = self;
+        points.clear();
+        merge_checkpoints(
+            demand.periods(),
+            demand.wcets(),
+            horizon,
+            MAX_CHECKPOINTS,
+            merge,
+            |t| {
+                points.push(t);
+                true
+            },
+        );
+        demands.clear();
+        demands.extend(points.iter().map(|&t| demand.dbf(t)));
+        bisect_active(period, demand.utilization(), points, demands, active, retained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbf::min_budget;
+
+    #[test]
+    fn workspace_matches_reference_on_basic_demands() {
+        let mut ws = AnalysisWorkspace::new();
+        for pairs in [
+            vec![(10.0, 1.0)],
+            vec![(10.0, 1.0), (20.0, 3.0), (40.0, 4.0)],
+            vec![(10.0, 0.0), (20.0, 4.0)],
+            vec![(3.0000001, 0.2), (7.0, 0.4)],
+            vec![(10.0, 12.0)], // infeasible
+            vec![],
+        ] {
+            let demand = Demand::new(pairs.clone()).unwrap();
+            for period in [10.0, 5.0, 2.5] {
+                assert_eq!(
+                    ws.min_budget(&demand, period).map(f64::to_bits),
+                    min_budget(&demand, period).map(f64::to_bits),
+                    "min_budget diverged for {pairs:?} at period {period}"
+                );
+                for frac in [0.05, 0.3, 0.8, 1.0] {
+                    let r = PeriodicResource::new(period, frac * period);
+                    assert_eq!(
+                        ws.can_schedule(&r, &demand),
+                        r.can_schedule(&demand),
+                        "can_schedule diverged for {pairs:?} on ({period}, {frac})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_track_kernel_calls() {
+        let before = counters();
+        let demand = Demand::new(vec![(10.0, 1.0)]).unwrap();
+        let mut ws = AnalysisWorkspace::new();
+        let _ = ws.min_budget(&demand, 10.0);
+        let r = PeriodicResource::new(10.0, 6.0);
+        let _ = ws.can_schedule(&r, &demand);
+        let delta = counters().since(&before);
+        assert_eq!(delta.min_budget_calls, 1);
+        assert_eq!(delta.can_schedule_calls, 1);
+        assert!(delta.checkpoint_merges >= 2);
+        assert!(delta.checkpoints_emitted >= 2);
+        assert_eq!(delta.checkpoints_truncated, 0);
+    }
+
+    #[test]
+    fn fallback_horizon_is_counted() {
+        // Periods defeating the ns-scaled LCM: hyperperiod is None.
+        let demand = Demand::new(vec![(999_937.0, 1.0), (999_983.0, 1.0)]).unwrap();
+        assert_eq!(demand.hyperperiod(), None);
+        let before = counters();
+        let mut ws = AnalysisWorkspace::new();
+        let _ = ws.min_budget(&demand, 10.0);
+        assert_eq!(counters().since(&before).fallback_horizons, 1);
+    }
+
+    #[test]
+    fn truncation_is_counted_and_keeps_earliest_points() {
+        let demand = Demand::new(vec![(1.0, 0.1)]).unwrap();
+        let before = counters();
+        let points = demand.checkpoints(1e6, 50);
+        assert_eq!(points.len(), 50);
+        assert_eq!(points[0], 1.0);
+        assert_eq!(points[49], 50.0);
+        assert_eq!(counters().since(&before).checkpoints_truncated, 1);
+    }
+
+    #[test]
+    fn counters_merge_and_delta() {
+        let mut total = KernelCounters::new();
+        total.merge(&KernelCounters {
+            checkpoint_merges: 2,
+            checkpoints_emitted: 10,
+            ..KernelCounters::new()
+        });
+        total.merge(&KernelCounters {
+            checkpoint_merges: 1,
+            solver_calls: 4,
+            ..KernelCounters::new()
+        });
+        assert_eq!(total.checkpoint_merges, 3);
+        assert_eq!(total.checkpoints_emitted, 10);
+        assert_eq!(total.solver_calls, 4);
+        let base = KernelCounters {
+            checkpoint_merges: 1,
+            ..KernelCounters::new()
+        };
+        assert_eq!(total.since(&base).checkpoint_merges, 2);
+    }
+}

@@ -9,6 +9,10 @@
 //!   model (Shin & Lee 2003), which is the "existing compositional
 //!   analysis" \[13\] the paper compares against, including the minimal
 //!   budget computation;
+//! * [`kernel`] — allocation-free incremental versions of the
+//!   schedulability inner loops (checkpoint merge, reusable
+//!   [`AnalysisWorkspace`](kernel::AnalysisWorkspace), per-thread
+//!   kernel telemetry), bit-identical to the reference functions;
 //! * [`server`] — runtime periodic-server state machines (budget
 //!   accounting) used by the hypervisor simulator;
 //! * [`edf`] — a deterministic EDF ready queue implementing the paper's
@@ -35,5 +39,6 @@
 
 pub mod dbf;
 pub mod edf;
+pub mod kernel;
 pub mod sbf;
 pub mod server;

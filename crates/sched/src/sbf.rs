@@ -22,6 +22,7 @@
 //! utilization is the *abstraction overhead* vC²M eliminates.
 
 use crate::dbf::Demand;
+use crate::kernel::analysis_horizon;
 
 /// A periodic resource Γ = (Π, Θ).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,11 +99,8 @@ impl PeriodicResource {
         if demand.utilization() > self.bandwidth() + 1e-12 {
             return false;
         }
-        let horizon = demand
-            .hyperperiod()
-            .unwrap_or(10_000.0)
-            .max(2.0 * self.period);
-        for t in demand.checkpoints(horizon, 100_000) {
+        let horizon = analysis_horizon(demand, self.period);
+        for t in demand.checkpoints(horizon, crate::kernel::MAX_CHECKPOINTS) {
             if demand.dbf(t) > self.sbf(t) + 1e-9 {
                 return false;
             }
@@ -129,14 +127,14 @@ pub fn min_budget(demand: &Demand, period: f64) -> Option<f64> {
         period.is_finite() && period > 0.0,
         "resource period must be positive and finite, got {period}"
     );
-    if demand.tasks().iter().all(|&(_, e)| e == 0.0) {
+    if demand.wcets().iter().all(|&e| e == 0.0) {
         return Some(0.0);
     }
     // Precompute the checkpoints and the demand at each one — they do
     // not depend on the candidate budget, and the binary search below
     // evaluates the predicate dozens of times.
-    let horizon = demand.hyperperiod().unwrap_or(10_000.0).max(2.0 * period);
-    let points = demand.checkpoints(horizon, 100_000);
+    let horizon = analysis_horizon(demand, period);
+    let points = demand.checkpoints(horizon, crate::kernel::MAX_CHECKPOINTS);
     let demands: Vec<f64> = points.iter().map(|&t| demand.dbf(t)).collect();
     let feasible = |theta: f64| {
         if demand.utilization() > theta / period + 1e-12 {
@@ -224,8 +222,8 @@ impl MinBudgetSolver {
         // implementation.
         let proxy = Demand::new(task_periods.iter().map(|&p| (p, 1.0)).collect())
             .expect("task periods must be positive and finite");
-        let horizon = proxy.hyperperiod().unwrap_or(10_000.0).max(2.0 * period);
-        let points = proxy.checkpoints(horizon, 100_000);
+        let horizon = analysis_horizon(&proxy, period);
+        let points = proxy.checkpoints(horizon, crate::kernel::MAX_CHECKPOINTS);
         let floors = points
             .iter()
             .map(|&t| {
@@ -285,12 +283,14 @@ impl MinBudgetSolver {
         }
         // From here on the arithmetic mirrors `min_budget` operation
         // for operation: same folds, same order, same tolerances. The
-        // *set of points checked* per probe shrinks (see `probe`), but
-        // every per-point comparison that is performed uses the exact
-        // float expressions of `PeriodicResource::sbf`, and skipped
-        // comparisons are provably `true` — so every probe's boolean,
-        // hence the bisection trajectory, hence the returned bits, are
-        // identical to the reference.
+        // *set of points checked* per probe shrinks (see
+        // [`probe_active`]), but every per-point comparison that is
+        // performed uses the exact float expressions of
+        // [`PeriodicResource::sbf`], and skipped comparisons are
+        // provably `true` — so every probe's boolean, hence the
+        // bisection trajectory, hence the returned bits, are identical
+        // to the reference.
+        crate::kernel::tick(|c| c.solver_calls += 1);
         let utilization: f64 = self.periods.iter().zip(wcets).map(|(p, e)| e / p).sum();
         let mut demands = self.demands.borrow_mut();
         demands.clear();
@@ -302,93 +302,130 @@ impl MinBudgetSolver {
         let demands = &*demands;
         let mut guard = self.active.borrow_mut();
         let (active, retained) = &mut *guard;
-        active.clear();
-        active.extend(0..self.points.len() as u32);
-
-        // The reference's feasible(Π) utilization guard compares
-        // against Π/Π + 1e-12; x/x is exactly 1.0 for any finite
-        // positive x, so the constant is bit-identical.
-        if utilization > 1.0 + 1e-12 || !self.probe(self.period, demands, active, retained) {
-            return None;
-        }
-        let mut lo = (utilization * self.period).min(self.period);
-        if !(utilization > lo / self.period + 1e-12) && self.probe(lo, demands, active, retained) {
-            return Some(lo);
-        }
-        // In the bisection the utilization guard of the reference's
-        // `feasible` can never fire: reaching here means U ≤ 1 + 1e-12,
-        // and if U > 1 then lo = Π and feasible(Π) above already
-        // returned. So U ≤ 1, lo = U·Π (one rounding), and every probe
-        // θ = ½(lo + hi) ≥ lo, giving U − θ/Π ≤ a few ulps of U —
-        // orders below the guard's 1e-12 slack. The guard is therefore
-        // omitted from the loop; its boolean is identically `false`.
-        let mut hi = self.period;
-        for _ in 0..64 {
-            let mid = 0.5 * (lo + hi);
-            if self.probe(mid, demands, active, retained) {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-            if hi - lo < 1e-9 {
-                break;
-            }
-        }
-        Some(hi)
+        bisect_active(self.period, utilization, &self.points, demands, active, retained)
     }
+}
 
-    /// Margin for retiring a checkpoint from the active set: a point
-    /// satisfied by more than this at an infeasible probe θ is
-    /// satisfied at every larger θ and is never checked again.
-    ///
-    /// Soundness: the mathematical sbf is non-decreasing in Θ for fixed
-    /// (t, Π), and the float evaluation in [`PeriodicResource::sbf`]
-    /// (< 10 operations on values bounded by the `1e6` ms horizon cap)
-    /// deviates from it by at most a few ulps of the horizon,
-    /// ≈ `1e-9`. A retired point has `d ≤ sbf(θ) − 1e-6`, so at any
-    /// θ' ≥ θ the *computed* supply is within `2·1e-9` of a value at
-    /// least `sbf(θ)`, leaving `d ≤ sbf(θ') + 1e-9` true by a margin
-    /// of ~`1e-6` — the skipped comparison is provably `true`.
-    const DROP_MARGIN: f64 = 1e-6;
+/// Margin for retiring a checkpoint from the active set: a point
+/// satisfied by more than this at an infeasible probe θ is satisfied
+/// at every larger θ and is never checked again.
+///
+/// Soundness: the mathematical sbf is non-decreasing in Θ for fixed
+/// (t, Π), and the float evaluation in [`PeriodicResource::sbf`]
+/// (< 10 operations on values bounded by the `1e6` ms horizon cap)
+/// deviates from it by at most a few ulps of the horizon,
+/// ≈ `1e-9`. A retired point has `d ≤ sbf(θ) − 1e-6`, so at any
+/// θ' ≥ θ the *computed* supply is within `2·1e-9` of a value at
+/// least `sbf(θ)`, leaving `d ≤ sbf(θ') + 1e-9` true by a margin
+/// of ~`1e-6` — the skipped comparison is provably `true`.
+const DROP_MARGIN: f64 = 1e-6;
 
-    /// One feasibility probe at budget `theta` over the active
-    /// checkpoints. When the probe is infeasible (θ becomes the new
-    /// bisection `lo`, so all later probes are larger), comfortably
-    /// satisfied points are retired from `active`.
-    // Negated comparisons mirror the reference's booleans exactly; see
-    // `min_budget`.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    #[inline]
-    fn probe(&self, theta: f64, demands: &[f64], active: &mut Vec<u32>, retained: &mut Vec<u32>) -> bool {
-        // `PeriodicResource::sbf` with `blackout` hoisted out of the
-        // point loop — same expressions, same rounding, per point.
-        let blackout = self.period - theta;
-        retained.clear();
-        let mut feasible = true;
-        for &j in active.iter() {
-            let t = self.points[j as usize];
-            let d = demands[j as usize];
-            let supply = if t <= blackout || theta == 0.0 {
-                0.0
-            } else {
-                let t_eff = t - blackout;
-                let k = (t_eff / self.period + 1e-12).floor();
-                let supplied = k * theta;
-                let partial = (t_eff - k * self.period - blackout).max(0.0);
-                supplied + partial.min(theta)
-            };
-            if !(d <= supply + 1e-9) {
-                feasible = false;
-                retained.push(j);
-            } else if !(d + Self::DROP_MARGIN <= supply) {
-                retained.push(j);
-            }
+/// One feasibility probe at budget `theta` over the active checkpoint
+/// subset of `points`/`demands`. When the probe is infeasible (θ
+/// becomes the new bisection `lo`, so all later probes are larger),
+/// comfortably satisfied points are retired from `active`.
+///
+/// Shared by [`MinBudgetSolver::min_budget`] and
+/// [`AnalysisWorkspace::min_budget`](crate::kernel::AnalysisWorkspace::min_budget)
+/// — both thread caller-owned `active`/`retained` buffers through it,
+/// so the probe itself never allocates.
+// Negated comparisons mirror the reference's booleans exactly; see
+// `MinBudgetSolver::min_budget`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline]
+pub(crate) fn probe_active(
+    period: f64,
+    theta: f64,
+    points: &[f64],
+    demands: &[f64],
+    active: &mut Vec<u32>,
+    retained: &mut Vec<u32>,
+) -> bool {
+    // `PeriodicResource::sbf` with `blackout` hoisted out of the
+    // point loop — same expressions, same rounding, per point.
+    let blackout = period - theta;
+    retained.clear();
+    let mut feasible = true;
+    for &j in active.iter() {
+        let t = points[j as usize];
+        let d = demands[j as usize];
+        let supply = if t <= blackout || theta == 0.0 {
+            0.0
+        } else {
+            let t_eff = t - blackout;
+            let k = (t_eff / period + 1e-12).floor();
+            let supplied = k * theta;
+            let partial = (t_eff - k * period - blackout).max(0.0);
+            supplied + partial.min(theta)
+        };
+        if !(d <= supply + 1e-9) {
+            feasible = false;
+            retained.push(j);
+        } else if !(d + DROP_MARGIN <= supply) {
+            retained.push(j);
         }
-        if !feasible {
-            std::mem::swap(active, retained);
-        }
-        feasible
     }
+    if !feasible {
+        std::mem::swap(active, retained);
+    }
+    feasible
+}
+
+/// The active-set bisection shared by [`MinBudgetSolver::min_budget`]
+/// and
+/// [`AnalysisWorkspace::min_budget`](crate::kernel::AnalysisWorkspace::min_budget):
+/// given the precomputed checkpoints and per-checkpoint demands of a
+/// (non-trivial) demand with the given `utilization`, returns the
+/// minimal budget on a period-`period` resource — bit-identical to the
+/// reference [`min_budget`] search (see the conformance notes on
+/// [`MinBudgetSolver::min_budget`]).
+///
+/// `active`/`retained` are caller-owned scratch; their previous
+/// contents are discarded.
+// Negated comparisons mirror the reference's booleans exactly; see
+// `MinBudgetSolver::min_budget`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub(crate) fn bisect_active(
+    period: f64,
+    utilization: f64,
+    points: &[f64],
+    demands: &[f64],
+    active: &mut Vec<u32>,
+    retained: &mut Vec<u32>,
+) -> Option<f64> {
+    active.clear();
+    active.extend(0..points.len() as u32);
+    // The reference's feasible(Π) utilization guard compares against
+    // Π/Π + 1e-12; x/x is exactly 1.0 for any finite positive x, so
+    // the constant is bit-identical.
+    if utilization > 1.0 + 1e-12 || !probe_active(period, period, points, demands, active, retained) {
+        return None;
+    }
+    let mut lo = (utilization * period).min(period);
+    if !(utilization > lo / period + 1e-12) && probe_active(period, lo, points, demands, active, retained)
+    {
+        return Some(lo);
+    }
+    // In the bisection the utilization guard of the reference's
+    // `feasible` can never fire: reaching here means U ≤ 1 + 1e-12,
+    // and if U > 1 then lo = Π and feasible(Π) above already
+    // returned. So U ≤ 1, lo = U·Π (one rounding), and every probe
+    // θ = ½(lo + hi) ≥ lo, giving U − θ/Π ≤ a few ulps of U —
+    // orders below the guard's 1e-12 slack. The guard is therefore
+    // omitted from the loop; its boolean is identically `false`.
+    let mut hi = period;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if probe_active(period, mid, points, demands, active, retained) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-9 {
+            break;
+        }
+    }
+    Some(hi)
 }
 
 #[cfg(test)]

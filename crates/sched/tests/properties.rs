@@ -107,9 +107,9 @@ fn min_budget_is_sound_and_tight() {
     check(64, |rng| {
         let demand = arb_harmonic_demand(rng);
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         if let Some(theta) = min_budget(&demand, period) {
             // Sound: the resulting resource schedules the demand.
@@ -138,11 +138,11 @@ fn min_budget_monotone_in_wcet() {
         let demand = arb_harmonic_demand(rng);
         let grow = rng.gen_range(1.01f64..1.5);
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
-        let grown = Demand::new(demand.tasks().iter().map(|&(p, e)| (p, e * grow)).collect())
+        let grown = Demand::new(demand.pairs().map(|(p, e)| (p, e * grow)).collect())
             .expect("still valid");
         match (min_budget(&demand, period), min_budget(&grown, period)) {
             (Some(a), Some(b)) => assert!(b >= a - 1e-9, "more demand, smaller budget?"),
@@ -158,9 +158,9 @@ fn abstraction_overhead_is_nonnegative_and_vanishes_at_full_load() {
     check(64, |rng| {
         let demand = arb_harmonic_demand(rng);
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         if let Some(theta) = min_budget(&demand, period) {
             let bandwidth = theta / period;
@@ -180,13 +180,13 @@ fn can_schedule_antitone_in_demand() {
         // If a resource schedules a demand, it also schedules any
         // demand with one task removed.
         let period = demand
-            .tasks()
+            .periods()
             .iter()
-            .map(|&(p, _)| p)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         let r = PeriodicResource::new(period, budget_frac * period);
-        if r.can_schedule(&demand) && demand.tasks().len() > 1 {
-            let reduced = Demand::new(demand.tasks()[1..].to_vec()).expect("valid");
+        if r.can_schedule(&demand) && demand.len() > 1 {
+            let reduced = Demand::new(demand.pairs().skip(1).collect()).expect("valid");
             assert!(r.can_schedule(&reduced));
         }
     });
