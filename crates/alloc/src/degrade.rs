@@ -1,0 +1,305 @@
+//! Graceful degradation: bounded re-allocation with VM shedding.
+//!
+//! When a workload fails admission, a robust system does not simply
+//! refuse service — it degrades *predictably*: shed the least
+//! important work, retry, and report exactly what was sacrificed.
+//! [`allocate_with_degradation`] wraps a [`Solution`] in that loop:
+//!
+//! 1. attempt a full allocation of the working set;
+//! 2. on failure (an [`AllocError`] or an unschedulable verdict), shed
+//!    the VM with the **highest** reference utilization — so the
+//!    lowest-utilization VMs are shed *last* — and retry;
+//! 3. stop after [`DegradationPolicy::max_attempts`] attempts or when
+//!    the working set is empty.
+//!
+//! Every accepted allocation is re-checked with
+//! [`SystemAllocation::verify`] before being returned: the controller
+//! **never** returns an allocation it cannot prove schedulable. The
+//! whole loop is deterministic — shedding breaks utilization ties by
+//! first position, and the allocator itself is seeded.
+
+use crate::error::AllocError;
+use crate::result::SystemAllocation;
+use crate::solution::Solution;
+use vc2m_model::{Platform, VmId, VmSpec};
+
+/// Bounds on the degradation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Maximum number of allocation attempts (including the first).
+    /// Each failed attempt sheds one VM, so at most
+    /// `max_attempts - 1` VMs are shed.
+    pub max_attempts: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy { max_attempts: 8 }
+    }
+}
+
+impl DegradationPolicy {
+    /// A policy with the given attempt bound (at least 1).
+    pub fn with_max_attempts(max_attempts: usize) -> Self {
+        DegradationPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+}
+
+/// One VM shed by the degradation controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedVm {
+    /// The shed VM.
+    pub vm: VmId,
+    /// Its reference utilization (the shed ordering key).
+    pub utilization: f64,
+    /// The 1-based attempt whose failure caused the shed.
+    pub attempt: usize,
+    /// Why the attempt failed (allocator error or unschedulable
+    /// verdict), for the operator's log.
+    pub reason: String,
+}
+
+/// What the degradation controller did, structured for reporting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradationReport {
+    /// Number of allocation attempts made.
+    pub attempts: usize,
+    /// VMs shed, in shed order (non-increasing utilization).
+    pub shed: Vec<ShedVm>,
+    /// VMs admitted by the final accepted allocation (empty if none
+    /// was accepted).
+    pub admitted: Vec<VmId>,
+}
+
+impl DegradationReport {
+    /// Whether any VM was shed.
+    pub fn is_degraded(&self) -> bool {
+        !self.shed.is_empty()
+    }
+}
+
+/// The outcome of [`allocate_with_degradation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationOutcome {
+    /// The accepted (verified schedulable) allocation, if any attempt
+    /// succeeded within the policy's bounds.
+    pub allocation: Option<SystemAllocation>,
+    /// What happened along the way.
+    pub report: DegradationReport,
+}
+
+impl DegradationOutcome {
+    /// Whether an allocation was accepted but some VMs were shed.
+    pub fn is_degraded(&self) -> bool {
+        self.allocation.is_some() && self.report.is_degraded()
+    }
+}
+
+/// Allocates `vms` with `solution`, shedding highest-utilization VMs
+/// on failure until an allocation is accepted or the policy's attempt
+/// bound is hit (see the [module docs](self)).
+///
+/// The returned allocation, when present, has passed
+/// [`SystemAllocation::verify`] against `platform` — including the
+/// schedulability of every core — so an accepted solution is never
+/// unschedulable.
+pub fn allocate_with_degradation(
+    solution: Solution,
+    vms: &[VmSpec],
+    platform: &Platform,
+    seed: u64,
+    policy: &DegradationPolicy,
+) -> DegradationOutcome {
+    let mut working: Vec<VmSpec> = vms.to_vec();
+    let mut report = DegradationReport::default();
+
+    while !working.is_empty() && report.attempts < policy.max_attempts {
+        report.attempts += 1;
+        let failure = match solution.try_allocate(&working, platform, seed) {
+            Ok(outcome) => match outcome.into_allocation() {
+                Some(allocation) => {
+                    // Re-verify before accepting: the controller's
+                    // contract is that an accepted allocation is
+                    // provably schedulable, so a verdict the verifier
+                    // cannot reproduce is treated as a failed attempt.
+                    match allocation.verify(platform) {
+                        Ok(()) => {
+                            report.admitted = working.iter().map(|vm| vm.id()).collect();
+                            return DegradationOutcome {
+                                allocation: Some(allocation),
+                                report,
+                            };
+                        }
+                        Err(e) => format!("verification failed: {e}"),
+                    }
+                }
+                None => "workload not schedulable".to_string(),
+            },
+            Err(e) => e.to_string(),
+        };
+        shed_heaviest(&mut working, report.attempts, failure, &mut report.shed);
+    }
+
+    DegradationOutcome {
+        allocation: None,
+        report,
+    }
+}
+
+/// Removes the highest-utilization VM from `working` (first position
+/// wins ties — deterministic), recording it in `shed`.
+fn shed_heaviest(working: &mut Vec<VmSpec>, attempt: usize, reason: String, shed: &mut Vec<ShedVm>) {
+    let mut heaviest: Option<(usize, f64)> = None;
+    for (i, vm) in working.iter().enumerate() {
+        let u = vm.reference_utilization();
+        if heaviest.is_none_or(|(_, best)| u > best) {
+            heaviest = Some((i, u));
+        }
+    }
+    if let Some((index, utilization)) = heaviest {
+        let vm = working.remove(index);
+        shed.push(ShedVm {
+            vm: vm.id(),
+            utilization,
+            attempt,
+            reason,
+        });
+    }
+}
+
+/// Convenience: the error a caller can surface when degradation ran
+/// out of attempts (keeps call sites from inventing ad-hoc strings).
+pub fn exhausted_error(report: &DegradationReport) -> AllocError {
+    AllocError::InvalidAllocation {
+        detail: format!(
+            "degradation exhausted after {} attempts ({} VMs shed)",
+            report.attempts,
+            report.shed.len()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc2m_model::{Platform, Task, TaskId, TaskSet, VmId, VmSpec, WcetSurface};
+
+    fn vm(id: usize, task_base: usize, wcet_ms: f64, n: usize) -> VmSpec {
+        let platform = Platform::platform_a();
+        let space = platform.resources();
+        let tasks: TaskSet = (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId(task_base + i),
+                    10.0,
+                    WcetSurface::flat(&space, wcet_ms).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        VmSpec::new(VmId(id), tasks).unwrap()
+    }
+
+    #[test]
+    fn light_workload_admits_everything() {
+        let platform = Platform::platform_a();
+        let vms = vec![vm(0, 0, 1.0, 2), vm(1, 100, 1.0, 2)];
+        let outcome = allocate_with_degradation(
+            Solution::HeuristicFlattening,
+            &vms,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        let allocation = outcome.allocation.clone().expect("light workload admits");
+        assert!(allocation.verify(&platform).is_ok());
+        assert!(!outcome.is_degraded());
+        assert_eq!(outcome.report.attempts, 1);
+        assert_eq!(outcome.report.admitted, vec![VmId(0), VmId(1)]);
+        assert!(outcome.report.shed.is_empty());
+    }
+
+    #[test]
+    fn overload_sheds_heaviest_first_and_lightest_last() {
+        let platform = Platform::platform_a();
+        // Far more demand than 4 cores can serve: per-VM utilizations
+        // 8.0, 4.0, 0.4 — the 0.4 VM must survive.
+        let vms = vec![vm(0, 0, 8.0, 10), vm(1, 100, 8.0, 5), vm(2, 200, 2.0, 2)];
+        let outcome = allocate_with_degradation(
+            Solution::HeuristicFlattening,
+            &vms,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        let allocation = outcome.allocation.clone().expect("light VM is admittable alone");
+        assert!(allocation.verify(&platform).is_ok());
+        assert!(outcome.is_degraded());
+        // Shed order is non-increasing utilization; the lightest VM is
+        // shed last (here: not at all).
+        let shed_ids: Vec<VmId> = outcome.report.shed.iter().map(|s| s.vm).collect();
+        assert_eq!(shed_ids, vec![VmId(0), VmId(1)]);
+        for pair in outcome.report.shed.windows(2) {
+            assert!(pair[0].utilization >= pair[1].utilization);
+        }
+        assert_eq!(outcome.report.admitted, vec![VmId(2)]);
+    }
+
+    #[test]
+    fn attempt_bound_is_respected() {
+        let platform = Platform::platform_a();
+        let vms = vec![vm(0, 0, 9.0, 10), vm(1, 100, 9.0, 10), vm(2, 200, 9.0, 10)];
+        let policy = DegradationPolicy::with_max_attempts(2);
+        let outcome =
+            allocate_with_degradation(Solution::HeuristicFlattening, &vms, &platform, 7, &policy);
+        assert!(outcome.allocation.is_none());
+        assert_eq!(outcome.report.attempts, 2);
+        assert_eq!(outcome.report.shed.len(), 2);
+        assert!(outcome.report.admitted.is_empty());
+        let err = exhausted_error(&outcome.report);
+        assert!(err.to_string().contains("2 attempts"));
+    }
+
+    #[test]
+    fn shedding_everything_reports_no_allocation() {
+        let platform = Platform::platform_a();
+        // A single VM whose demand (utilization 9.0) exceeds the
+        // 4-core platform at any allocation.
+        let vms = vec![vm(0, 0, 9.0, 10)];
+        let outcome = allocate_with_degradation(
+            Solution::HeuristicFlattening,
+            &vms,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        assert!(outcome.allocation.is_none());
+        assert!(outcome.report.is_degraded());
+        assert!(!outcome.is_degraded()); // nothing accepted
+        assert_eq!(outcome.report.shed.len(), 1);
+        assert_eq!(outcome.report.shed[0].attempt, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let platform = Platform::platform_a();
+        let vms = vec![vm(0, 0, 8.0, 10), vm(1, 100, 8.0, 5), vm(2, 200, 2.0, 2)];
+        let a = allocate_with_degradation(
+            Solution::HeuristicFlattening,
+            &vms,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        let b = allocate_with_degradation(
+            Solution::HeuristicFlattening,
+            &vms,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        assert_eq!(a, b);
+    }
+}

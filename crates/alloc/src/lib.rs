@@ -50,12 +50,16 @@
 mod error;
 mod result;
 
+pub mod degrade;
 pub mod hypervisor_level;
 pub mod kmeans;
 pub mod packing;
 pub mod solution;
 pub mod vm_level;
 
+pub use degrade::{
+    allocate_with_degradation, DegradationOutcome, DegradationPolicy, DegradationReport, ShedVm,
+};
 pub use error::AllocError;
 pub use result::{AllocationOutcome, CoreAssignment, SystemAllocation};
 pub use solution::Solution;

@@ -37,7 +37,7 @@ fn bench_simulated_second() {
                 )
                 .expect("realizable allocation")
             },
-            |sim| sim.run(),
+            |sim| sim.run().expect("fault-free run succeeds"),
         );
     }
 }

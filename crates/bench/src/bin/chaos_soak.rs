@@ -1,0 +1,273 @@
+//! Chaos soak: seeded fault-injection campaigns across the whole
+//! alloc → sim stack.
+//!
+//! ```text
+//! cargo run --release -p vc2m-bench --bin chaos_soak           # 24 scenarios
+//! VC2M_CHAOS_SCENARIOS=100 cargo run --release -p vc2m-bench --bin chaos_soak
+//! ```
+//!
+//! Each scenario seed drives the full pipeline: generate a multi-VM
+//! workload, admit it through the degradation controller, simulate a
+//! fault-free baseline, then re-run under two fault campaigns —
+//!
+//! 1. a **containment** campaign injecting VM-scoped faults (WCET
+//!    overruns, load spikes) into exactly one VM, asserting every
+//!    *other* VM's miss sequence and response statistics are
+//!    bit-identical to the baseline;
+//! 2. a **full chaos** campaign drawing all five fault kinds against
+//!    every target, asserting the run completes (no panic, sane
+//!    accounting), replays deterministically, and injects exactly the
+//!    planned number of faults.
+//!
+//! The degradation controller's contract is asserted on every
+//! scenario: an accepted allocation must re-verify schedulable, and
+//! shed order must be non-increasing utilization (lightest VMs shed
+//! last). Any violation aborts the soak with the failing seed — the
+//! seed *is* the reproduction recipe. Aggregate `faults.*` counters
+//! land in `results/BENCH_chaos.json` for CI to grep.
+
+use vc2m::model::{SimDuration, VmSpec};
+use vc2m::prelude::*;
+use vc2m_bench::timing::JsonBuilder;
+use vc2m_bench::write_results;
+
+/// Default number of scenario seeds (the acceptance floor is 20).
+const DEFAULT_SCENARIOS: u64 = 24;
+
+fn scenario_count() -> u64 {
+    std::env::var("VC2M_CHAOS_SCENARIOS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(DEFAULT_SCENARIOS)
+}
+
+fn misses_of(report: &SimReport, task: TaskId) -> Vec<(u64, u64)> {
+    report
+        .deadline_misses
+        .iter()
+        .filter(|m| m.task == task)
+        .map(|m| (m.job, m.deadline.as_ns()))
+        .collect()
+}
+
+#[derive(Default)]
+struct Totals {
+    injected: u64,
+    overruns: u64,
+    overrun_jobs: u64,
+    replenish_delays: u64,
+    throttle_faults: u64,
+    core_stalls: u64,
+    load_spikes: u64,
+    load_spike_jobs: u64,
+}
+
+impl Totals {
+    fn absorb(&mut self, metrics: &vc2m::simcore::MetricsRegistry) {
+        let get = |name: &str| metrics.counter(name).unwrap_or(0);
+        self.injected += get("faults.injected");
+        self.overruns += get("faults.overruns");
+        self.overrun_jobs += get("faults.overrun_jobs");
+        self.replenish_delays += get("faults.replenish_delays");
+        self.throttle_faults += get("faults.throttle_faults");
+        self.core_stalls += get("faults.core_stalls");
+        self.load_spikes += get("faults.load_spikes");
+        self.load_spike_jobs += get("faults.load_spike_jobs");
+    }
+}
+
+fn main() {
+    let scenarios = scenario_count();
+    let platform = Platform::platform_a();
+    let policy = DegradationPolicy::default();
+    let horizon = SimDuration::from_ms(3000.0);
+    println!("chaos soak: {scenarios} scenarios on {platform}, horizon 3000 ms");
+
+    let mut totals = Totals::default();
+    let mut containment_runs = 0u64;
+    let mut containment_tasks_checked = 0u64;
+    let mut degraded_scenarios = 0u64;
+    let mut rejected_scenarios = 0u64;
+    let mut chaos_misses = 0u64;
+
+    for seed in 0..scenarios {
+        // Spread target utilization across feasible-to-tight: some
+        // scenarios admit everything, some force shedding.
+        let target_u = 1.0 + 0.5 * (seed % 5) as f64;
+        let config = TasksetConfig::new(target_u, UtilizationDist::Uniform).with_vm_count(3);
+        let mut generator = TasksetGenerator::new(platform.resources(), config, seed);
+        let vms = generator.generate_vms();
+
+        let outcome =
+            allocate_with_degradation(Solution::HeuristicFlattening, &vms, &platform, seed, &policy);
+        // Shed order contract: non-increasing utilization, so the
+        // lightest VMs are shed last.
+        for pair in outcome.report.shed.windows(2) {
+            assert!(
+                pair[0].utilization >= pair[1].utilization,
+                "seed {seed}: shed order violates non-increasing utilization"
+            );
+        }
+        let Some(allocation) = outcome.allocation else {
+            rejected_scenarios += 1;
+            continue;
+        };
+        // Degradation contract: an accepted allocation re-verifies.
+        allocation
+            .verify(&platform)
+            .unwrap_or_else(|e| panic!("seed {seed}: accepted allocation fails verify: {e}"));
+        if outcome.report.is_degraded() {
+            degraded_scenarios += 1;
+        }
+
+        let admitted: Vec<VmSpec> = vms
+            .iter()
+            .filter(|vm| outcome.report.admitted.contains(&vm.id()))
+            .cloned()
+            .collect();
+        let tasks: TaskSet = admitted
+            .iter()
+            .flat_map(|vm| vm.tasks().iter().cloned())
+            .collect();
+        let build = || {
+            HypervisorSim::new(
+                &platform,
+                &allocation,
+                &tasks,
+                SimConfig::default().with_horizon(horizon),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: accepted allocation must simulate: {e}"))
+        };
+        let baseline = build().run().expect("fault-free baseline");
+
+        // Campaign 1: containment. VM-scoped faults into one VM;
+        // every other VM must be bit-identical to the baseline.
+        if admitted.len() >= 2 {
+            let faulty = &admitted[seed as usize % admitted.len()];
+            let targets = FaultTargets {
+                tasks: faulty.tasks().iter().map(Task::id).collect(),
+                vcpus: vec![],
+                vms: vec![faulty.id()],
+                cores: 0,
+            };
+            let plan = FaultPlan::generate(
+                seed ^ 0x9e37_79b9_7f4a_7c15,
+                &targets,
+                &FaultPlanSpec::vm_targeted(6, horizon),
+            );
+            let faulted = build()
+                .with_fault_plan(plan)
+                .expect("containment plan is valid")
+                .run()
+                .expect("vm-scoped faults are contained, not fatal");
+            for vm in &admitted {
+                if vm.id() == faulty.id() {
+                    continue;
+                }
+                for task in vm.tasks() {
+                    let t = task.id();
+                    assert_eq!(
+                        misses_of(&baseline, t),
+                        misses_of(&faulted, t),
+                        "seed {seed}: isolation violated — {t} in {} perturbed by faults in {}",
+                        vm.id(),
+                        faulty.id()
+                    );
+                    assert_eq!(
+                        baseline.response_times.get(&t),
+                        faulted.response_times.get(&t),
+                        "seed {seed}: response times of {t} perturbed across VMs",
+                    );
+                    containment_tasks_checked += 1;
+                }
+            }
+            containment_runs += 1;
+        }
+
+        // Campaign 2: full chaos — all kinds, all targets.
+        let targets = FaultTargets {
+            tasks: tasks.iter().map(Task::id).collect(),
+            vcpus: allocation.vcpus().iter().map(|v| v.id()).collect(),
+            vms: admitted.iter().map(VmSpec::id).collect(),
+            cores: allocation.cores_used(),
+        };
+        let plan = FaultPlan::generate(
+            seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1),
+            &targets,
+            &FaultPlanSpec::new(8, horizon),
+        );
+        let planned = plan.len() as u64;
+        let (report, observation) = build()
+            .with_fault_plan(plan.clone())
+            .expect("chaos plan is valid")
+            .run_observed()
+            .expect("chaos runs are contained, not fatal");
+        assert_eq!(
+            observation.metrics.counter("faults.injected"),
+            Some(planned),
+            "seed {seed}: every planned fault lies within the horizon and must inject"
+        );
+        assert!(
+            report.jobs_completed <= report.jobs_released,
+            "seed {seed}: accounting"
+        );
+        // Replay determinism: the same plan over the same system is
+        // bit-identical.
+        let replay = build()
+            .with_fault_plan(plan)
+            .expect("chaos plan is valid")
+            .run()
+            .expect("replay");
+        assert_eq!(report.deadline_misses, replay.deadline_misses, "seed {seed}");
+        assert_eq!(report.jobs_released, replay.jobs_released, "seed {seed}");
+        assert_eq!(report.context_switches, replay.context_switches, "seed {seed}");
+        chaos_misses += report.deadline_misses.len() as u64;
+        totals.absorb(&observation.metrics);
+    }
+
+    // Dedicated overload scenario: demand far beyond the platform so
+    // the controller must shed, and must shed heaviest-first.
+    let config = TasksetConfig::new(6.0, UtilizationDist::BimodalHeavy).with_vm_count(4);
+    let mut generator = TasksetGenerator::new(platform.resources(), config, 0xc4a05);
+    let vms = generator.generate_vms();
+    let outcome =
+        allocate_with_degradation(Solution::HeuristicFlattening, &vms, &platform, 0xc4a05, &policy);
+    assert!(
+        outcome.report.is_degraded(),
+        "a 6.0-utilization workload cannot be fully admitted"
+    );
+    if let Some(allocation) = &outcome.allocation {
+        allocation
+            .verify(&platform)
+            .expect("overload: accepted allocation fails verify");
+    }
+
+    println!(
+        "  {scenarios} scenarios | {containment_runs} containment runs \
+         ({containment_tasks_checked} victim tasks, 0 violations) | \
+         {degraded_scenarios} degraded, {rejected_scenarios} rejected | \
+         {} faults injected, {} chaos-run misses",
+        totals.injected, chaos_misses
+    );
+
+    let json = JsonBuilder::new()
+        .str("bench", "chaos_soak")
+        .int("scenarios", scenarios)
+        .int("containment_runs", containment_runs)
+        .int("containment_tasks_checked", containment_tasks_checked)
+        .int("containment_violations", 0)
+        .int("degraded_scenarios", degraded_scenarios)
+        .int("rejected_scenarios", rejected_scenarios)
+        .int("chaos_run_misses", chaos_misses)
+        .int("faults.injected", totals.injected)
+        .int("faults.overruns", totals.overruns)
+        .int("faults.overrun_jobs", totals.overrun_jobs)
+        .int("faults.replenish_delays", totals.replenish_delays)
+        .int("faults.throttle_faults", totals.throttle_faults)
+        .int("faults.core_stalls", totals.core_stalls)
+        .int("faults.load_spikes", totals.load_spikes)
+        .int("faults.load_spike_jobs", totals.load_spike_jobs)
+        .build();
+    let path = write_results("BENCH_chaos.json", &json);
+    println!("  wrote {}", path.display());
+}

@@ -129,6 +129,7 @@ fn main() {
             HypervisorSim::new(&platform, &allocation, &tasks, config)
                 .expect("stress system simulates")
                 .run_observed()
+                .expect("fault-free run succeeds")
         };
         std::hint::black_box(run());
         let mut wall_s = f64::INFINITY;

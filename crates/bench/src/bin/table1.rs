@@ -25,7 +25,8 @@ fn main() {
         .with_traffic_fraction(1.5);
     let report = HypervisorSim::new(&platform, &allocation, &tasks, config)
         .expect("realizable allocation")
-        .run();
+        .run()
+        .expect("fault-free run succeeds");
 
     println!("Table 1: memory bandwidth regulator's overhead (us)\n");
     println!(

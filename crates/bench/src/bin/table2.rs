@@ -23,7 +23,8 @@ fn main() {
         let config = SimConfig::default().with_horizon(SimDuration::from_ms(10_000.0));
         let report = HypervisorSim::new(&platform, &allocation, &tasks, config)
             .expect("realizable allocation")
-            .run();
+            .run()
+            .expect("fault-free run succeeds");
         println!("{vcpu_count} VCPUs:");
         println!(
             "  {:<26} {:>8} {:>8} {:>8}   (samples)",

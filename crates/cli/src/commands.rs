@@ -137,6 +137,11 @@ pub fn analyze(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// written as one schema-stable JSON document (see DESIGN.md). Both
 /// captures are passive: the printed report is identical with or
 /// without them.
+///
+/// With `--fault-seed <seed>` a deterministic fault plan of
+/// `--fault-count` faults (default 8) is generated over the workload
+/// and injected during the run; the `faults.*` counters then appear in
+/// the metrics output.
 pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let options = Options::parse(argv)?;
     let workload = build_workload(&options)?;
@@ -144,6 +149,14 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if !horizon_ms.is_finite() || horizon_ms <= 0.0 {
         return Err(CliError::new("--horizon-ms must be positive"));
     }
+    let fault_seed: Option<u64> = match options.value("fault-seed") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::new(format!("--fault-seed must be a u64, got {raw}")))?,
+        ),
+        None => None,
+    };
+    let fault_count: usize = options.parse_or("fault-count", 8)?;
     let solutions = options.solutions()?;
     let trace_out = options.value("trace-out").map(str::to_string);
     let metrics_out = options.value("metrics-out").map(str::to_string);
@@ -166,13 +179,38 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .with_horizon(SimDuration::from_ms(horizon_ms))
             .with_supply_recording(gantt)
             .with_trace_capacity(if trace_out.is_some() { 4096 } else { 0 });
-        let sim = HypervisorSim::new(&workload.platform, allocation, &workload.tasks, config)
+        let mut sim = HypervisorSim::new(&workload.platform, allocation, &workload.tasks, config)
             .map_err(|e| CliError::new(format!("simulation build failed: {e}")))?;
+        if let Some(seed) = fault_seed {
+            let targets = FaultTargets {
+                tasks: workload.tasks.iter().map(|t| t.id()).collect(),
+                vcpus: allocation.vcpus().iter().map(|v| v.id()).collect(),
+                vms: workload.vms.iter().map(|vm| vm.id()).collect(),
+                cores: allocation.cores_used(),
+            };
+            let spec = FaultPlanSpec::new(fault_count, SimDuration::from_ms(horizon_ms));
+            let plan = FaultPlan::generate(seed, &targets, &spec);
+            writeln!(
+                out,
+                "{}: injecting {} faults (seed {seed})",
+                solution.name(),
+                plan.len()
+            )
+            .map_err(io_error)?;
+            sim = sim
+                .with_fault_plan(plan)
+                .map_err(|e| CliError::new(format!("fault plan rejected: {e}")))?;
+        }
         let (report, observation) = if observe {
-            let (report, observation) = sim.run_observed();
+            let (report, observation) = sim
+                .run_observed()
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
             (report, Some(observation))
         } else {
-            (sim.run(), None)
+            let report = sim
+                .run()
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            (report, None)
         };
         if let Some(observation) = observation {
             if trace_out.is_some() {

@@ -96,6 +96,72 @@ const SIMULATE_GOLDEN: &str = r#"{
 }
 "#;
 
+/// The same workload as [`SIMULATE_GOLDEN`] with a seeded fault plan
+/// attached (`--fault-seed 7 --fault-count 4`). Pins three contracts
+/// at once: the `faults.*` counter family (names and values) is
+/// exported exactly when a plan is attached, fault injection is
+/// bit-reproducible from the seed, and the injected faults genuinely
+/// perturb the run (throttled time appears, T1's response shifts)
+/// without breaking the fault-free counters' schema.
+const FAULTED_SIMULATE_GOLDEN: &str = r#"{
+  "schema": "vc2m-metrics-v1",
+  "command": "simulate",
+  "runs": [
+    {
+      "solution": "Baseline (existing CSA)",
+      "metrics": {
+        "counters": {
+          "faults.core_stalls": 1,
+          "faults.injected": 4,
+          "faults.load_spike_jobs": 0,
+          "faults.load_spikes": 0,
+          "faults.overrun_jobs": 0,
+          "faults.overruns": 3,
+          "faults.replenish_delays": 0,
+          "faults.throttle_faults": 0,
+          "membw.cores": 1,
+          "membw.periods_elapsed": 250,
+          "membw.throttles": 0,
+          "sim.context.switches": 1,
+          "sim.deadline.misses": 0,
+          "sim.jobs.completed": 2,
+          "sim.jobs.released": 3,
+          "sim.throttle.events": 1,
+          "sim.trace.dropped": 291,
+          "sim.trace.recorded": 0
+        },
+        "gauges": {
+          "membw.period_ms": 1,
+          "sim.core0.busy_ms": 233.132998,
+          "sim.core0.throttled_ms": 4.920452,
+          "sim.horizon_ms": 250
+        },
+        "histograms": {
+          "sim.response_ms.T0": {
+            "count": 1,
+            "min": 47.700857,
+            "avg": 47.700857,
+            "max": 47.700857
+          },
+          "sim.response_ms.T1": {
+            "count": 1,
+            "min": 127.38175,
+            "avg": 127.38175,
+            "max": 127.38175
+          },
+          "sim.response_ms.T2": {
+            "count": 0,
+            "min": null,
+            "avg": null,
+            "max": null
+          }
+        }
+      }
+    }
+  ]
+}
+"#;
+
 const SWEEP_GOLDEN: &str = r#"{
   "schema": "vc2m-metrics-v1",
   "command": "sweep",
@@ -148,6 +214,45 @@ fn simulate_metrics_json_matches_golden() {
     assert_eq!(code, 0, "output: {out}");
     assert!(out.contains(&format!("wrote {}", file.as_str())));
     assert_eq!(file.read(), SIMULATE_GOLDEN);
+}
+
+#[test]
+fn faulted_simulate_metrics_json_matches_golden() {
+    let file = ScratchFile::new("sim-metrics-faulted.json");
+    let mut args = SIMULATE_ARGS.to_vec();
+    args.extend([
+        "--fault-seed",
+        "7",
+        "--fault-count",
+        "4",
+        "--metrics-out",
+        file.as_str(),
+    ]);
+    let (code, out) = run_capture(&args);
+    assert_eq!(code, 0, "output: {out}");
+    assert!(
+        out.contains("injecting 4 faults (seed 7)"),
+        "unexpected output: {out}"
+    );
+    assert_eq!(file.read(), FAULTED_SIMULATE_GOLDEN);
+}
+
+#[test]
+fn fault_seed_rejects_garbage() {
+    let (code, out) = run_capture(&[
+        "simulate",
+        "--utilization",
+        "0.2",
+        "--solution",
+        "baseline",
+        "--fault-seed",
+        "not-a-seed",
+    ]);
+    assert_eq!(code, 2);
+    assert!(
+        out.contains("--fault-seed must be a u64"),
+        "unexpected output: {out}"
+    );
 }
 
 #[test]

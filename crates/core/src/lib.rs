@@ -42,7 +42,7 @@
 //!     .into_allocation()
 //! {
 //!     let report = HypervisorSim::new(&platform, &allocation, &tasks, SimConfig::default())?
-//!         .run();
+//!         .run()?;
 //!     assert!(report.all_deadlines_met());
 //! }
 //! # Ok(())
@@ -68,9 +68,15 @@ pub use vc2m_workload as workload;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::sweep::{utilization_steps, SweepConfig, SweepResults};
-    pub use vc2m_alloc::{AllocationOutcome, Solution, SystemAllocation};
+    pub use vc2m_alloc::{
+        allocate_with_degradation, AllocationOutcome, DegradationOutcome, DegradationPolicy,
+        DegradationReport, Solution, SystemAllocation,
+    };
     pub use vc2m_analysis::{AnalysisCache, CacheStats};
-    pub use vc2m_hypervisor::{HypervisorSim, IsolationMode, SimConfig, SimReport};
+    pub use vc2m_hypervisor::{
+        Fault, FaultKind, FaultPlan, FaultPlanSpec, FaultTargets, HypervisorSim, IsolationMode,
+        SimConfig, SimError, SimReport,
+    };
     pub use vc2m_model::{
         Alloc, Platform, ResourceSpace, Task, TaskId, TaskSet, VcpuId, VcpuSpec, VmId, VmSpec,
         WcetSurface,

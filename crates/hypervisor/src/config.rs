@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::error::SimConfigError;
 use vc2m_model::SimDuration;
 
 /// Whether vC²M's cache and bandwidth isolation is in force.
@@ -102,6 +103,31 @@ impl SimConfig {
         self.record_supply = on;
         self
     }
+
+    /// Re-validates every field. The fields are public (sweep drivers
+    /// build configs directly), so the builder assertions can be
+    /// bypassed; the simulator constructor calls this before building
+    /// any state, turning a malformed config into a typed error
+    /// instead of a hang (zero regulation period) or NaN-poisoned
+    /// traffic accounting.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimConfigError::NonPositiveRegulationPeriod`] if the
+    ///   regulation period is zero;
+    /// * [`SimConfigError::InvalidTrafficFraction`] if the traffic
+    ///   fraction is NaN, infinite, or negative.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.regulation_period <= SimDuration::ZERO {
+            return Err(SimConfigError::NonPositiveRegulationPeriod);
+        }
+        if !self.traffic_fraction.is_finite() || self.traffic_fraction < 0.0 {
+            return Err(SimConfigError::InvalidTrafficFraction {
+                value: self.traffic_fraction,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +158,58 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_traffic_rejected() {
         let _ = SimConfig::default().with_traffic_fraction(-0.1);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().validate().expect("default is valid");
+    }
+
+    #[test]
+    fn zero_regulation_period_rejected() {
+        let config = SimConfig {
+            regulation_period: SimDuration::ZERO,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            config.validate(),
+            Err(SimConfigError::NonPositiveRegulationPeriod)
+        );
+    }
+
+    #[test]
+    fn nan_traffic_fraction_rejected() {
+        let config = SimConfig {
+            traffic_fraction: f64::NAN,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(SimConfigError::InvalidTrafficFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn infinite_traffic_fraction_rejected() {
+        let config = SimConfig {
+            traffic_fraction: f64::INFINITY,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(SimConfigError::InvalidTrafficFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_traffic_fraction_rejected_by_validate() {
+        let config = SimConfig {
+            traffic_fraction: -0.5,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            config.validate(),
+            Err(SimConfigError::InvalidTrafficFraction { value: -0.5 })
+        );
     }
 }

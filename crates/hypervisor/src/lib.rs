@@ -42,7 +42,7 @@
 //!     .expect("light workload is schedulable");
 //!
 //! let report = HypervisorSim::new(&platform, &allocation, &tasks, SimConfig::default())?
-//!     .run();
+//!     .run()?;
 //! assert_eq!(report.deadline_misses.len(), 0);
 //! # Ok(())
 //! # }
@@ -50,12 +50,23 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Robustness: the simulator is fed adversarial inputs by design
+// (fault-injection campaigns), so non-test code must surface failures
+// as typed errors, not aborts. The few invariant-backed `expect`s
+// carry a targeted, justified `#[allow]`. CI runs clippy with
+// `-D warnings`, making these denials there.
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 mod config;
+mod error;
 mod report;
 mod sim;
 
 pub mod energy;
+pub mod fault;
 pub mod gantt;
 pub mod interference;
 pub mod probes;
@@ -64,6 +75,10 @@ pub mod trace;
 
 pub use config::{IsolationMode, SimConfig};
 pub use energy::{CoreTime, EnergyModel, ThrottlePolicy};
+pub use error::{SimConfigError, SimError};
+pub use fault::{
+    Fault, FaultKind, FaultPlan, FaultPlanSpec, FaultStats, FaultTargets, ScheduledFault,
+};
 pub use regulation::{RegulationViolation, SupplyLog};
 pub use report::{DeadlineMiss, HandlerKind, SimReport};
 pub use sim::{HypervisorSim, SimBuildError};

@@ -23,6 +23,8 @@
 //! deadline misses.
 
 use crate::config::{IsolationMode, SimConfig};
+use crate::error::{SimConfigError, SimError};
+use crate::fault::{Fault, FaultKind, FaultPlan, FaultStats};
 use crate::probes::Probes;
 use crate::report::{DeadlineMiss, HandlerKind, SimReport};
 use crate::trace::{SimObservation, TraceEvent};
@@ -33,7 +35,7 @@ use vc2m_alloc::SystemAllocation;
 use vc2m_cat::{CatController, PartitionPlan};
 use vc2m_membw::{budget_requests_per_period, BwRegulator, RegulatorConfig, ThrottleAction};
 use vc2m_model::{
-    Alloc, BudgetSurface, Platform, SimDuration, SimTime, Task, TaskId, TaskSet, WcetSurface,
+    Alloc, BudgetSurface, Platform, SimDuration, SimTime, Task, TaskId, TaskSet, VmId, WcetSurface,
 };
 use vc2m_sched::server::{PeriodicServer, ServerState};
 use vc2m_simcore::{EventQueue, MetricsRegistry, MinAvgMax, TraceBuffer};
@@ -57,6 +59,9 @@ pub enum SimBuildError {
     /// The allocation failed CAT programming (overcommitted
     /// partitions).
     Cat(vc2m_cat::CatError),
+    /// The simulation configuration is malformed (see
+    /// [`SimConfig::validate`]).
+    Config(SimConfigError),
 }
 
 impl fmt::Display for SimBuildError {
@@ -72,6 +77,7 @@ impl fmt::Display for SimBuildError {
                 )
             }
             SimBuildError::Cat(e) => write!(f, "cache programming failed: {e}"),
+            SimBuildError::Config(e) => write!(f, "invalid simulation config: {e}"),
         }
     }
 }
@@ -81,6 +87,12 @@ impl Error for SimBuildError {}
 impl From<vc2m_cat::CatError> for SimBuildError {
     fn from(e: vc2m_cat::CatError) -> Self {
         SimBuildError::Cat(e)
+    }
+}
+
+impl From<SimConfigError> for SimBuildError {
+    fn from(e: SimConfigError) -> Self {
+        SimBuildError::Config(e)
     }
 }
 
@@ -110,6 +122,24 @@ struct SimTask {
     pending: Vec<Job>,
     next_index: u64,
     response: MinAvgMax,
+    /// Active WCET-overrun fault: jobs released before `overrun_until`
+    /// carry `overrun_factor ×` their declared demand.
+    overrun_factor: f64,
+    overrun_until: SimTime,
+}
+
+impl SimTask {
+    /// The execution demand of a job released at `now`, including any
+    /// active overrun fault. Returns the demand and whether the
+    /// overrun applied.
+    fn release_demand(&self, now: SimTime) -> (SimDuration, bool) {
+        if now < self.overrun_until && self.overrun_factor > 1.0 {
+            let inflated = (self.exec.as_ns() as f64 * self.overrun_factor).round() as u64;
+            (SimDuration(inflated), true)
+        } else {
+            (self.exec, false)
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -117,8 +147,13 @@ struct SimVcpu {
     server: PeriodicServer,
     tasks: Vec<usize>,
     core: usize,
+    /// The VM this VCPU belongs to (fault targeting).
+    vm: VmId,
     /// The full budget surface, for dynamic reallocations.
     budget_surface: BudgetSurface,
+    /// A pending replenishment-delay fault: the next replenishment is
+    /// postponed by this much.
+    pending_replenish_delay: Option<SimDuration>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -134,13 +169,48 @@ struct SimCore {
     running: Option<Running>,
     generation: u64,
     throttled: bool,
-    /// When the current throttle began (for time accounting).
+    /// When the current throttle/stall began (for time accounting).
     throttled_since: Option<SimTime>,
+    /// An injected throttle fault or core stall holds the core idle
+    /// until this instant (cleared by its `FaultClear` event).
+    fault_until: Option<SimTime>,
     last_vcpu: Option<usize>,
     /// Nanoseconds spent executing tasks.
     busy_ns: u64,
-    /// Nanoseconds spent bandwidth-throttled.
+    /// Nanoseconds spent bandwidth-throttled or fault-stalled.
     throttled_ns: u64,
+}
+
+impl SimCore {
+    /// Whether the core may not execute anything right now.
+    fn is_held(&self) -> bool {
+        self.throttled || self.fault_until.is_some()
+    }
+}
+
+/// A fault with its targets resolved to internal indices (validated by
+/// [`HypervisorSim::with_fault_plan`]).
+#[derive(Debug, Clone)]
+enum ResolvedFault {
+    WcetOverrun {
+        task: usize,
+        factor: f64,
+        window: SimDuration,
+    },
+    ReplenishDelay {
+        vcpu: usize,
+        delay: SimDuration,
+    },
+    ThrottleFault {
+        core: usize,
+    },
+    CoreStall {
+        core: usize,
+        duration: SimDuration,
+    },
+    LoadSpike {
+        tasks: Vec<usize>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +224,10 @@ enum Event {
     Refill,
     /// A scheduled dynamic reallocation (vCAT-style mode change).
     Reallocate { index: usize },
+    /// A scheduled fault is injected (index into the resolved plan).
+    FaultInject { index: usize },
+    /// An injected throttle fault or core stall expires.
+    FaultClear { core: usize },
     /// A task releases its next job.
     JobRelease { task: usize },
     /// A job's deadline passes: check for a miss.
@@ -161,14 +235,20 @@ enum Event {
 }
 
 // Same-instant ordering: account run segments first, then replenish
-// CPU budgets, then refill bandwidth, then release jobs, then check
-// deadlines.
+// CPU budgets, then refill bandwidth (fault expiries behave like
+// refill wakes), then inject faults, then release jobs (so an overrun
+// window opening at t already covers releases at t), then check
+// deadlines. The relative order of the pre-fault event kinds is
+// unchanged from before fault injection existed, which keeps every
+// fault-free schedule — and the golden traces pinned over them —
+// bit-identical.
 const PRIO_SEGMENT_END: u64 = 0;
 const PRIO_REPLENISH: u64 = 1;
 const PRIO_REFILL: u64 = 2;
 const PRIO_REALLOC: u64 = 2;
-const PRIO_RELEASE: u64 = 3;
-const PRIO_DEADLINE: u64 = 4;
+const PRIO_FAULT: u64 = 3;
+const PRIO_RELEASE: u64 = 4;
+const PRIO_DEADLINE: u64 = 5;
 
 /// Numeric-residue tolerance at a deadline: real-valued budgets meet
 /// integer-nanosecond time, so up to ~a microsecond of a job can
@@ -202,6 +282,12 @@ pub struct HypervisorSim {
     trace: TraceBuffer<TraceEvent>,
     /// Per-VCPU execution logs (only when config.record_supply).
     supply_logs: Vec<Option<crate::regulation::SupplyLog>>,
+    /// The attached fault plan, if any (kept for replay/reporting; the
+    /// `faults.*` metrics are exported exactly when this is set).
+    fault_plan: Option<FaultPlan>,
+    /// The plan with targets resolved to internal indices.
+    resolved_faults: Vec<(SimTime, ResolvedFault)>,
+    fault_stats: FaultStats,
     misses: Vec<DeadlineMiss>,
     jobs_completed: u64,
     jobs_released: u64,
@@ -220,12 +306,15 @@ impl HypervisorSim {
     /// * [`SimBuildError::InfeasibleBudget`] if some VCPU's budget
     ///   exceeds its period at its core's allocation.
     /// * [`SimBuildError::Cat`] if the cache plan cannot be programmed.
+    /// * [`SimBuildError::Config`] if the configuration fails
+    ///   [`SimConfig::validate`].
     pub fn new(
         platform: &Platform,
         allocation: &SystemAllocation,
         tasks: &TaskSet,
         config: SimConfig,
     ) -> Result<Self, SimBuildError> {
+        config.validate()?;
         let by_id: HashMap<TaskId, &Task> = tasks.iter().map(|t| (t.id(), t)).collect();
         let core_count = allocation.cores_used().max(1);
 
@@ -244,6 +333,10 @@ impl HypervisorSim {
         // Bandwidth regulator: per-core request budgets from the
         // allocation (isolated mode only).
         let regulation_ms = config.regulation_period.as_ms();
+        // Audited expect: `config.validate()` above established a
+        // positive regulation period and `core_count` is >= 1, the
+        // only `RegulatorConfig::new` failure modes.
+        #[allow(clippy::expect_used)]
         let mut regulator = BwRegulator::new(
             RegulatorConfig::new(core_count, regulation_ms).expect("validated config"),
         );
@@ -254,6 +347,9 @@ impl HypervisorSim {
                     platform.bw_partition_mbps(),
                     regulation_ms,
                 );
+                // Audited expect: `k` enumerates `allocation.cores()`
+                // and the regulator was sized from the same count.
+                #[allow(clippy::expect_used)]
                 regulator
                     .set_budget(k, budget)
                     .expect("core index is in range");
@@ -299,6 +395,8 @@ impl HypervisorSim {
                         pending: Vec::new(),
                         next_index: 0,
                         response: MinAvgMax::new(),
+                        overrun_factor: 1.0,
+                        overrun_until: SimTime::ZERO,
                     });
                 }
                 core_vcpus.push(sim_vcpus.len());
@@ -306,7 +404,9 @@ impl HypervisorSim {
                     server: PeriodicServer::new(spec.id(), period, budget, SimTime::ZERO),
                     tasks: task_indices,
                     core: k,
+                    vm: spec.vm(),
                     budget_surface: spec.budget_surface().clone(),
+                    pending_replenish_delay: None,
                 });
             }
             cores.push(SimCore {
@@ -315,6 +415,7 @@ impl HypervisorSim {
                 generation: 0,
                 throttled: false,
                 throttled_since: None,
+                fault_until: None,
                 last_vcpu: None,
                 busy_ns: 0,
                 throttled_ns: 0,
@@ -339,6 +440,9 @@ impl HypervisorSim {
             probes: Probes::new(),
             trace,
             supply_logs,
+            fault_plan: None,
+            resolved_faults: Vec::new(),
+            fault_stats: FaultStats::default(),
             misses: Vec::new(),
             jobs_completed: 0,
             jobs_released: 0,
@@ -350,10 +454,14 @@ impl HypervisorSim {
     /// Runs the simulation and also returns the retained event trace
     /// (useful for debugging scheduling behavior; enable tracing via
     /// [`SimConfig::with_trace_capacity`]).
-    pub fn run_traced(mut self) -> (SimReport, Vec<(SimTime, TraceEvent)>) {
-        let report = self.run_inner();
+    ///
+    /// # Errors
+    ///
+    /// See [`HypervisorSim::run`].
+    pub fn run_traced(mut self) -> Result<(SimReport, Vec<(SimTime, TraceEvent)>), SimError> {
+        let report = self.run_inner()?;
         let trace = self.trace.iter().map(|r| (r.time, r.payload)).collect();
-        (report, trace)
+        Ok((report, trace))
     }
 
     /// Runs the simulation and returns the report together with the
@@ -365,15 +473,19 @@ impl HypervisorSim {
     ///
     /// Observation is passive: the report is bit-identical to what
     /// [`HypervisorSim::run`] produces for the same configuration.
-    pub fn run_observed(mut self) -> (SimReport, SimObservation) {
-        let report = self.run_inner();
+    ///
+    /// # Errors
+    ///
+    /// See [`HypervisorSim::run`].
+    pub fn run_observed(mut self) -> Result<(SimReport, SimObservation), SimError> {
+        let report = self.run_inner()?;
         let metrics = self.collect_metrics(&report);
         let observation = SimObservation {
             trace: self.trace.iter().map(|r| (r.time, r.payload)).collect(),
             trace_dropped: self.trace.dropped(),
             metrics,
         };
-        (report, observation)
+        Ok((report, observation))
     }
 
     /// Builds the metrics registry from the finished run. Strictly a
@@ -401,12 +513,35 @@ impl HypervisorSim {
         if self.config.isolation == IsolationMode::Isolated {
             self.regulator.export_metrics("membw.", &mut m);
         }
+        // Fault counters appear exactly when a plan was attached, so
+        // fault-free runs keep their metrics renderings byte-identical
+        // to before fault injection existed (golden-pinned).
+        if self.fault_plan.is_some() {
+            let s = self.fault_stats;
+            m.counter_add("faults.injected", s.injected);
+            m.counter_add("faults.overruns", s.overruns);
+            m.counter_add("faults.overrun_jobs", s.overrun_jobs);
+            m.counter_add("faults.replenish_delays", s.replenish_delays);
+            m.counter_add("faults.throttle_faults", s.throttle_faults);
+            m.counter_add("faults.core_stalls", s.core_stalls);
+            m.counter_add("faults.load_spikes", s.load_spikes);
+            m.counter_add("faults.load_spike_jobs", s.load_spike_jobs);
+        }
         m
     }
 
     /// Runs the simulation to the configured horizon and produces the
     /// report.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::OvercommittedReallocation`] if a scheduled
+    ///   dynamic reallocation, applied at its switch instant against
+    ///   the allocations current at that moment, would overcommit the
+    ///   platform's partition budgets. This is the only failure mode
+    ///   detectable strictly at event-fire time; everything else is
+    ///   rejected by the `with_*` builders.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
         self.run_inner()
     }
 
@@ -420,18 +555,23 @@ impl HypervisorSim {
     /// released at time zero regardless, exposing the abstraction
     /// overhead the paper eliminates.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the task is not part of the simulated system or the
-    /// offset is negative/non-finite.
-    pub fn with_task_offset(mut self, task: TaskId, offset_ms: f64) -> Self {
+    /// * [`SimError::InvalidOffset`] if the offset is negative or
+    ///   non-finite.
+    /// * [`SimError::UnknownTask`] if the task is not part of the
+    ///   simulated system.
+    pub fn with_task_offset(mut self, task: TaskId, offset_ms: f64) -> Result<Self, SimError> {
+        if !offset_ms.is_finite() || offset_ms < 0.0 {
+            return Err(SimError::InvalidOffset { task, offset_ms });
+        }
         let index = self
             .tasks
             .iter()
             .position(|t| t.id == task)
-            .unwrap_or_else(|| panic!("unknown task {task}"));
+            .ok_or(SimError::UnknownTask { task })?;
         self.tasks[index].offset = SimDuration::from_ms(offset_ms);
-        self
+        Ok(self)
     }
 
     /// Schedules a dynamic reallocation: at `at_ms`, core `core`
@@ -442,24 +582,154 @@ impl HypervisorSim {
     /// report). In-flight jobs keep their remaining work; new releases
     /// use the new WCET.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `core` is out of range, the allocation lies outside
-    /// the platform's resource space, or the total partition budgets
-    /// would be overcommitted at the switch (checked when the event
-    /// fires, against the allocations current at that moment).
-    pub fn with_reallocation(mut self, at_ms: f64, core: usize, alloc: Alloc) -> Self {
-        assert!(core < self.cores.len(), "unknown core {core}");
+    /// * [`SimError::InvalidReallocation`] if the switch time is
+    ///   negative/non-finite or the allocation lies outside the
+    ///   platform's resource space.
+    /// * [`SimError::UnknownCore`] if `core` is out of range.
+    ///
+    /// An *overcommitment* of the total partition budgets is only
+    /// detectable when the event fires (against the allocations
+    /// current at that moment) and surfaces from `run*` as
+    /// [`SimError::OvercommittedReallocation`].
+    pub fn with_reallocation(
+        mut self,
+        at_ms: f64,
+        core: usize,
+        alloc: Alloc,
+    ) -> Result<Self, SimError> {
+        if !at_ms.is_finite() || at_ms < 0.0 {
+            return Err(SimError::InvalidReallocation {
+                core,
+                detail: format!("switch time must be finite and >= 0, got {at_ms}"),
+            });
+        }
+        if core >= self.cores.len() {
+            return Err(SimError::UnknownCore {
+                core,
+                cores: self.cores.len(),
+            });
+        }
         self.platform
             .resources()
             .check(alloc)
-            .unwrap_or_else(|e| panic!("invalid reallocation: {e}"));
+            .map_err(|e| SimError::InvalidReallocation {
+                core,
+                detail: e.to_string(),
+            })?;
         self.reallocations
             .push((SimTime::from_ms(at_ms), core, alloc));
-        self
+        Ok(self)
     }
 
-    fn run_inner(&mut self) -> SimReport {
+    /// Attaches a [`FaultPlan`]: each scheduled fault is injected at
+    /// its instant during the run. Targets are resolved and parameters
+    /// validated here, up front — a malformed plan never starts
+    /// running. Attaching a plan (even an empty one) switches on the
+    /// `faults.*` metrics in [`HypervisorSim::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownTask`] / [`SimError::UnknownVcpu`] /
+    ///   [`SimError::UnknownVm`] / [`SimError::UnknownCore`] if a
+    ///   fault targets an entity not part of the simulated system.
+    /// * [`SimError::InvalidFault`] if a parameter is out of range
+    ///   (non-finite or sub-unity overrun factor; zero window, delay,
+    ///   or stall duration).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, SimError> {
+        let mut resolved = Vec::with_capacity(plan.len());
+        for scheduled in plan.faults() {
+            let fault = match scheduled.fault {
+                Fault::WcetOverrun {
+                    task,
+                    factor,
+                    window,
+                } => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(SimError::InvalidFault {
+                            detail: format!(
+                                "overrun factor for {task} must be finite and >= 1, got {factor}"
+                            ),
+                        });
+                    }
+                    if window <= SimDuration::ZERO {
+                        return Err(SimError::InvalidFault {
+                            detail: format!("overrun window for {task} must be positive"),
+                        });
+                    }
+                    let index = self
+                        .tasks
+                        .iter()
+                        .position(|t| t.id == task)
+                        .ok_or(SimError::UnknownTask { task })?;
+                    ResolvedFault::WcetOverrun {
+                        task: index,
+                        factor,
+                        window,
+                    }
+                }
+                Fault::ReplenishDelay { vcpu, delay } => {
+                    if delay <= SimDuration::ZERO {
+                        return Err(SimError::InvalidFault {
+                            detail: format!("replenish delay for {vcpu} must be positive"),
+                        });
+                    }
+                    let index = self
+                        .vcpus
+                        .iter()
+                        .position(|v| v.server.id() == vcpu)
+                        .ok_or(SimError::UnknownVcpu { vcpu })?;
+                    ResolvedFault::ReplenishDelay {
+                        vcpu: index,
+                        delay,
+                    }
+                }
+                Fault::ThrottleFault { core } => {
+                    if core >= self.cores.len() {
+                        return Err(SimError::UnknownCore {
+                            core,
+                            cores: self.cores.len(),
+                        });
+                    }
+                    ResolvedFault::ThrottleFault { core }
+                }
+                Fault::CoreStall { core, duration } => {
+                    if core >= self.cores.len() {
+                        return Err(SimError::UnknownCore {
+                            core,
+                            cores: self.cores.len(),
+                        });
+                    }
+                    if duration <= SimDuration::ZERO {
+                        return Err(SimError::InvalidFault {
+                            detail: format!("stall duration for core {core} must be positive"),
+                        });
+                    }
+                    ResolvedFault::CoreStall { core, duration }
+                }
+                Fault::LoadSpike { vm } => {
+                    let tasks: Vec<usize> = self
+                        .tasks
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| self.vcpus[t.vcpu].vm == vm)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if tasks.is_empty() {
+                        return Err(SimError::UnknownVm { vm });
+                    }
+                    ResolvedFault::LoadSpike { tasks }
+                }
+            };
+            resolved.push((scheduled.at, fault));
+        }
+        self.resolved_faults = resolved;
+        self.fault_plan = Some(plan);
+        Ok(self)
+    }
+
+    fn run_inner(&mut self) -> Result<SimReport, SimError> {
         // Release synchronization (Section 3.2): align each VCPU's
         // first release with its earliest task release.
         if self.config.synchronize_releases {
@@ -513,14 +783,20 @@ impl HypervisorSim {
             self.queue
                 .push(at, PRIO_REALLOC, Event::Reallocate { index });
         }
+        for index in 0..self.resolved_faults.len() {
+            let (at, _) = self.resolved_faults[index];
+            self.queue.push(at, PRIO_FAULT, Event::FaultInject { index });
+        }
 
         let horizon = SimTime::ZERO + self.config.horizon;
         while let Some(&time) = self.queue.peek_time().as_ref() {
             if time > horizon {
                 break;
             }
-            let (now, _, event) = self.queue.pop().expect("peeked non-empty");
-            self.handle(now, event);
+            let Some((now, _, event)) = self.queue.pop() else {
+                break;
+            };
+            self.handle(now, event)?;
         }
 
         // Horizon flush: close in-flight run segments and open
@@ -539,7 +815,7 @@ impl HypervisorSim {
             }
         }
 
-        SimReport {
+        Ok(SimReport {
             deadline_misses: std::mem::take(&mut self.misses),
             jobs_completed: self.jobs_completed,
             jobs_released: self.jobs_released,
@@ -566,14 +842,14 @@ impl HypervisorSim {
                 })
                 .collect(),
             horizon_ms: self.config.horizon.as_ms(),
-        }
+        })
     }
 
-    fn handle(&mut self, now: SimTime, event: Event) {
+    fn handle(&mut self, now: SimTime, event: Event) -> Result<(), SimError> {
         match event {
             Event::SegmentEnd { core, generation } => {
                 if self.cores[core].generation != generation {
-                    return; // stale: the segment was already preempted
+                    return Ok(()); // stale: the segment was already preempted
                 }
                 self.suspend(core, now);
                 self.schedule(core, now);
@@ -584,6 +860,19 @@ impl HypervisorSim {
                 // first (its unused budget is lost at the boundary).
                 if self.cores[core].running.is_some_and(|r| r.vcpu == vcpu) {
                     self.suspend(core, now);
+                }
+                // An injected replenishment-delay fault postpones this
+                // replenishment: the server keeps its expired window
+                // (deadline <= now, so the scheduler skips it — no
+                // supply) until the delayed event fires. The server's
+                // replenishment then advances its window by whole
+                // periods, so later replenishments return to the
+                // period grid.
+                if let Some(delay) = self.vcpus[vcpu].pending_replenish_delay.take() {
+                    self.queue
+                        .push(now + delay, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
+                    self.schedule(core, now);
+                    return Ok(());
                 }
                 self.probes.time(HandlerKind::CpuBudgetReplenish, || {
                     self.vcpus[vcpu].server.replenish(now);
@@ -616,12 +905,17 @@ impl HypervisorSim {
                 self.trace(now, TraceEvent::Refill { woken: woken.len() });
                 for core in woken {
                     self.cores[core].throttled = false;
-                    if let Some(since) = self.cores[core].throttled_since.take() {
-                        self.cores[core].throttled_ns += now.since(since).as_ns();
+                    // A concurrent fault stall keeps the core held (and
+                    // its idle interval open); its FaultClear closes
+                    // both.
+                    if self.cores[core].fault_until.is_none() {
+                        if let Some(since) = self.cores[core].throttled_since.take() {
+                            self.cores[core].throttled_ns += now.since(since).as_ns();
+                        }
+                        self.trace(now, TraceEvent::Unthrottle { core });
                     }
-                    self.trace(now, TraceEvent::Unthrottle { core });
                 }
-                suspended.extend((0..self.cores.len()).filter(|&c| !self.cores[c].throttled));
+                suspended.extend((0..self.cores.len()).filter(|&c| !self.cores[c].is_held()));
                 suspended.sort_unstable();
                 suspended.dedup();
                 for core in suspended {
@@ -635,22 +929,45 @@ impl HypervisorSim {
             }
             Event::Reallocate { index } => {
                 let (_, core, alloc) = self.reallocations[index];
-                self.apply_reallocation(core, alloc, now);
+                self.apply_reallocation(core, alloc, now)?;
+            }
+            Event::FaultInject { index } => {
+                self.inject_fault(index, now);
+            }
+            Event::FaultClear { core } => {
+                let Some(until) = self.cores[core].fault_until else {
+                    return Ok(());
+                };
+                if now < until {
+                    return Ok(()); // superseded by a longer stall
+                }
+                self.cores[core].fault_until = None;
+                if !self.cores[core].throttled {
+                    if let Some(since) = self.cores[core].throttled_since.take() {
+                        self.cores[core].throttled_ns += now.since(since).as_ns();
+                    }
+                    self.trace(now, TraceEvent::Unthrottle { core });
+                    self.schedule(core, now);
+                }
             }
             Event::JobRelease { task } => {
-                let (deadline, index) = {
+                let (deadline, index, overran) = {
                     let t = &mut self.tasks[task];
                     let index = t.next_index;
                     t.next_index += 1;
                     let deadline = now + t.period;
+                    let (remaining, overran) = t.release_demand(now);
                     t.pending.push(Job {
                         index,
                         release: now,
                         deadline,
-                        remaining: t.exec,
+                        remaining,
                     });
-                    (deadline, index)
+                    (deadline, index, overran)
                 };
+                if overran {
+                    self.fault_stats.overrun_jobs += 1;
+                }
                 self.jobs_released += 1;
                 let period = self.tasks[task].period;
                 self.queue
@@ -703,6 +1020,109 @@ impl HypervisorSim {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Injects the `index`-th resolved fault at `now` (see
+    /// [`fault`](crate::fault) for the taxonomy and containment
+    /// semantics).
+    fn inject_fault(&mut self, index: usize, now: SimTime) {
+        self.fault_stats.injected += 1;
+        let fault = self.resolved_faults[index].1.clone();
+        let kind = match &fault {
+            ResolvedFault::WcetOverrun { .. } => FaultKind::WcetOverrun,
+            ResolvedFault::ReplenishDelay { .. } => FaultKind::ReplenishDelay,
+            ResolvedFault::ThrottleFault { .. } => FaultKind::ThrottleFault,
+            ResolvedFault::CoreStall { .. } => FaultKind::CoreStall,
+            ResolvedFault::LoadSpike { .. } => FaultKind::LoadSpike,
+        };
+        self.trace(now, TraceEvent::FaultInjected { kind });
+        match fault {
+            ResolvedFault::WcetOverrun {
+                task,
+                factor,
+                window,
+            } => {
+                self.fault_stats.overruns += 1;
+                let t = &mut self.tasks[task];
+                t.overrun_factor = factor;
+                t.overrun_until = now + window;
+            }
+            ResolvedFault::ReplenishDelay { vcpu, delay } => {
+                self.fault_stats.replenish_delays += 1;
+                self.vcpus[vcpu].pending_replenish_delay = Some(delay);
+            }
+            ResolvedFault::ThrottleFault { core } => {
+                self.fault_stats.throttle_faults += 1;
+                // Held until the next regulation-period boundary — the
+                // same wake instant a genuine budget overflow would
+                // observe (a refill exactly at `now` has already fired:
+                // PRIO_REFILL < PRIO_FAULT).
+                let period = self.config.regulation_period.as_ns();
+                let into_period = now.as_ns() % period;
+                let until = SimTime(now.as_ns() + (period - into_period));
+                self.stall_core(core, until, now);
+            }
+            ResolvedFault::CoreStall { core, duration } => {
+                self.fault_stats.core_stalls += 1;
+                self.stall_core(core, now + duration, now);
+            }
+            ResolvedFault::LoadSpike { tasks } => {
+                self.fault_stats.load_spikes += 1;
+                for task in tasks {
+                    let (deadline, job_index, overran) = {
+                        let t = &mut self.tasks[task];
+                        let job_index = t.next_index;
+                        t.next_index += 1;
+                        let deadline = now + t.period;
+                        let (remaining, overran) = t.release_demand(now);
+                        // Spike jobs join the back of the FIFO: same
+                        // period, so their deadline is no earlier than
+                        // any backlogged job's.
+                        t.pending.push(Job {
+                            index: job_index,
+                            release: now,
+                            deadline,
+                            remaining,
+                        });
+                        (deadline, job_index, overran)
+                    };
+                    if overran {
+                        self.fault_stats.overrun_jobs += 1;
+                    }
+                    self.jobs_released += 1;
+                    self.fault_stats.load_spike_jobs += 1;
+                    self.queue.push(
+                        deadline,
+                        PRIO_DEADLINE,
+                        Event::DeadlineCheck {
+                            task,
+                            job: job_index,
+                        },
+                    );
+                    let core = self.vcpus[self.tasks[task].vcpu].core;
+                    self.schedule(core, now);
+                }
+            }
+        }
+    }
+
+    /// Holds `core` idle until `until` (throttle fault / core stall).
+    /// Overlapping stalls extend to the furthest expiry; the stale
+    /// `FaultClear` events of shorter stalls are ignored when they
+    /// fire.
+    fn stall_core(&mut self, core: usize, until: SimTime, now: SimTime) {
+        self.suspend(core, now);
+        if self.cores[core].fault_until.is_none_or(|u| until > u) {
+            self.cores[core].fault_until = Some(until);
+            self.queue
+                .push(until, PRIO_REFILL, Event::FaultClear { core });
+        }
+        if !self.cores[core].throttled && self.cores[core].throttled_since.is_none() {
+            self.cores[core].throttled_since = Some(now);
+            self.throttle_events += 1;
+            self.trace(now, TraceEvent::Throttle { core });
+        }
     }
 
     /// Closes the current run segment on `core`: consumes server
@@ -726,6 +1146,10 @@ impl HypervisorSim {
         if let Some(task) = run.task {
             let completed = {
                 let t = &mut self.tasks[task];
+                // Audited expect: a segment only starts for a task with
+                // a pending head job, and the job can only be retired
+                // by this very accounting.
+                #[allow(clippy::expect_used)]
                 let job = t.pending.first_mut().expect("running task has a job");
                 job.remaining = job.remaining.saturating_sub(elapsed);
                 if job.remaining == SimDuration::ZERO {
@@ -747,6 +1171,9 @@ impl HypervisorSim {
                 let total = rate * elapsed.as_ms() + self.traffic_carry[core];
                 let requests = total.floor();
                 self.traffic_carry[core] = total - requests;
+                // Audited expect: `core` indexes `self.cores`, and the
+                // regulator was sized from the same count.
+                #[allow(clippy::expect_used)]
                 let action = self
                     .regulator
                     .record_requests(core, requests as u64)
@@ -755,7 +1182,11 @@ impl HypervisorSim {
                     self.probes.time(HandlerKind::Throttle, || {
                         self.cores[core].throttled = true;
                     });
-                    self.cores[core].throttled_since = Some(now);
+                    // A concurrent fault stall already opened the idle
+                    // interval; keep its start.
+                    if self.cores[core].throttled_since.is_none() {
+                        self.cores[core].throttled_since = Some(now);
+                    }
                     self.throttle_events += 1;
                     self.trace(now, TraceEvent::Throttle { core });
                 }
@@ -767,8 +1198,9 @@ impl HypervisorSim {
     /// `core` (deadline, period, index), and within it the
     /// earliest-deadline pending job, preempting as needed.
     fn schedule(&mut self, core: usize, now: SimTime) {
-        if self.cores[core].throttled {
-            // Throttled cores idle until the refiller wakes them.
+        if self.cores[core].is_held() {
+            // Throttled or fault-stalled cores idle until the refiller
+            // (or the fault expiry) wakes them.
             if self.cores[core].running.is_some() {
                 self.suspend(core, now);
             }
@@ -842,6 +1274,9 @@ impl HypervisorSim {
         // Budget not used by the period boundary is lost.
         limit = limit.min(server.deadline().saturating_since(now));
         if let Some(t) = task {
+            // Audited expect: `pick_job` only returns tasks with a
+            // pending head job, and nothing ran in between.
+            #[allow(clippy::expect_used)]
             let job = self.tasks[t].pending.first().expect("picked job exists");
             limit = limit.min(job.remaining);
             // Traffic overflow caps the segment just past the throttle
@@ -850,6 +1285,9 @@ impl HypervisorSim {
             // the boundary by rounding).
             let rate = self.tasks[t].request_rate;
             if rate > 0.0 {
+                // Audited expect: `core` indexes `self.cores`, and the
+                // regulator was sized from the same count.
+                #[allow(clippy::expect_used)]
                 let remaining = self
                     .regulator
                     .remaining(core)
@@ -883,7 +1321,7 @@ impl HypervisorSim {
 
     /// Applies a dynamic reallocation to `core` (see
     /// [`HypervisorSim::with_reallocation`]).
-    fn apply_reallocation(&mut self, core: usize, alloc: Alloc, now: SimTime) {
+    fn apply_reallocation(&mut self, core: usize, alloc: Alloc, now: SimTime) -> Result<(), SimError> {
         // Validate the global partition budgets with the new value in
         // place.
         let space = self.platform.resources();
@@ -894,12 +1332,15 @@ impl HypervisorSim {
             cache_total += effective.cache;
             bw_total += effective.bandwidth;
         }
-        assert!(
-            cache_total <= space.cache_max() && bw_total <= space.bw_max(),
-            "reallocation overcommits partitions (cache {cache_total}/{}, bw {bw_total}/{})",
-            space.cache_max(),
-            space.bw_max()
-        );
+        if cache_total > space.cache_max() || bw_total > space.bw_max() {
+            return Err(SimError::OvercommittedReallocation {
+                core,
+                cache_total,
+                cache_max: space.cache_max(),
+                bw_total,
+                bw_max: space.bw_max(),
+            });
+        }
 
         // Close the in-flight segment so consumption is accounted at
         // the old parameters.
@@ -913,6 +1354,9 @@ impl HypervisorSim {
                 self.platform.bw_partition_mbps(),
                 self.config.regulation_period.as_ms(),
             );
+            // Audited expect: `core` was range-checked by
+            // `with_reallocation`.
+            #[allow(clippy::expect_used)]
             self.regulator
                 .set_budget(core, budget)
                 .expect("core index is in range");
@@ -934,6 +1378,7 @@ impl HypervisorSim {
         }
         self.trace(now, TraceEvent::Reallocate { core, alloc });
         self.schedule(core, now);
+        Ok(())
     }
 
     /// Records a trace event. `TraceEvent` is `Copy`, so the event is

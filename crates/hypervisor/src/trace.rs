@@ -14,6 +14,7 @@
 //! (e.g. `vc2m simulate --trace-out`), so the cost of formatting is
 //! paid only for the records actually retained and printed.
 
+use crate::fault::FaultKind;
 use std::fmt;
 use vc2m_model::{Alloc, SimDuration, SimTime, TaskId, VcpuId};
 use vc2m_simcore::MetricsRegistry;
@@ -72,6 +73,12 @@ pub enum TraceEvent {
         /// Number of throttled cores woken by this refill.
         woken: usize,
     },
+    /// A scheduled fault was injected (see
+    /// [`fault`](crate::fault)).
+    FaultInjected {
+        /// The kind of fault injected.
+        kind: FaultKind,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -95,6 +102,7 @@ impl fmt::Display for TraceEvent {
                 write!(f, "reallocate core {core} to {alloc}")
             }
             TraceEvent::Refill { woken } => write!(f, "refill woke {woken} cores"),
+            TraceEvent::FaultInjected { kind } => write!(f, "inject {kind}"),
         }
     }
 }
@@ -173,6 +181,12 @@ mod tests {
                 "reallocate core 0 to (c=14, b=8)".into(),
             ),
             (TraceEvent::Refill { woken: 1 }, "refill woke 1 cores".into()),
+            (
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::WcetOverrun,
+                },
+                "inject wcet-overrun".into(),
+            ),
         ];
         for (event, expected) in cases {
             assert_eq!(event.to_string(), expected);

@@ -1,0 +1,406 @@
+//! Seeded property tests for the fault-injection subsystem: plan
+//! determinism, run determinism under faults, and the overrun
+//! containment invariant.
+//!
+//! **Containment argument.** The core's EDF scheduler picks servers by
+//! `(deadline, period, index)` only — never by job content — and a
+//! periodic server drains its budget even while its tasks idle. So the
+//! server-level supply pattern is invariant under changes to job
+//! execution demand: a VM-scoped fault (WCET overrun, load spike) can
+//! only inflate the *faulty* VM's backlog inside its own server's
+//! windows. Every other VM's misses and response times are therefore
+//! bit-identical to the fault-free baseline. Core-scoped faults
+//! (throttle fault, core stall) and replenishment delays change the
+//! supply itself and are deliberately excluded from
+//! [`FaultKind::VM_SCOPED`].
+
+use vc2m_alloc::{CoreAssignment, SystemAllocation};
+use vc2m_hypervisor::{
+    Fault, FaultKind, FaultPlan, FaultPlanSpec, FaultTargets, HypervisorSim, SimConfig, SimError,
+    SimReport,
+};
+use vc2m_model::{
+    Alloc, BudgetSurface, Platform, SimDuration, SimTime, Task, TaskId, TaskSet, VcpuId, VcpuSpec,
+    VmId, WcetSurface,
+};
+use vc2m_rng::{cases::check, DetRng, Rng};
+
+fn space() -> vc2m_model::ResourceSpace {
+    Platform::platform_a().resources()
+}
+
+/// A single-core system of per-VM single-task VCPUs (flattening-style,
+/// budget = WCET): one task and one VCPU per VM, `specs[i]` giving VM
+/// `i`'s `(period, wcet)`.
+fn multi_vm_system(specs: &[(f64, f64)]) -> (SystemAllocation, TaskSet) {
+    let mut tasks = TaskSet::new();
+    let mut vcpus = Vec::new();
+    for (i, &(p, e)) in specs.iter().enumerate() {
+        tasks.push(Task::new(TaskId(i), p, WcetSurface::flat(&space(), e).unwrap()).unwrap());
+        vcpus.push(
+            VcpuSpec::new(
+                VcpuId(i),
+                VmId(i),
+                p,
+                BudgetSurface::flat(&space(), e).unwrap(),
+                vec![TaskId(i)],
+            )
+            .unwrap(),
+        );
+    }
+    let allocation = SystemAllocation::new(
+        vcpus,
+        vec![CoreAssignment {
+            vcpus: (0..specs.len()).collect(),
+            alloc: Alloc::new(10, 10),
+        }],
+    );
+    (allocation, tasks)
+}
+
+/// Harmonic `(period, wcet)` specs with total utilization ≤ ~0.9,
+/// at least two VMs (so there is always a non-faulty victim).
+fn arb_specs(rng: &mut DetRng) -> Vec<(f64, f64)> {
+    let base = rng.gen_range(5.0f64..20.0);
+    let n = rng.gen_range(2usize..5);
+    let raw: Vec<(u32, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0u32..3), rng.gen_range(0.05f64..0.3)))
+        .collect();
+    let total: f64 = raw.iter().map(|&(_, u)| u).sum();
+    let scale = if total > 0.9 { 0.9 / total } else { 1.0 };
+    raw.into_iter()
+        .map(|(exp, u)| {
+            let p = base * f64::from(1u32 << exp);
+            (p, (u * scale * p).max(0.001))
+        })
+        .collect()
+}
+
+fn sim(
+    allocation: &SystemAllocation,
+    tasks: &TaskSet,
+    horizon: SimDuration,
+) -> HypervisorSim {
+    HypervisorSim::new(
+        &Platform::platform_a(),
+        allocation,
+        tasks,
+        SimConfig::default().with_horizon(horizon),
+    )
+    .expect("realizable")
+}
+
+fn misses_of(report: &SimReport, task: TaskId) -> Vec<(u64, SimTime)> {
+    report
+        .deadline_misses
+        .iter()
+        .filter(|m| m.task == task)
+        .map(|m| (m.job, m.deadline))
+        .collect()
+}
+
+fn full_targets(specs: &[(f64, f64)]) -> FaultTargets {
+    FaultTargets {
+        tasks: (0..specs.len()).map(TaskId).collect(),
+        vcpus: (0..specs.len()).map(VcpuId).collect(),
+        vms: (0..specs.len()).map(VmId).collect(),
+        cores: 1,
+    }
+}
+
+#[test]
+fn fault_plans_are_deterministic_and_in_range() {
+    check(32, |rng| {
+        let seed = rng.next_u64();
+        let horizon = SimDuration::from_ms(rng.gen_range(50.0f64..500.0));
+        let targets = full_targets(&[(10.0, 1.0), (20.0, 2.0), (40.0, 4.0)]);
+        let spec = FaultPlanSpec::new(rng.gen_range(1usize..12), horizon);
+        let a = FaultPlan::generate(seed, &targets, &spec);
+        let b = FaultPlan::generate(seed, &targets, &spec);
+        assert_eq!(a, b, "same seed must give the identical plan");
+        let mut last = SimTime::ZERO;
+        for f in a.faults() {
+            assert!(f.at >= last, "plan must be sorted by injection time");
+            assert!(f.at < SimTime::ZERO + horizon, "fault beyond horizon");
+            last = f.at;
+        }
+        assert_eq!(a.len(), spec.count);
+    });
+}
+
+#[test]
+fn faulted_runs_are_deterministic() {
+    check(16, |rng| {
+        let specs = arb_specs(rng);
+        let (allocation, tasks) = multi_vm_system(&specs);
+        let horizon = SimDuration::from_ms(300.0);
+        let plan = FaultPlan::generate(
+            rng.next_u64(),
+            &full_targets(&specs),
+            &FaultPlanSpec::new(6, horizon),
+        );
+        let run = || {
+            sim(&allocation, &tasks, horizon)
+                .with_fault_plan(plan.clone())
+                .expect("valid plan")
+                .run()
+                .expect("fault runs are contained, not fatal")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+        assert_eq!(a.jobs_released, b.jobs_released);
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert_eq!(a.context_switches, b.context_switches);
+        assert_eq!(a.response_times, b.response_times);
+    });
+}
+
+#[test]
+fn vm_scoped_faults_are_contained_to_the_faulty_vm() {
+    check(24, |rng| {
+        let specs = arb_specs(rng);
+        let (allocation, tasks) = multi_vm_system(&specs);
+        if !allocation.is_schedulable() {
+            return;
+        }
+        let horizon = SimDuration::from_ms(400.0);
+        let baseline = sim(&allocation, &tasks, horizon)
+            .run()
+            .expect("fault-free run");
+
+        // Target exactly one VM with VM-scoped faults.
+        let faulty = rng.gen_range(0usize..specs.len());
+        let targets = FaultTargets {
+            tasks: vec![TaskId(faulty)],
+            vcpus: vec![],
+            vms: vec![VmId(faulty)],
+            cores: 0,
+        };
+        let mut spec = FaultPlanSpec::vm_targeted(rng.gen_range(1usize..6), horizon);
+        // Make overruns severe so the faulty VM visibly suffers.
+        spec.overrun_factor = (3.0, 6.0);
+        let plan = FaultPlan::generate(rng.next_u64(), &targets, &spec);
+        for f in plan.faults() {
+            assert!(
+                FaultKind::VM_SCOPED.contains(&f.fault.kind()),
+                "vm_targeted spec must only draw VM-scoped kinds"
+            );
+        }
+        let faulted = sim(&allocation, &tasks, horizon)
+            .with_fault_plan(plan)
+            .expect("valid plan")
+            .run()
+            .expect("contained");
+
+        // The isolation invariant: every non-faulty VM's misses and
+        // response statistics are bit-identical to the baseline.
+        for i in 0..specs.len() {
+            if i == faulty {
+                continue;
+            }
+            let t = TaskId(i);
+            assert_eq!(
+                misses_of(&baseline, t),
+                misses_of(&faulted, t),
+                "VM{i} must be unaffected by faults in VM{faulty}"
+            );
+            let base_resp = baseline.response_times.get(&t);
+            let fault_resp = faulted.response_times.get(&t);
+            assert_eq!(
+                base_resp, fault_resp,
+                "VM{i} response times must be bit-identical"
+            );
+        }
+    });
+}
+
+#[test]
+fn overrun_demand_is_capped_by_the_server_budget() {
+    // A flattened VCPU (budget = WCET) given a 10x overrun: the fault
+    // inflates demand far beyond the budget, so the overrunning job
+    // can only consume its own server's supply — it misses deadlines
+    // in its own VM while the sibling VM stays clean (checked by the
+    // containment property above); here we check the faulty VM really
+    // does miss and the simulation still terminates and accounts.
+    let specs = [(10.0, 4.0), (20.0, 8.0)];
+    let (allocation, tasks) = multi_vm_system(&specs);
+    let horizon = SimDuration::from_ms(400.0);
+    let plan = FaultPlan::new().inject(
+        SimTime::from_ms(50.0),
+        Fault::WcetOverrun {
+            task: TaskId(0),
+            factor: 10.0,
+            window: SimDuration::from_ms(100.0),
+        },
+    );
+    let report = sim(&allocation, &tasks, horizon)
+        .with_fault_plan(plan)
+        .expect("valid plan")
+        .run()
+        .expect("contained");
+    assert!(
+        !misses_of(&report, TaskId(0)).is_empty(),
+        "a 10x overrun of a zero-slack task must miss"
+    );
+    assert!(
+        misses_of(&report, TaskId(1)).is_empty(),
+        "the sibling VM must be unaffected"
+    );
+    assert!(report.jobs_completed > 0, "the system keeps running");
+}
+
+#[test]
+fn all_fault_kinds_run_clean_and_are_counted() {
+    check(16, |rng| {
+        let specs = arb_specs(rng);
+        let (allocation, tasks) = multi_vm_system(&specs);
+        let horizon = SimDuration::from_ms(300.0);
+        let plan = FaultPlan::generate(
+            rng.next_u64(),
+            &full_targets(&specs),
+            &FaultPlanSpec::new(8, horizon),
+        );
+        let planned = plan.len() as u64;
+        let (_, observation) = sim(&allocation, &tasks, horizon)
+            .with_fault_plan(plan)
+            .expect("valid plan")
+            .run_observed()
+            .expect("faults are contained, not fatal");
+        assert_eq!(
+            observation.metrics.counter("faults.injected"),
+            Some(planned),
+            "every planned fault must inject (all lie within the horizon)"
+        );
+    });
+}
+
+#[test]
+fn fault_metrics_appear_exactly_when_a_plan_is_attached() {
+    let specs = [(10.0, 2.0), (20.0, 3.0)];
+    let (allocation, tasks) = multi_vm_system(&specs);
+    let horizon = SimDuration::from_ms(100.0);
+    let (_, without) = sim(&allocation, &tasks, horizon)
+        .run_observed()
+        .expect("fault-free run");
+    assert_eq!(without.metrics.counter("faults.injected"), None);
+
+    // An attached-but-empty plan exports zeroed counters.
+    let (_, with_empty) = sim(&allocation, &tasks, horizon)
+        .with_fault_plan(FaultPlan::new())
+        .expect("empty plan is valid")
+        .run_observed()
+        .expect("fault-free run");
+    assert_eq!(with_empty.metrics.counter("faults.injected"), Some(0));
+}
+
+#[test]
+fn malformed_plans_are_rejected_up_front() {
+    let specs = [(10.0, 2.0), (20.0, 3.0)];
+    let (allocation, tasks) = multi_vm_system(&specs);
+    let horizon = SimDuration::from_ms(100.0);
+    let at = SimTime::from_ms(10.0);
+    let window = SimDuration::from_ms(10.0);
+
+    type ErrCheck = fn(&SimError) -> bool;
+    let cases: Vec<(Fault, ErrCheck)> = vec![
+        (
+            Fault::WcetOverrun {
+                task: TaskId(99),
+                factor: 2.0,
+                window,
+            },
+            |e| matches!(e, SimError::UnknownTask { task: TaskId(99) }),
+        ),
+        (
+            Fault::WcetOverrun {
+                task: TaskId(0),
+                factor: f64::NAN,
+                window,
+            },
+            |e| matches!(e, SimError::InvalidFault { .. }),
+        ),
+        (
+            Fault::WcetOverrun {
+                task: TaskId(0),
+                factor: 0.5,
+                window,
+            },
+            |e| matches!(e, SimError::InvalidFault { .. }),
+        ),
+        (
+            Fault::WcetOverrun {
+                task: TaskId(0),
+                factor: 2.0,
+                window: SimDuration::ZERO,
+            },
+            |e| matches!(e, SimError::InvalidFault { .. }),
+        ),
+        (
+            Fault::ReplenishDelay {
+                vcpu: VcpuId(42),
+                delay: window,
+            },
+            |e| matches!(e, SimError::UnknownVcpu { vcpu: VcpuId(42) }),
+        ),
+        (
+            Fault::ReplenishDelay {
+                vcpu: VcpuId(0),
+                delay: SimDuration::ZERO,
+            },
+            |e| matches!(e, SimError::InvalidFault { .. }),
+        ),
+        (
+            Fault::ThrottleFault { core: 7 },
+            |e| matches!(e, SimError::UnknownCore { core: 7, cores: 1 }),
+        ),
+        (
+            Fault::CoreStall {
+                core: 0,
+                duration: SimDuration::ZERO,
+            },
+            |e| matches!(e, SimError::InvalidFault { .. }),
+        ),
+        (
+            Fault::LoadSpike { vm: VmId(9) },
+            |e| matches!(e, SimError::UnknownVm { vm: VmId(9) }),
+        ),
+    ];
+    for (fault, matches_expected) in cases {
+        let err = sim(&allocation, &tasks, horizon)
+            .with_fault_plan(FaultPlan::new().inject(at, fault))
+            .expect_err("malformed fault must be rejected");
+        assert!(matches_expected(&err), "unexpected error: {err}");
+    }
+}
+
+#[test]
+fn replenish_delay_starves_only_until_the_late_replenishment() {
+    // A zero-slack VCPU whose replenishment arrives half a period
+    // late: the period that absorbed the delay can miss, but the
+    // server must return to the period grid afterwards (no permanent
+    // drift — `PeriodicServer::replenish` advances by whole periods).
+    let specs = [(10.0, 4.0), (20.0, 8.0)];
+    let (allocation, tasks) = multi_vm_system(&specs);
+    let horizon = SimDuration::from_ms(400.0);
+    let plan = FaultPlan::new().inject(
+        SimTime::from_ms(15.0),
+        Fault::ReplenishDelay {
+            vcpu: VcpuId(0),
+            delay: SimDuration::from_ms(5.0),
+        },
+    );
+    let report = sim(&allocation, &tasks, horizon)
+        .with_fault_plan(plan)
+        .expect("valid plan")
+        .run()
+        .expect("contained");
+    // Misses, if any, are confined to shortly after the injection.
+    for (_, deadline) in misses_of(&report, TaskId(0)) {
+        assert!(
+            deadline <= SimTime::from_ms(50.0),
+            "late-replenishment damage must not persist (miss at {deadline})"
+        );
+    }
+    assert!(report.jobs_completed > 0);
+}

@@ -55,7 +55,8 @@ fn horizon_flush_accounts_straddling_segment() {
     let config = SimConfig::default().with_horizon(SimDuration::from_ms(995.0));
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     let busy = report.core_times[0].busy_ms;
     assert!(
         (busy - 797.0).abs() < 1e-6,
@@ -81,7 +82,8 @@ fn horizon_flush_closes_open_throttle_interval() {
         .with_traffic_fraction(3.0);
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(report.throttle_events > 0, "workload must throttle");
     let ct = &report.core_times[0];
     assert!(ct.throttled_ms > 100.0, "throttled {} ms", ct.throttled_ms);
@@ -122,7 +124,8 @@ fn tardy_job_keeps_running_and_is_counted_once() {
         config.with_trace_capacity(256),
     )
     .unwrap()
-    .run_observed();
+    .run_observed()
+    .unwrap();
 
     // The miss is recorded exactly once, for job 0 at its deadline.
     assert_eq!(report.deadline_misses.len(), 1);
@@ -208,15 +211,15 @@ fn observability_is_passive() {
         .unwrap()
     };
 
-    let plain = build(0).run();
-    let (observed, observation) = build(4096).run_observed();
+    let plain = build(0).run().unwrap();
+    let (observed, observation) = build(4096).run_observed().unwrap();
     assert_reports_identical(&plain, &observed);
     assert!(!observation.trace.is_empty());
     assert!(!observation.metrics.is_empty());
 
     // A disabled ring observes the same report too (and retains no
     // records), so `--metrics-out` without `--trace-out` is also free.
-    let (disabled, observation) = build(0).run_observed();
+    let (disabled, observation) = build(0).run_observed().unwrap();
     assert_reports_identical(&plain, &disabled);
     assert!(observation.trace.is_empty());
     assert!(observation.trace_dropped > 0, "drops still counted");
@@ -232,7 +235,8 @@ fn metrics_mirror_the_report() {
     let (report, observation) =
         HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
             .unwrap()
-            .run_observed();
+            .run_observed()
+            .unwrap();
     let m = &observation.metrics;
     assert_eq!(m.counter("sim.jobs.released"), Some(report.jobs_released));
     assert_eq!(m.counter("sim.jobs.completed"), Some(report.jobs_completed));
@@ -291,7 +295,8 @@ fn trace_records_typed_events_in_order() {
     let (_, observation) =
         HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
             .unwrap()
-            .run_observed();
+            .run_observed()
+            .unwrap();
     assert_eq!(observation.trace_dropped, 0, "ring big enough to keep all");
     // Timestamps are monotone.
     assert!(observation

@@ -75,7 +75,8 @@ fn feasible_flattened_systems_never_miss() {
             SimConfig::default().with_horizon(horizon),
         )
         .expect("realizable")
-        .run();
+        .run()
+        .unwrap();
         assert!(
             report.all_deadlines_met(),
             "misses: {:?}",
@@ -100,7 +101,8 @@ fn job_accounting_is_conserved() {
             SimConfig::default().with_horizon(SimDuration::from_ms(300.0)),
         )
         .expect("realizable")
-        .run();
+        .run()
+        .unwrap();
         // Completed ≤ released, and with all deadlines met the gap is
         // at most one in-flight job per task.
         assert!(report.jobs_completed <= report.jobs_released);
@@ -128,7 +130,8 @@ fn responses_never_exceed_periods_when_schedulable() {
             SimConfig::default().with_horizon(SimDuration::from_ms(300.0)),
         )
         .expect("realizable")
-        .run();
+        .run()
+        .unwrap();
         for (i, &(p, _)) in specs.iter().enumerate() {
             if let Some(worst) = report.worst_response_ms(TaskId(i)) {
                 assert!(
@@ -158,7 +161,8 @@ fn overloaded_single_core_always_misses() {
             SimConfig::default().with_horizon(SimDuration::from_ms(300.0)),
         )
         .expect("realizable")
-        .run();
+        .run()
+        .unwrap();
         assert!(!report.all_deadlines_met(), "overload must miss");
     });
 }
@@ -177,6 +181,7 @@ fn simulation_is_deterministic() {
             )
             .expect("realizable")
             .run()
+            .unwrap()
         };
         let a = run();
         let b = run();

@@ -3,7 +3,7 @@
 //! analyses' verdicts.
 
 use vc2m_alloc::{CoreAssignment, Solution, SystemAllocation};
-use vc2m_hypervisor::{HypervisorSim, SimBuildError, SimConfig};
+use vc2m_hypervisor::{HypervisorSim, SimBuildError, SimConfig, SimError};
 use vc2m_model::{
     Alloc, BudgetSurface, Platform, SimDuration, Task, TaskId, TaskSet, VcpuId, VcpuSpec, VmId,
     VmSpec, WcetSurface,
@@ -49,7 +49,8 @@ fn single_task_on_dedicated_vcpu_never_misses() {
     );
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(
         report.all_deadlines_met(),
         "misses: {:?}",
@@ -86,7 +87,8 @@ fn full_utilization_core_with_two_servers_meets_all_deadlines() {
     );
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(
         report.all_deadlines_met(),
         "theorem 2 violated in simulation: {:?}",
@@ -108,7 +110,8 @@ fn undersized_budget_causes_misses() {
     );
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(!report.all_deadlines_met());
     assert!(report.deadline_misses.len() > 10);
     assert_eq!(report.deadline_misses[0].task, TaskId(0));
@@ -140,7 +143,8 @@ fn edf_tie_break_prefers_smaller_period_then_index() {
     );
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(report.all_deadlines_met(), "{:?}", report.deadline_misses);
     // Period-5 server has the earliest deadline at t=0 → runs first:
     // its first response is exactly its WCET.
@@ -168,7 +172,8 @@ fn heavy_traffic_triggers_throttling() {
     let config = short_config().with_traffic_fraction(3.0);
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(report.throttle_events > 0, "regulator never throttled");
     // 3× overload: the task needs ~3 regulation periods of wall time
     // per period of execution — it cannot keep its deadlines.
@@ -188,7 +193,8 @@ fn moderate_traffic_within_budget_never_throttles() {
     let config = short_config().with_traffic_fraction(0.5);
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert_eq!(report.throttle_events, 0);
     assert!(report.all_deadlines_met());
 }
@@ -214,7 +220,8 @@ fn solution_pipeline_allocations_simulate_cleanly() {
         let config = SimConfig::default().with_horizon(SimDuration::from_ms(1200.0));
         let report = HypervisorSim::new(&platform, &allocation, &tasks, config)
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert!(
             report.all_deadlines_met(),
             "{solution}: allocation declared schedulable but missed: {:?}",
@@ -242,7 +249,8 @@ fn reports_are_deterministic() {
         let report =
             HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
                 .unwrap()
-                .run();
+                .run()
+                .unwrap();
         (
             report.deadline_misses.len(),
             report.jobs_completed,
@@ -299,7 +307,8 @@ fn overhead_probes_populate() {
     );
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     use vc2m_hypervisor::HandlerKind;
     for kind in [
         HandlerKind::CpuBudgetReplenish,
@@ -343,7 +352,9 @@ fn release_synchronization_rescues_offset_tasks() {
         HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
             .expect("realizable")
             .with_task_offset(TaskId(0), 3.0)
+            .unwrap()
             .run()
+            .unwrap()
     };
     let without = run(false);
     let with = run(true);
@@ -380,7 +391,9 @@ fn synchronized_server_is_inactive_before_its_release() {
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .expect("realizable")
         .with_task_offset(TaskId(0), 7.0)
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(report.all_deadlines_met(), "{:?}", report.deadline_misses);
     // Response equals the WCET: the server was fresh at the release.
     let worst = report.worst_response_ms(TaskId(0)).expect("jobs ran");
@@ -388,8 +401,7 @@ fn synchronized_server_is_inactive_before_its_release() {
 }
 
 #[test]
-#[should_panic(expected = "unknown task")]
-fn offset_for_unknown_task_panics() {
+fn offset_for_unknown_task_is_a_typed_error() {
     let tasks: TaskSet = std::iter::once(flat_task(0, 10.0, 4.0)).collect();
     let allocation = SystemAllocation::new(
         vec![vcpu(0, 10.0, 4.0, vec![TaskId(0)])],
@@ -398,9 +410,28 @@ fn offset_for_unknown_task_panics() {
             alloc: Alloc::new(10, 10),
         }],
     );
-    let _ = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
+    let err = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .expect("realizable")
-        .with_task_offset(TaskId(9), 1.0);
+        .with_task_offset(TaskId(9), 1.0)
+        .unwrap_err();
+    assert_eq!(err, SimError::UnknownTask { task: TaskId(9) });
+}
+
+#[test]
+fn negative_offset_is_a_typed_error() {
+    let tasks: TaskSet = std::iter::once(flat_task(0, 10.0, 4.0)).collect();
+    let allocation = SystemAllocation::new(
+        vec![vcpu(0, 10.0, 4.0, vec![TaskId(0)])],
+        vec![CoreAssignment {
+            vcpus: vec![0],
+            alloc: Alloc::new(10, 10),
+        }],
+    );
+    let err = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
+        .expect("realizable")
+        .with_task_offset(TaskId(0), -1.0)
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidOffset { .. }), "{err}");
 }
 
 #[test]
@@ -429,7 +460,8 @@ fn harmonic_servers_are_well_regulated() {
         .with_supply_recording(true);
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(report.all_deadlines_met());
     assert_eq!(report.supply_logs.len(), 3);
     let horizon = SimTime::from_ms(400.0);
@@ -466,7 +498,8 @@ fn non_harmonic_servers_are_not_well_regulated() {
         .with_supply_recording(true);
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     let horizon = SimTime::from_ms(700.0);
     let violated = report.supply_logs.values().any(|log| {
         log.regulation_violation(horizon, vc2m_model::SimDuration(1_000))
@@ -498,7 +531,8 @@ fn overhead_free_solution_produces_well_regulated_vcpus() {
         .with_supply_recording(true);
     let report = HypervisorSim::new(&platform, &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(report.all_deadlines_met());
     let horizon = SimTime::from_ms(horizon_ms);
     for (id, log) in &report.supply_logs {
@@ -550,7 +584,9 @@ fn dynamic_reallocation_rescues_a_starved_task() {
     )
     .unwrap()
     .with_reallocation(30.0, 0, Alloc::new(14, 8))
-    .run();
+    .unwrap()
+    .run()
+    .unwrap();
     assert!(
         !report.all_deadlines_met(),
         "the starved phase must miss deadlines"
@@ -590,7 +626,9 @@ fn reallocation_tightening_bandwidth_starts_throttling() {
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
         .with_reallocation(200.0, 0, Alloc::new(10, 1))
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(
         report.throttle_events > 0,
         "halved relative budget must throttle the 0.5x-of-old-budget traffic"
@@ -598,8 +636,7 @@ fn reallocation_tightening_bandwidth_starts_throttling() {
 }
 
 #[test]
-#[should_panic(expected = "invalid reallocation")]
-fn reallocation_outside_space_panics() {
+fn reallocation_outside_space_is_a_typed_error() {
     let tasks: TaskSet = std::iter::once(flat_task(0, 10.0, 4.0)).collect();
     let allocation = SystemAllocation::new(
         vec![vcpu(0, 10.0, 4.0, vec![TaskId(0)])],
@@ -608,9 +645,65 @@ fn reallocation_outside_space_panics() {
             alloc: Alloc::new(10, 10),
         }],
     );
-    let _ = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
+    let err = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
         .unwrap()
-        .with_reallocation(10.0, 0, Alloc::new(1, 1));
+        .with_reallocation(10.0, 0, Alloc::new(1, 1))
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::InvalidReallocation { core: 0, .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn reallocation_of_unknown_core_is_a_typed_error() {
+    let tasks: TaskSet = std::iter::once(flat_task(0, 10.0, 4.0)).collect();
+    let allocation = SystemAllocation::new(
+        vec![vcpu(0, 10.0, 4.0, vec![TaskId(0)])],
+        vec![CoreAssignment {
+            vcpus: vec![0],
+            alloc: Alloc::new(10, 10),
+        }],
+    );
+    let err = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
+        .unwrap()
+        .with_reallocation(10.0, 5, Alloc::new(10, 10))
+        .unwrap_err();
+    assert_eq!(err, SimError::UnknownCore { core: 5, cores: 1 });
+}
+
+#[test]
+fn overcommitted_reallocation_surfaces_from_run() {
+    // The overcommitment is only detectable when the event fires
+    // (against the allocations current at that moment), so it must
+    // surface as a typed error from `run`, not a panic mid-simulation.
+    let tasks: TaskSet = (0..2).map(|i| flat_task(i, 10.0, 2.0)).collect();
+    let allocation = SystemAllocation::new(
+        vec![
+            vcpu(0, 10.0, 3.0, vec![TaskId(0)]),
+            vcpu(1, 10.0, 3.0, vec![TaskId(1)]),
+        ],
+        vec![
+            CoreAssignment {
+                vcpus: vec![0],
+                alloc: Alloc::new(10, 10),
+            },
+            CoreAssignment {
+                vcpus: vec![1],
+                alloc: Alloc::new(10, 10),
+            },
+        ],
+    );
+    let err = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, short_config())
+        .unwrap()
+        .with_reallocation(10.0, 0, Alloc::new(11, 10))
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::OvercommittedReallocation { core: 0, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -638,7 +731,8 @@ fn energy_accounting_favors_idle_throttling() {
             .with_traffic_fraction(3.0),
     )
     .unwrap()
-    .run();
+    .run()
+    .unwrap();
     assert!(throttled_report.throttle_events > 0);
     let idle = throttled_report.energy_joules(&model, ThrottlePolicy::Idle);
     let busy = throttled_report.energy_joules(&model, ThrottlePolicy::Busy);
@@ -661,7 +755,8 @@ fn energy_accounting_favors_idle_throttling() {
         SimConfig::default().with_horizon(SimDuration::from_ms(1000.0)),
     )
     .unwrap()
-    .run();
+    .run()
+    .unwrap();
     assert_eq!(calm_report.throttle_events, 0);
     let idle = calm_report.energy_joules(&model, ThrottlePolicy::Idle);
     let busy = calm_report.energy_joules(&model, ThrottlePolicy::Busy);
@@ -686,7 +781,8 @@ fn busy_time_is_bounded_by_demand() {
         SimConfig::default().with_horizon(SimDuration::from_ms(1000.0)),
     )
     .unwrap()
-    .run();
+    .run()
+    .unwrap();
     let busy = report.core_times[0].busy_ms;
     assert!((390.0..=404.0).contains(&busy), "busy time {busy} ms");
     assert_eq!(report.core_times[0].throttled_ms, 0.0);
@@ -713,7 +809,8 @@ fn shared_mode_disables_partitioning_and_regulation() {
     config.isolation = IsolationMode::Shared;
     let report = HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert_eq!(report.throttle_events, 0, "shared mode must never throttle");
     assert!(report.all_deadlines_met());
 }

@@ -92,7 +92,8 @@ fn measured_run(trace_capacity: usize) -> (SimReport, u64, u64) {
     let (report, observation) =
         HypervisorSim::new(&Platform::platform_a(), &allocation, &tasks, config)
             .unwrap()
-            .run_observed();
+            .run_observed()
+            .unwrap();
     let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
     let events = observation.trace.len() as u64 + observation.trace_dropped;
     (report, allocs, events)

@@ -266,6 +266,14 @@ mod tests {
             Err(ModelError::NonPositiveTime { .. })
         ));
         assert!(matches!(
+            Task::new(TaskId(0), -3.0, w.clone()),
+            Err(ModelError::NonPositiveTime { .. })
+        ));
+        assert!(matches!(
+            Task::new(TaskId(0), f64::NAN, w.clone()),
+            Err(ModelError::NonPositiveTime { .. })
+        ));
+        assert!(matches!(
             Task::new(TaskId(0), 0.5, w),
             Err(ModelError::ExceedsPeriod { .. })
         ));

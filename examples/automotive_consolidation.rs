@@ -126,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Prove it holds up at run time.
     let report =
-        HypervisorSim::new(&platform, &allocation, &all_tasks, SimConfig::default())?.run();
+        HypervisorSim::new(&platform, &allocation, &all_tasks, SimConfig::default())?.run()?;
     assert!(
         report.all_deadlines_met(),
         "{:?}",

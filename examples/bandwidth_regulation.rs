@@ -87,7 +87,7 @@ fn part2_throttling_in_the_hypervisor() -> Result<(), Box<dyn std::error::Error>
         let config = SimConfig::default()
             .with_horizon(SimDuration::from_ms(1000.0))
             .with_traffic_fraction(traffic);
-        let report = HypervisorSim::new(&platform, &allocation, &tasks, config)?.run();
+        let report = HypervisorSim::new(&platform, &allocation, &tasks, config)?.run()?;
         println!(
             "{label}: {} throttles, {} misses in 1 s",
             report.throttle_events,

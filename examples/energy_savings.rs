@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::default()
         .with_horizon(SimDuration::from_ms(5000.0))
         .with_traffic_fraction(2.5);
-    let report = HypervisorSim::new(&platform, &allocation, &tasks, config)?.run();
+    let report = HypervisorSim::new(&platform, &allocation, &tasks, config)?.run()?;
 
     let busy_ms: f64 = report.core_times.iter().map(|c| c.busy_ms).sum();
     let throttled_ms: f64 = report.core_times.iter().map(|c| c.throttled_ms).sum();

@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &tasks,
         SimConfig::default().with_horizon(SimDuration::from_ms(500.0)),
     )?
-    .with_reallocation(switch_ms, 0, Alloc::new(14, 8))
-    .run();
+    .with_reallocation(switch_ms, 0, Alloc::new(14, 8))?
+    .run()?;
 
     let switch = SimTime::from_ms(switch_ms);
     let before = report

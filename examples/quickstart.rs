@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ...and empirically: run it on the simulated hypervisor (periodic
     // servers, partitioned EDF, CAT isolation, bandwidth regulation).
-    let report = HypervisorSim::new(&platform, allocation, &tasks, SimConfig::default())?.run();
+    let report = HypervisorSim::new(&platform, allocation, &tasks, SimConfig::default())?.run()?;
     println!("{report}");
     assert!(report.all_deadlines_met());
     println!("all deadlines met over {} jobs", report.jobs_completed);

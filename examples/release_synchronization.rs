@@ -76,8 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_horizon(SimDuration::from_ms(10_000.0))
             .with_release_synchronization(synchronized);
         let report = HypervisorSim::new(&platform, &allocation, &tasks, config)?
-            .with_task_offset(TaskId(0), offset_ms)
-            .run();
+            .with_task_offset(TaskId(0), offset_ms)?
+            .run()?;
         let victim_misses = report
             .deadline_misses
             .iter()

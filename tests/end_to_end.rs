@@ -46,7 +46,8 @@ fn schedulable_allocations_verify_and_meet_deadlines() {
                 .unwrap_or_else(|e| panic!("{solution} (seed {seed}): invalid allocation: {e}"));
             let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
                 .expect("allocation is realizable")
-                .run();
+                .run()
+                .expect("fault-free run succeeds");
             assert!(
                 report.all_deadlines_met(),
                 "{solution} (seed {seed}): {} misses, first: {:?}",
@@ -77,7 +78,8 @@ fn bimodal_workloads_also_run_cleanly() {
             };
             let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
                 .expect("realizable")
-                .run();
+                .run()
+                .expect("fault-free run succeeds");
             assert!(
                 report.all_deadlines_met(),
                 "{solution} on {dist}: {:?}",
@@ -110,7 +112,8 @@ fn multi_vm_workloads_allocate_and_run() {
     // not per VM, exactly as in the paper.
     let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
         .expect("realizable")
-        .run();
+        .run()
+        .expect("fault-free run succeeds");
     assert!(
         report.all_deadlines_met(),
         "{:?}",
@@ -212,7 +215,8 @@ fn auto_solution_handles_mixed_vcpu_caps() {
     assert!(capped_vcpus <= vms[1].max_vcpus());
     let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
         .expect("realizable")
-        .run();
+        .run()
+        .expect("fault-free run succeeds");
     assert!(
         report.all_deadlines_met(),
         "{:?}",

@@ -44,7 +44,8 @@ fn tight_allocations_hold_up_on_every_platform() {
             };
             let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
                 .expect("realizable")
-                .run();
+                .run()
+                .expect("fault-free run succeeds");
             assert!(
                 report.all_deadlines_met(),
                 "platform {name}, seed {seed}: {:?}",
@@ -97,7 +98,8 @@ fn trimming_budgets_below_analysis_minimum_breaks_deadlines() {
     );
     let report = HypervisorSim::new(&platform, &trimmed, &tasks, sim_config())
         .expect("still realizable")
-        .run();
+        .run()
+        .expect("fault-free run succeeds");
     assert!(
         !report.all_deadlines_met(),
         "90% budgets should not suffice for full-WCET jobs"
@@ -134,7 +136,8 @@ fn allocation_dependent_wcets_are_respected_by_the_simulator() {
     );
     let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
         .expect("realizable")
-        .run();
+        .run()
+        .expect("fault-free run succeeds");
     assert!(
         report.all_deadlines_met(),
         "{:?}",
@@ -170,7 +173,8 @@ fn regulated_vcpus_pass_theorem_2_stress() {
         );
         let report = HypervisorSim::new(&platform, &allocation, &tasks, sim_config())
             .expect("realizable")
-            .run();
+            .run()
+            .expect("fault-free run succeeds");
         assert!(
             report.all_deadlines_met(),
             "seed {seed}: {:?}",
