@@ -187,6 +187,16 @@ impl MemoTable {
         self.occupied += 1;
     }
 
+    /// Forgets every entry while keeping the slot array and the key
+    /// arena at their grown capacity, so a reused table re-warms
+    /// without re-allocating. A freshly reset table answers lookups
+    /// exactly like a brand-new one — capacity is the only carry-over.
+    fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|slot| *slot = None);
+        self.occupied = 0;
+        self.arena.clear();
+    }
+
     /// Doubles the slot array, re-placing every entry by its stored
     /// hash — no key is re-hashed.
     fn grow(&mut self) {
@@ -262,6 +272,24 @@ impl AnalysisCache {
     /// Whether this cache actually memoizes.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Forgets every memoized entry and zeroes the hit/miss counters
+    /// while retaining the table's and arena's allocated capacity — a
+    /// no-op on a disabled cache.
+    ///
+    /// A reset cache behaves exactly like a fresh
+    /// [`enabled`](AnalysisCache::enabled) one (same lookup outcomes,
+    /// same stats), which is what lets a sweep worker thread reuse one
+    /// cache across many work units without re-allocating: the sweep
+    /// resets at each unit boundary, so every unit's hit/miss sequence
+    /// is deterministic no matter which thread ran it.
+    pub fn reset(&mut self) {
+        if let Some(inner) = &mut self.inner {
+            let inner = inner.get_mut();
+            inner.budgets.reset();
+            inner.stats = CacheStats::default();
+        }
     }
 
     /// The accumulated hit/miss counters (all zero when disabled).
@@ -404,6 +432,48 @@ mod tests {
         let c = cache.min_budget_memo(&[10.0], &[1.0], 2.5, || Some(3.0));
         assert_eq!((a, b, c), (Some(1.0), Some(2.0), Some(3.0)));
         assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn reset_forgets_entries_and_counters() {
+        let mut cache = AnalysisCache::enabled();
+        let mut calls = 0;
+        let mut lookup = |cache: &AnalysisCache| {
+            cache.min_budget_memo(&[10.0], &[1.0], 5.0, || {
+                calls += 1;
+                Some(1.5)
+            })
+        };
+        assert_eq!(lookup(&cache), Some(1.5));
+        assert_eq!(lookup(&cache), Some(1.5));
+        cache.reset();
+        assert_eq!(cache.stats(), CacheStats::default(), "reset zeroes stats");
+        // The entry is gone: the next lookup computes again.
+        assert_eq!(lookup(&cache), Some(1.5));
+        assert_eq!(calls, 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        // Resetting a disabled cache is a harmless no-op.
+        AnalysisCache::disabled().reset();
+    }
+
+    #[test]
+    fn reset_survives_table_growth() {
+        let mut cache = AnalysisCache::enabled();
+        // Overfill past the initial table (load factor 70% of 1024
+        // slots) so reset runs against a grown table and arena.
+        for i in 0..2048u64 {
+            let p = 10.0 + i as f64;
+            let _ = cache.min_budget_memo(&[p], &[1.0], 5.0, || Some(p));
+        }
+        assert_eq!(cache.stats().misses, 2048);
+        cache.reset();
+        let mut computed = false;
+        let v = cache.min_budget_memo(&[10.0], &[1.0], 5.0, || {
+            computed = true;
+            Some(7.0)
+        });
+        assert_eq!(v, Some(7.0));
+        assert!(computed, "reset must not resurrect pre-reset entries");
     }
 
     #[test]

@@ -331,7 +331,9 @@ pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let options = Options::parse(argv)?;
     let platform = options.platform()?;
     let distribution = options.distribution()?;
-    let mut config = if options.switch("full") {
+    let mut config = if options.switch("fleet") {
+        SweepConfig::fleet(platform, distribution)
+    } else if options.switch("full") {
         SweepConfig::paper(platform, distribution)
     } else {
         SweepConfig::quick(platform, distribution)

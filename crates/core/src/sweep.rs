@@ -7,16 +7,25 @@
 //! analysis running time (Figure 4). The same tasksets are presented
 //! to every solution, as in the paper.
 //!
-//! The unit of work is one `(utilization point, repetition)` pair: the
-//! pair derives its own seed, generates its taskset, and analyzes it
-//! with every configured solution through one shared [`AnalysisCache`]
-//! (enabled via [`SweepConfig::use_cache`]). [`run_sweep_parallel`]
-//! distributes these units — not whole points — over worker threads,
-//! so load stays balanced even when the thread count approaches the
-//! number of points; per-cell results merge by plain integer addition,
-//! which is order-independent, so the parallel sweep is cell-for-cell
-//! identical to the serial one (the sweep conformance suite pins
-//! this).
+//! The unit of work is one whole utilization point: every repetition
+//! of the point derives its own `(point, repetition)` seed, generates
+//! its taskset, and analyzes it with every configured solution through
+//! one shared [`AnalysisCache`] (enabled via
+//! [`SweepConfig::use_cache`]). The cache is reset at each point
+//! boundary, so a point's analysis — results, cache hit/miss sequence
+//! and kernel telemetry alike — is a pure function of the
+//! configuration and the point index.
+//!
+//! [`run_sweep_parallel`] hands these point units to worker threads
+//! through a single atomic counter. Each worker owns its results,
+//! its [`AnalysisCache`] (reused, reset per point, so its memo table
+//! and key arena stay warm in capacity) and its kernel-counter deltas
+//! outright; nothing is shared or locked on the work path, and the
+//! per-thread accumulators merge once after the join. Per-cell results
+//! merge by plain integer addition, which is order-independent, so the
+//! parallel sweep is cell-for-cell *and* telemetry-counter identical
+//! to the serial one at every thread count (the sweep conformance
+//! suite pins this).
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -85,6 +94,26 @@ impl SweepConfig {
             distribution,
             utilizations: utilization_steps(0.2, 2.0, 0.2),
             tasksets_per_point: 8,
+            solutions: Solution::ALL.to_vec(),
+            base_seed: 0xDAC_2019,
+            use_cache: true,
+        }
+    }
+
+    /// A campaign-scale sweep: the paper's utilization range at step
+    /// 0.001 (1 901 points, 3 tasksets each — 5 703 work units, ~3×
+    /// the paper preset) with all five solutions. This is the regime
+    /// the coarse-grained parallel scheduler is built for — thousands
+    /// of independent points to spread over threads — and the headline
+    /// configuration of the `sweep_scaling` bench (`--fleet`). The
+    /// dense utilization grid is also what a search-based allocator's
+    /// fitness loop would evaluate.
+    pub fn fleet(platform: Platform, distribution: UtilizationDist) -> Self {
+        SweepConfig {
+            platform,
+            distribution,
+            utilizations: utilization_steps(0.1, 2.0, 0.001),
+            tasksets_per_point: 3,
             solutions: Solution::ALL.to_vec(),
             base_seed: 0xDAC_2019,
             use_cache: true,
@@ -300,22 +329,23 @@ pub fn run_sweep_with_progress(
     config: &SweepConfig,
     mut progress: impl FnMut(usize, usize),
 ) -> SweepResults {
-    let mut rows = Vec::with_capacity(config.utilizations.len());
-    let mut cache = CacheStats::default();
-    let mut kernel = KernelCounters::new();
-    for pi in 0..config.utilizations.len() {
-        let mut row = empty_row(config, pi);
-        for rep in 0..config.tasksets_per_point {
-            merge_unit(&mut row, &mut cache, &mut kernel, sweep_unit(config, pi, rep));
-        }
-        rows.push(row);
-        progress(pi + 1, config.utilizations.len());
+    let points = config.utilizations.len();
+    let mut rows = Vec::with_capacity(points);
+    let mut cache_total = CacheStats::default();
+    let mut kernel_total = KernelCounters::new();
+    let mut cache = point_cache(config);
+    for pi in 0..points {
+        let outcome = sweep_point(config, pi, &mut cache);
+        cache_total.merge(outcome.cache);
+        kernel_total.merge(&outcome.kernel);
+        rows.push(outcome.row);
+        progress(pi + 1, points);
     }
     SweepResults {
         solutions: config.solutions.clone(),
         rows,
-        cache,
-        kernel,
+        cache: cache_total,
+        kernel: kernel_total,
     }
 }
 
@@ -324,19 +354,29 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResults {
     run_sweep_with_progress(config, |_, _| {})
 }
 
-/// Runs a sweep with the `(point, repetition)` work units distributed
+/// Runs a sweep with whole-utilization-point work units distributed
 /// over `threads` worker threads.
 ///
-/// Results are **identical** to [`run_sweep`]: every unit derives its
-/// own seed and cells merge by order-independent addition, so the
-/// partitioning cannot change any outcome — only the wall-clock time.
-/// Repetition granularity (1950 units at paper scale rather than ≤ 39
-/// points) keeps the work queue balanced even at thread counts where
-/// whole points would leave most workers idle. `progress` is called
-/// from worker threads as units complete, with monotonically
-/// increasing `(units_done, units_total)` counts, ending at
-/// `(units_total, units_total)`; it runs under the result lock, so it
-/// must not block on the sweep itself.
+/// Results are **identical** to [`run_sweep`]: every `(point,
+/// repetition)` pair derives its own seed, each point is analyzed
+/// against a cache reset at the point boundary, and per-thread partial
+/// results merge by order-independent addition — so the partitioning
+/// cannot change any outcome, including the aggregated
+/// [`CacheStats`]/[`KernelCounters`] totals; only the wall-clock time
+/// differs. Workers share nothing on the work path: points are claimed
+/// from one atomic counter, and each thread accumulates its rows,
+/// cache counters and kernel deltas privately until one merge after
+/// the join.
+///
+/// `progress` is called with monotonically strictly increasing
+/// `(points_done, points_total)` counts — the same granularity as
+/// [`run_sweep_with_progress`] — ending at `(points_total,
+/// points_total)` (when there is at least one point). The callback
+/// runs *outside* every lock a worker can block on: completions are
+/// published through an atomic counter, and whichever thread finds the
+/// reporting slot free drains the counter, so a slow callback
+/// coalesces several completions into one call instead of stalling the
+/// other workers.
 ///
 /// # Panics
 ///
@@ -346,53 +386,133 @@ pub fn run_sweep_parallel(
     threads: usize,
     progress: impl Fn(usize, usize) + Sync,
 ) -> SweepResults {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     assert!(threads > 0, "need at least one thread");
     let points = config.utilizations.len();
-    let reps = config.tasksets_per_point;
-    let total_units = points * reps;
-    let mut rows: Vec<SweepRow> = (0..points).map(|pi| empty_row(config, pi)).collect();
-    let mut cache = CacheStats::default();
-    let mut kernel = KernelCounters::new();
-    // One lock guards row merging, stats aggregation and the progress
-    // counter, so observed (done, total) pairs are strictly monotone.
-    let merged = std::sync::Mutex::new((&mut rows, &mut cache, &mut kernel, 0usize));
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    // Last progress count actually reported. Workers only `try_lock`
+    // it: under contention (another thread is inside the callback)
+    // they skip reporting entirely — the holder's drain loop picks the
+    // missed counts up — so nobody ever blocks here.
+    let reported = std::sync::Mutex::new(0usize);
+    let progress = &progress;
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(total_units.max(1)) {
-            scope.spawn(|| loop {
-                let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if unit >= total_units {
-                    break;
-                }
-                let (pi, rep) = (unit / reps, unit % reps);
-                let outcome = sweep_unit(config, pi, rep);
-                let mut guard = merged.lock().expect("no poisoned workers");
-                let (rows, cache, kernel, done) = &mut *guard;
-                merge_unit(&mut rows[pi], cache, kernel, outcome);
-                *done += 1;
-                progress(*done, total_units);
-            });
-        }
+    let per_thread: Vec<ThreadOutcome> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(points.max(1)))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut outcome = ThreadOutcome::default();
+                    let mut cache = point_cache(config);
+                    loop {
+                        let pi = next.fetch_add(1, Ordering::Relaxed);
+                        if pi >= points {
+                            break;
+                        }
+                        let unit = sweep_point(config, pi, &mut cache);
+                        outcome.rows.push((pi, unit.row));
+                        outcome.cache.merge(unit.cache);
+                        outcome.kernel.merge(&unit.kernel);
+                        done.fetch_add(1, Ordering::Release);
+                        drain_progress(&reported, &done, points, progress);
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| worker.join().expect("sweep worker panicked"))
+            .collect()
     });
 
+    // Terminal catch-up: if the last completions raced with a busy
+    // reporter, the documented final (points, points) call happens
+    // here, still strictly monotone (guarded by `reported`).
+    {
+        let mut last = reported.lock().expect("progress reporting never panicked");
+        if *last < points {
+            *last = points;
+            progress(points, points);
+        }
+    }
+
+    let mut rows: Vec<Option<SweepRow>> = (0..points).map(|_| None).collect();
+    let mut cache = CacheStats::default();
+    let mut kernel = KernelCounters::new();
+    for outcome in per_thread {
+        for (pi, row) in outcome.rows {
+            debug_assert!(rows[pi].is_none(), "point {pi} swept twice");
+            rows[pi] = Some(row);
+        }
+        cache.merge(outcome.cache);
+        kernel.merge(&outcome.kernel);
+    }
     SweepResults {
         solutions: config.solutions.clone(),
-        rows,
+        rows: rows
+            .into_iter()
+            .map(|row| row.expect("every point was swept"))
+            .collect(),
         cache,
         kernel,
     }
 }
 
-/// Per-solution outcome of one `(point, repetition)` work unit.
-struct UnitOutcome {
-    /// `(schedulable, analysis wall-clock)` per solution, in
-    /// configuration order.
-    cells: Vec<(bool, Duration)>,
+/// One worker thread's private accumulator: finished rows tagged with
+/// their point index, plus the thread's cache and kernel totals.
+#[derive(Default)]
+struct ThreadOutcome {
+    rows: Vec<(usize, SweepRow)>,
     cache: CacheStats,
-    /// The worker thread's kernel-counter delta over this unit's
+    kernel: KernelCounters,
+}
+
+/// Reports the newest completion count if the reporting slot is free.
+///
+/// The holder drains in a loop: each pass reports the *latest* count,
+/// so completions that landed while the callback ran are coalesced
+/// into the next call rather than queued behind it. Reported counts
+/// are strictly increasing because only the `reported` holder calls
+/// `progress`, and only with counts above the last reported one.
+fn drain_progress(
+    reported: &std::sync::Mutex<usize>,
+    done: &std::sync::atomic::AtomicUsize,
+    total: usize,
+    progress: &(impl Fn(usize, usize) + Sync),
+) {
+    let Ok(mut last) = reported.try_lock() else {
+        return;
+    };
+    loop {
+        let current = done.load(std::sync::atomic::Ordering::Acquire);
+        if current <= *last {
+            break;
+        }
+        *last = current;
+        progress(current, total);
+    }
+}
+
+/// Per-point outcome of one whole-point work unit.
+struct PointOutcome {
+    row: SweepRow,
+    /// The point's cache counters (the cache is reset at the point
+    /// boundary, so these are this point's exact contribution).
+    cache: CacheStats,
+    /// The worker thread's kernel-counter delta over this point's
     /// analyses (thread-local snapshots taken before and after).
     kernel: KernelCounters,
+}
+
+/// The per-work-unit analysis cache of `config`: enabled or a
+/// pass-through, matching [`SweepConfig::use_cache`].
+fn point_cache(config: &SweepConfig) -> AnalysisCache {
+    if config.use_cache {
+        AnalysisCache::enabled()
+    } else {
+        AnalysisCache::disabled()
+    }
 }
 
 /// A point's row with every cell still empty.
@@ -403,66 +523,49 @@ fn empty_row(config: &SweepConfig, point_index: usize) -> SweepRow {
     }
 }
 
-/// Folds a unit's outcome into its row. All updates are plain integer
-/// additions (`Duration` included), so merge order cannot affect the
-/// result.
-fn merge_unit(
-    row: &mut SweepRow,
-    cache: &mut CacheStats,
-    kernel: &mut KernelCounters,
-    unit: UnitOutcome,
-) {
-    for (cell, (schedulable, elapsed)) in row.cells.iter_mut().zip(unit.cells) {
-        cell.total += 1;
-        cell.runtime += elapsed;
-        if schedulable {
-            cell.schedulable += 1;
+/// Computes one whole-point work unit: all repetitions of the point,
+/// each generating its `(point, repetition)`-seeded taskset and
+/// analyzing it with every configured solution.
+///
+/// `cache` is reset on entry and shared across the point's repetitions
+/// and solutions — the paper's methodology presents the *same* taskset
+/// to every solution, which is exactly when analyses repeat each
+/// other's budget searches. Resetting at the point boundary (instead
+/// of keeping a thread-lifetime memo) makes the point's entire
+/// outcome — cells, cache counters, kernel deltas — deterministic in
+/// `(config, point_index)` alone, which is what keeps the aggregated
+/// telemetry independent of the thread count; the reset retains the
+/// memo's grown capacity, so reuse still avoids per-unit allocation.
+fn sweep_point(config: &SweepConfig, point_index: usize, cache: &mut AnalysisCache) -> PointOutcome {
+    cache.reset();
+    let kernel_before = vc2m_sched::kernel::counters();
+    let mut row = empty_row(config, point_index);
+    let utilization = config.utilizations[point_index];
+    for rep in 0..config.tasksets_per_point {
+        let seed = config
+            .base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((point_index as u64) << 32)
+            .wrapping_add(rep as u64);
+        let mut generator = TasksetGenerator::new(
+            config.platform.resources(),
+            TasksetConfig::new(utilization, config.distribution),
+            seed,
+        );
+        let tasks = generator.generate();
+        let vms = vec![VmSpec::new(VmId(0), tasks).expect("generated taskset is non-empty")];
+        for (cell, &solution) in row.cells.iter_mut().zip(&config.solutions) {
+            let start = Instant::now();
+            let outcome = solution.allocate_with_cache(&vms, &config.platform, seed, cache);
+            cell.total += 1;
+            cell.runtime += start.elapsed();
+            if outcome.is_schedulable() {
+                cell.schedulable += 1;
+            }
         }
     }
-    cache.merge(unit.cache);
-    kernel.merge(&unit.kernel);
-}
-
-/// Computes one `(point, repetition)` work unit: generates the unit's
-/// taskset and analyzes it with every configured solution, all sharing
-/// one [`AnalysisCache`] when [`SweepConfig::use_cache`] is set — the
-/// paper's methodology presents the *same* taskset to every solution,
-/// which is exactly when analyses repeat each other's budget searches.
-/// Deterministic in `(config.base_seed, point_index, rep)`.
-fn sweep_unit(config: &SweepConfig, point_index: usize, rep: usize) -> UnitOutcome {
-    let utilization = config.utilizations[point_index];
-    let seed = config
-        .base_seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((point_index as u64) << 32)
-        .wrapping_add(rep as u64);
-    let mut generator = TasksetGenerator::new(
-        config.platform.resources(),
-        TasksetConfig::new(utilization, config.distribution),
-        seed,
-    );
-    let tasks = generator.generate();
-    let vms = vec![VmSpec::new(VmId(0), tasks).expect("generated taskset is non-empty")];
-    let cache = if config.use_cache {
-        AnalysisCache::enabled()
-    } else {
-        AnalysisCache::disabled()
-    };
-    // Kernel counters are thread-local; the delta across this unit's
-    // analyses is this unit's exact contribution no matter which
-    // worker thread ran it (units never interleave within a thread).
-    let kernel_before = vc2m_sched::kernel::counters();
-    let cells = config
-        .solutions
-        .iter()
-        .map(|&solution| {
-            let start = Instant::now();
-            let outcome = solution.allocate_with_cache(&vms, &config.platform, seed, &cache);
-            (outcome.is_schedulable(), start.elapsed())
-        })
-        .collect();
-    UnitOutcome {
-        cells,
+    PointOutcome {
+        row,
         cache: cache.stats(),
         kernel: vc2m_sched::kernel::counters().since(&kernel_before),
     }
@@ -624,29 +727,73 @@ mod tests {
         assert_eq!(a.fractions_csv(), b.fractions_csv());
     }
 
-    #[test]
-    fn parallel_progress_counts_units_monotonically() {
-        let config = SweepConfig {
+    /// A cheap many-point configuration for the progress tests: 12
+    /// single-repetition points under the lightest solution.
+    fn progress_config() -> SweepConfig {
+        SweepConfig {
             platform: Platform::platform_a(),
             distribution: UtilizationDist::Uniform,
-            utilizations: vec![0.2, 0.5, 0.8],
-            tasksets_per_point: 4,
+            utilizations: (1..=12).map(|i| 0.1 * i as f64).collect(),
+            tasksets_per_point: 1,
             solutions: vec![Solution::HeuristicFlattening],
             base_seed: 11,
             use_cache: true,
-        };
-        assert_eq!(config.total_units(), 12);
+        }
+    }
+
+    #[test]
+    fn parallel_progress_is_point_granular_and_monotone() {
+        // With one worker there is never reporter contention, so every
+        // point reports individually: the exact serial sequence.
+        let config = progress_config();
         let calls = std::sync::Mutex::new(Vec::new());
-        let _ = run_sweep_parallel(&config, 4, |done, total| {
+        let _ = run_sweep_parallel(&config, 1, |done, total| {
             calls.lock().unwrap().push((done, total));
         });
         let calls = calls.into_inner().unwrap();
-        assert_eq!(calls.len(), 12);
-        for (i, &(done, total)) in calls.iter().enumerate() {
-            assert_eq!(total, 12);
-            assert_eq!(done, i + 1, "progress counts must be strictly monotone");
+        assert_eq!(calls, (1..=12).map(|done| (done, 12)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_progress_coalesces_instead_of_stalling_workers() {
+        // Regression for the historical driver, which invoked the
+        // callback while holding the global merge lock: a slow callback
+        // stalled every worker, and exactly one call per unit was the
+        // observable signature. Under the coalescing reporter the
+        // workers keep completing points while a callback sleeps, and
+        // the drain loop folds those completions into later calls —
+        // strictly monotone, terminal (total, total), but fewer calls
+        // than points.
+        let config = progress_config();
+        let calls = std::sync::Mutex::new(Vec::<(usize, usize)>::new());
+        let _ = run_sweep_parallel(&config, 4, |done, total| {
+            let first = {
+                let mut calls = calls.lock().unwrap();
+                calls.push((done, total));
+                calls.len() == 1
+            };
+            // One long stall on the first call: points completed by the
+            // other workers in the meantime must coalesce.
+            std::thread::sleep(std::time::Duration::from_millis(if first {
+                500
+            } else {
+                10
+            }));
+        });
+        let calls = calls.into_inner().unwrap();
+        assert!(!calls.is_empty());
+        for pair in calls.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "progress counts must be strictly monotone: {calls:?}"
+            );
         }
+        assert!(calls.iter().all(|&(_, total)| total == 12));
         assert_eq!(calls.last(), Some(&(12, 12)));
+        assert!(
+            calls.len() < 12,
+            "a sleeping callback must coalesce completions, not stall workers: {calls:?}"
+        );
     }
 
     #[test]

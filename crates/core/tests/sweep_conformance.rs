@@ -1,5 +1,6 @@
 //! Differential conformance for the sweep engine's two optimizations:
-//! the analysis interface cache and repetition-granular parallelism.
+//! the analysis interface cache and whole-utilization-point (coarse
+//! work unit) parallelism.
 //!
 //! Neither is allowed to change a single result bit. These tests prove
 //! it differentially, against the unoptimized configuration as the
@@ -14,7 +15,11 @@
 //!   [`run_sweep`] cell for cell (schedulable and total counts;
 //!   runtimes are wall-clock and legitimately differ);
 //! * a cached sweep reproduces an uncached sweep cell for cell while
-//!   actually hitting the cache.
+//!   actually hitting the cache;
+//! * the aggregated telemetry (cache statistics and kernel counters)
+//!   is thread-count independent: every point's cache is reset at the
+//!   point boundary, so each point's counter delta is a pure function
+//!   of the configuration, however points land on worker threads.
 
 use vc2m::model::{VmId, VmSpec};
 use vc2m::prelude::*;
@@ -174,4 +179,31 @@ fn parallel_cached_sweep_matches_serial_uncached() {
     let reference = run_sweep(&config.clone().with_cache(false));
     let optimized = run_sweep_parallel(&config.clone().with_cache(true), 4, |_, _| {});
     assert_sweeps_equal(&reference, &optimized, "parallel+cache");
+}
+
+#[test]
+fn aggregated_telemetry_is_thread_count_independent() {
+    // The cache is reset at every utilization-point boundary, so each
+    // point's CacheStats/KernelCounters delta depends only on the
+    // configuration and the point index — never on which worker thread
+    // processed it or on what ran before it on that thread. The
+    // order-independent merge then makes the aggregated totals equal
+    // across every thread count, including the serial driver.
+    let config = small_config().with_cache(true);
+    let serial = run_sweep(&config);
+    assert!(serial.cache_stats().lookups() > 0, "cache never consulted");
+    assert!(serial.kernel_stats().vcpu_builds > 0, "no VCPUs built");
+    for threads in [1, 2, 8] {
+        let parallel = run_sweep_parallel(&config, threads, |_, _| {});
+        assert_eq!(
+            serial.cache_stats(),
+            parallel.cache_stats(),
+            "cache statistics drifted at {threads} threads"
+        );
+        assert_eq!(
+            serial.kernel_stats(),
+            parallel.kernel_stats(),
+            "kernel counters drifted at {threads} threads"
+        );
+    }
 }

@@ -132,6 +132,38 @@ impl Demand {
             .sum()
     }
 
+    /// Evaluates `dbf` at every checkpoint of `points` in one batched,
+    /// task-major pass over the SoA storage, writing into `out`
+    /// (cleared first; capacity is reused across calls).
+    ///
+    /// **Bit-identical** to `points.iter().map(|&t| self.dbf(t))`: the
+    /// reference folds task terms into each point's sum in ascending
+    /// task order starting from `0.0`, and the task-major accumulation
+    /// here performs exactly those additions in exactly that order per
+    /// point — only the *point* loop is interchanged into the inner
+    /// position, where it runs branch-free over contiguous memory and
+    /// vectorizes. (`kernel_conformance` pins the equality on random
+    /// harmonic, incommensurate and zero-WCET demands.)
+    ///
+    /// Every point must be positive — true of any checkpoint stream,
+    /// which is what this kernel exists to serve. (The reference
+    /// `dbf` short-circuits `t ≤ 0` to `0.0` before summing; a
+    /// per-element guard here would defeat vectorization, so
+    /// non-positive points are rejected in debug builds instead.)
+    pub fn dbf_many(&self, points: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(
+            points.iter().all(|&t| t > 0.0),
+            "dbf_many expects positive checkpoint times"
+        );
+        out.clear();
+        out.resize(points.len(), 0.0);
+        for (&p, &e) in self.periods.iter().zip(&self.wcets) {
+            for (acc, &t) in out.iter_mut().zip(points) {
+                *acc += ((t / p) + 1e-9).floor() * e;
+            }
+        }
+    }
+
     /// The sorted, de-duplicated checkpoints (job deadlines) in
     /// `(0, horizon]` at which `dbf` increases.
     ///
@@ -258,6 +290,27 @@ mod tests {
         assert_eq!(d.dbf(20.0), 2.0 + 4.0);
         assert_eq!(d.dbf(40.0), 4.0 + 8.0);
         assert!((d.utilization() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbf_many_matches_per_point_dbf_bitwise() {
+        let d = Demand::new(vec![(10.0, 1.0), (20.0, 4.0), (7.3, 0.9)]).unwrap();
+        let points = d.checkpoints(80.0, 1000);
+        let mut batched = Vec::new();
+        d.dbf_many(&points, &mut batched);
+        assert_eq!(batched.len(), points.len());
+        for (&t, &b) in points.iter().zip(&batched) {
+            assert_eq!(b.to_bits(), d.dbf(t).to_bits(), "diverged at t={t}");
+        }
+        // The output buffer is cleared, not appended to.
+        d.dbf_many(&points, &mut batched);
+        assert_eq!(batched.len(), points.len());
+        // Empty demands and empty point sets are both fine.
+        d.dbf_many(&[], &mut batched);
+        assert!(batched.is_empty());
+        let empty = Demand::new(vec![]).unwrap();
+        empty.dbf_many(&[1.0, 2.0], &mut batched);
+        assert_eq!(batched, vec![0.0, 0.0]);
     }
 
     #[test]

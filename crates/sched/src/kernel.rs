@@ -405,8 +405,10 @@ impl AnalysisWorkspace {
                 true
             },
         );
-        demands.clear();
-        demands.extend(points.iter().map(|&t| demand.dbf(t)));
+        // Batched demand evaluation: all checkpoints in one task-major
+        // pass over the SoA layout (bit-identical to mapping `dbf`
+        // point by point — see `Demand::dbf_many`).
+        demand.dbf_many(points, demands);
         bisect_active(period, demand.utilization(), points, demands, active, retained)
     }
 }

@@ -79,6 +79,39 @@ impl PeriodicResource {
         supplied + partial.min(self.budget)
     }
 
+    /// Evaluates [`sbf`](Self::sbf) at every point of `points` in one
+    /// batched pass, writing into `out` (cleared first; capacity is
+    /// reused across calls).
+    ///
+    /// **Bit-identical** per point to the scalar `sbf`: the blackout
+    /// `Π − Θ` is hoisted out of the loop (it depends only on the
+    /// resource — the same hoist `probe_active` performs), and every
+    /// remaining expression is evaluated exactly as the scalar version
+    /// writes it. A checkpoint stream's supply values can therefore be
+    /// materialized in one cache-friendly sweep without re-deriving
+    /// the resource constants per point.
+    pub fn sbf_many(&self, points: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(points.len());
+        let blackout = self.period - self.budget;
+        if self.budget == 0.0 {
+            out.resize(points.len(), 0.0);
+            return;
+        }
+        for &t in points {
+            let supply = if t <= blackout {
+                0.0
+            } else {
+                let t_eff = t - blackout;
+                let k = (t_eff / self.period + 1e-12).floor();
+                let supplied = k * self.budget;
+                let partial = (t_eff - k * self.period - blackout).max(0.0);
+                supplied + partial.min(self.budget)
+            };
+            out.push(supply);
+        }
+    }
+
     /// The linear lower bound on the supply:
     /// `lsbf(t) = (Θ/Π)·(t − 2(Π − Θ))`, clamped at zero. Useful for
     /// quick infeasibility screening.
@@ -190,10 +223,13 @@ pub struct MinBudgetSolver {
     periods: Vec<f64>,
     period: f64,
     points: Vec<f64>,
-    /// `floors[j][i] = ⌊points[j] / periods[i] + 1e-9⌋` — the job count
-    /// of task `i` at checkpoint `j`, so `dbf(points[j])` is a dot
-    /// product with the WCET vector.
-    floors: Vec<Vec<f64>>,
+    /// `floors[i · points.len() + j] = ⌊points[j] / periods[i] + 1e-9⌋`
+    /// — the job count of task `i` at checkpoint `j`, stored flat and
+    /// **task-major** so the per-cell demand fill streams one task's
+    /// contiguous row across all checkpoints at a time (the batched
+    /// layout of [`Demand::dbf_many`], vectorizable and allocated as a
+    /// single block instead of one `Vec` per checkpoint).
+    floors: Vec<f64>,
     /// Reusable per-call buffer for the checkpoint demands (the solver
     /// is called once per surface cell; the allocation is not).
     demands: std::cell::RefCell<Vec<f64>>,
@@ -224,15 +260,12 @@ impl MinBudgetSolver {
             .expect("task periods must be positive and finite");
         let horizon = analysis_horizon(&proxy, period);
         let points = proxy.checkpoints(horizon, crate::kernel::MAX_CHECKPOINTS);
-        let floors = points
-            .iter()
-            .map(|&t| {
-                task_periods
-                    .iter()
-                    .map(|&p| ((t / p) + 1e-9).floor())
-                    .collect()
-            })
-            .collect();
+        let mut floors = vec![0.0; task_periods.len() * points.len()];
+        for (row, &p) in floors.chunks_exact_mut(points.len().max(1)).zip(task_periods) {
+            for (slot, &t) in row.iter_mut().zip(&points) {
+                *slot = ((t / p) + 1e-9).floor();
+            }
+        }
         MinBudgetSolver {
             periods: task_periods.to_vec(),
             period,
@@ -294,11 +327,20 @@ impl MinBudgetSolver {
         let utilization: f64 = self.periods.iter().zip(wcets).map(|(p, e)| e / p).sum();
         let mut demands = self.demands.borrow_mut();
         demands.clear();
-        demands.extend(
-            self.floors
-                .iter()
-                .map(|row| row.iter().zip(wcets).map(|(k, e)| k * e).sum::<f64>()),
-        );
+        demands.resize(self.points.len(), 0.0);
+        // Batched demand fill over the task-major floor table: each
+        // task's row adds `kᵢⱼ · eᵢ` into every checkpoint's
+        // accumulator. Per checkpoint the additions happen in
+        // ascending task order from 0.0 — the exact fold the
+        // historical per-checkpoint dot product (and the reference
+        // `dbf`) performs, so the sums are bit-identical; only the
+        // loop order changed, putting the contiguous, vectorizable
+        // sweep innermost.
+        for (row, &e) in self.floors.chunks_exact(self.points.len().max(1)).zip(wcets) {
+            for (acc, &k) in demands.iter_mut().zip(row) {
+                *acc += k * e;
+            }
+        }
         let demands = &*demands;
         let mut guard = self.active.borrow_mut();
         let (active, retained) = &mut *guard;
@@ -480,6 +522,28 @@ mod tests {
             assert!(v <= t + 1e-9, "sbf(t) must not exceed t");
             prev = v;
         }
+    }
+
+    #[test]
+    fn sbf_many_matches_per_point_sbf_bitwise() {
+        let mut out = Vec::new();
+        for (period, budget) in [(10.0, 4.0), (7.0, 7.0), (5.0, 0.0), (9.0, 0.001)] {
+            let r = PeriodicResource::new(period, budget);
+            let points: Vec<f64> = (0..300).map(|i| i as f64 * 0.17).collect();
+            r.sbf_many(&points, &mut out);
+            assert_eq!(out.len(), points.len());
+            for (&t, &batched) in points.iter().zip(&out) {
+                assert_eq!(
+                    batched.to_bits(),
+                    r.sbf(t).to_bits(),
+                    "sbf_many diverged at t={t} for ({period}, {budget})"
+                );
+            }
+        }
+        // Cleared, not appended, across calls.
+        let r = PeriodicResource::new(10.0, 4.0);
+        r.sbf_many(&[13.0], &mut out);
+        assert_eq!(out, vec![1.0]);
     }
 
     #[test]
