@@ -21,6 +21,7 @@
 use crate::error::AllocError;
 use crate::result::SystemAllocation;
 use crate::solution::Solution;
+use vc2m_analysis::DirtyCores;
 use vc2m_model::{Platform, VmId, VmSpec};
 
 /// Bounds on the degradation loop.
@@ -114,6 +115,7 @@ pub fn allocate_with_degradation(
 ) -> DegradationOutcome {
     let mut working: Vec<VmSpec> = vms.to_vec();
     let mut report = DegradationReport::default();
+    let mut proven = ProvenCores::default();
 
     while !working.is_empty() && report.attempts < policy.max_attempts {
         report.attempts += 1;
@@ -124,7 +126,14 @@ pub fn allocate_with_degradation(
                     // contract is that an accepted allocation is
                     // provably schedulable, so a verdict the verifier
                     // cannot reproduce is treated as a failed attempt.
-                    match allocation.verify(platform) {
+                    // Retries skip the schedulability re-check for
+                    // cores whose exact content was already proven by
+                    // an earlier attempt's verification (shedding
+                    // typically perturbs only part of the packing);
+                    // structural invariants are always checked in
+                    // full, and the verdict is pinned bit-identical
+                    // to a full verify by the regression suite.
+                    match proven.verify(&allocation, platform) {
                         Ok(()) => {
                             report.admitted = working.iter().map(|vm| vm.id()).collect();
                             return DegradationOutcome {
@@ -145,6 +154,64 @@ pub fn allocate_with_degradation(
     DegradationOutcome {
         allocation: None,
         report,
+    }
+}
+
+/// Schedulability proofs carried across degradation retries: for every
+/// allocation an earlier attempt verified, which of its cores passed
+/// the per-core EDF test.
+///
+/// A retry candidate's core is *clean* when it is content-identical
+/// ([`SystemAllocation::core_content_eq`]) to a proven core — the core
+/// test is a pure function of the core's own VCPU parameters and
+/// `Alloc`, so the earlier verdict transfers exactly; everything else
+/// is dirty and re-checked. Because clean cores cannot fail, the first
+/// failing core (and thus the error text and the shed trace) is
+/// bit-identical to what a full verify would produce.
+#[derive(Debug, Default)]
+struct ProvenCores {
+    attempts: Vec<(SystemAllocation, Vec<bool>)>,
+}
+
+impl ProvenCores {
+    /// Whether `allocation`'s core `k` matches a core already proven
+    /// schedulable by an earlier attempt.
+    fn is_proven(&self, allocation: &SystemAllocation, k: usize) -> bool {
+        self.attempts.iter().any(|(prev, schedulable)| {
+            (0..prev.cores_used()).any(|j| schedulable[j] && allocation.core_content_eq(k, prev, j))
+        })
+    }
+
+    /// Verifies `allocation` — structure in full, schedulability only
+    /// for unproven cores — and records the proofs this verification
+    /// establishes for later retries.
+    fn verify(&mut self, allocation: &SystemAllocation, platform: &Platform) -> Result<(), AllocError> {
+        let cores = allocation.cores_used();
+        let mut inherited = vec![false; cores];
+        let mut dirty = DirtyCores::new();
+        for (k, proven) in inherited.iter_mut().enumerate() {
+            if self.is_proven(allocation, k) {
+                *proven = true;
+            } else {
+                dirty.mark(k);
+            }
+        }
+        match allocation.verify_cores_detailed(platform, &dirty) {
+            Ok(()) => Ok(()),
+            Err((failed, e)) => {
+                if let Some(f) = failed {
+                    // Dirty cores are marked in ascending order, so
+                    // every dirty core below the failing index passed
+                    // its check — keep those proofs for the retries.
+                    let mut schedulable = inherited;
+                    for k in dirty.iter().take_while(|&k| k < f) {
+                        schedulable[k] = true;
+                    }
+                    self.attempts.push((allocation.clone(), schedulable));
+                }
+                Err(e)
+            }
+        }
     }
 }
 
@@ -280,6 +347,62 @@ mod tests {
         assert!(!outcome.is_degraded()); // nothing accepted
         assert_eq!(outcome.report.shed.len(), 1);
         assert_eq!(outcome.report.shed[0].attempt, 1);
+    }
+
+    #[test]
+    fn proven_cores_skip_is_pinned_to_full_verify() {
+        use crate::result::CoreAssignment;
+        use vc2m_model::{Alloc, BudgetSurface, VcpuId};
+
+        let platform = Platform::platform_a();
+        let space = platform.resources();
+        let vcpu = |id: usize, budget: f64| {
+            vc2m_model::VcpuSpec::new(
+                VcpuId(id),
+                VmId(0),
+                10.0,
+                BudgetSurface::flat(&space, budget).unwrap(),
+                vec![TaskId(id)],
+            )
+            .unwrap()
+        };
+        let core = |vcpus: Vec<usize>| CoreAssignment {
+            vcpus,
+            alloc: Alloc::new(10, 10),
+        };
+
+        // Attempt 1: core 0 schedulable (u=0.4), core 1 not (u=1.2).
+        let a = SystemAllocation::new(
+            vec![vcpu(0, 4.0), vcpu(1, 6.0), vcpu(2, 6.0)],
+            vec![core(vec![0]), core(vec![1, 2])],
+        );
+        let mut proven = ProvenCores::default();
+        let partial = proven.verify(&a, &platform);
+        assert_eq!(partial, a.verify(&platform), "verdicts must match bit-for-bit");
+        assert!(partial.unwrap_err().to_string().contains("core 1"));
+        // The failure proved core 0; a retry reusing its exact content
+        // marks only the changed core dirty.
+        assert!(proven.is_proven(&a, 0));
+        assert!(!proven.is_proven(&a, 1));
+
+        // Attempt 2: same core-0 content (even under different vcpu
+        // numbering), the bad core replaced by a schedulable one.
+        let b = SystemAllocation::new(
+            vec![vcpu(1, 6.0), vcpu(0, 4.0)],
+            vec![core(vec![1]), core(vec![0])],
+        );
+        assert!(proven.is_proven(&b, 0), "renumbered content still matches");
+        assert_eq!(proven.verify(&b, &platform), b.verify(&platform));
+        assert!(proven.verify(&b, &platform).is_ok());
+
+        // A retry that reintroduces the unproven core content is still
+        // rejected — nothing ever proved it.
+        let c = SystemAllocation::new(
+            vec![vcpu(0, 4.0), vcpu(1, 6.0), vcpu(2, 6.0)],
+            vec![core(vec![0]), core(vec![1, 2])],
+        );
+        assert_eq!(proven.verify(&c, &platform), c.verify(&platform));
+        assert!(proven.verify(&c, &platform).is_err());
     }
 
     #[test]

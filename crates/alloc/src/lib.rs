@@ -50,6 +50,7 @@
 mod error;
 mod result;
 
+pub mod admission;
 pub mod degrade;
 pub mod hypervisor_level;
 pub mod kmeans;
@@ -57,6 +58,10 @@ pub mod packing;
 pub mod solution;
 pub mod vm_level;
 
+pub use admission::{
+    AdmissionConfig, AdmissionDecision, AdmissionEngine, AdmissionPath, AdmissionRequest,
+    AdmissionStats, AdmissionVerdict, RequestKind,
+};
 pub use degrade::{
     allocate_with_degradation, DegradationOutcome, DegradationPolicy, DegradationReport, ShedVm,
 };

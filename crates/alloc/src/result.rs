@@ -4,7 +4,7 @@
 use crate::AllocError;
 use std::collections::HashSet;
 use std::fmt;
-use vc2m_analysis::core_check;
+use vc2m_analysis::{core_check, DirtyCores};
 use vc2m_model::{Alloc, Platform, VcpuSpec};
 
 /// One core's share of an allocation: which VCPUs run on it, and its
@@ -25,8 +25,8 @@ pub struct CoreAssignment {
 /// CAT masks and bandwidth budgets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemAllocation {
-    vcpus: Vec<VcpuSpec>,
-    cores: Vec<CoreAssignment>,
+    pub(crate) vcpus: Vec<VcpuSpec>,
+    pub(crate) cores: Vec<CoreAssignment>,
 }
 
 impl SystemAllocation {
@@ -93,6 +93,77 @@ impl SystemAllocation {
     /// Returns [`AllocError::InvalidAllocation`] naming the first
     /// violated invariant.
     pub fn verify(&self, platform: &Platform) -> Result<(), AllocError> {
+        self.verify_cores(platform, &DirtyCores::all(self.cores.len()))
+    }
+
+    /// Partial verification for warm-started allocations: runs every
+    /// *structural* invariant in full (they are cheap and global), but
+    /// re-runs the per-core schedulability test only for the cores in
+    /// `dirty`.
+    ///
+    /// Sound whenever every core outside `dirty` is content-identical
+    /// (same VCPU parameters, same `Alloc`, or a subset of a previously
+    /// proven core after departures) to a core that already passed the
+    /// test — the EDF core test depends on nothing else. Callers are
+    /// responsible for that premise; the admission conformance suite
+    /// pins it against full verification bit-for-bit.
+    ///
+    /// With `dirty = DirtyCores::all(..)` this is exactly
+    /// [`SystemAllocation::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidAllocation`] naming the first
+    /// violated invariant, like [`SystemAllocation::verify`].
+    pub fn verify_cores(&self, platform: &Platform, dirty: &DirtyCores) -> Result<(), AllocError> {
+        self.verify_cores_detailed(platform, dirty).map_err(|(_, e)| e)
+    }
+
+    /// Like [`SystemAllocation::verify_cores`], but a schedulability
+    /// failure also reports *which* core failed (`Some(k)`), so the
+    /// degradation controller can record which earlier cores were
+    /// proven before the failure. Structural failures report `None`.
+    pub(crate) fn verify_cores_detailed(
+        &self,
+        platform: &Platform,
+        dirty: &DirtyCores,
+    ) -> Result<(), (Option<usize>, AllocError)> {
+        self.verify_structure(platform).map_err(|e| (None, e))?;
+        for k in dirty.iter() {
+            let vcpus: Vec<&VcpuSpec> = self.vcpus_on_core(k).collect();
+            if !core_check::core_schedulable(vcpus.iter().copied(), self.cores[k].alloc) {
+                return Err((
+                    Some(k),
+                    AllocError::InvalidAllocation {
+                        detail: format!("core {k} fails the schedulability test"),
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether core `k` of `self` has exactly the same content as core
+    /// `j` of `other`: the same `Alloc` and the same VCPU parameter
+    /// sequence (compared by value, not by index — the two allocations
+    /// may number their VCPU lists differently).
+    ///
+    /// Content equality is the premise under which a schedulability
+    /// proof for one core transfers to the other.
+    pub fn core_content_eq(&self, k: usize, other: &SystemAllocation, j: usize) -> bool {
+        let a = &self.cores[k];
+        let b = &other.cores[j];
+        a.alloc == b.alloc
+            && a.vcpus.len() == b.vcpus.len()
+            && self
+                .vcpus_on_core(k)
+                .zip(other.vcpus_on_core(j))
+                .all(|(x, y)| x == y)
+    }
+
+    /// The structural invariants of [`SystemAllocation::verify`] —
+    /// everything except per-core schedulability.
+    fn verify_structure(&self, platform: &Platform) -> Result<(), AllocError> {
         let space = platform.resources();
         if self.cores.len() > platform.cores() {
             return Err(AllocError::InvalidAllocation {
@@ -142,11 +213,6 @@ impl SystemAllocation {
         if bw_total > space.bw_max() {
             return Err(AllocError::InvalidAllocation {
                 detail: format!("bandwidth overcommitted: {bw_total} > {}", space.bw_max()),
-            });
-        }
-        if !self.is_schedulable() {
-            return Err(AllocError::InvalidAllocation {
-                detail: "some core fails the schedulability test".into(),
             });
         }
         Ok(())
@@ -320,6 +386,91 @@ mod tests {
         );
         assert!(!a.is_schedulable());
         assert!(a.verify(&Platform::platform_a()).is_err());
+    }
+
+    #[test]
+    fn verify_cores_skips_clean_cores_but_checks_structure() {
+        let platform = Platform::platform_a();
+        // Core 0 is unschedulable (utilization 1.2), core 1 fine.
+        let a = SystemAllocation::new(
+            vec![vcpu(0, 10.0, 6.0), vcpu(1, 10.0, 6.0), vcpu(2, 10.0, 4.0)],
+            vec![
+                CoreAssignment {
+                    vcpus: vec![0, 1],
+                    alloc: Alloc::new(10, 10),
+                },
+                CoreAssignment {
+                    vcpus: vec![2],
+                    alloc: Alloc::new(10, 10),
+                },
+            ],
+        );
+        // Full verification fails on core 0.
+        assert!(a.verify(&platform).is_err());
+        // A dirty set containing only core 1 skips the bad core — the
+        // caller vouched for it; this is exactly why soundness rests on
+        // the content-equality premise.
+        let mut only_1 = DirtyCores::new();
+        only_1.mark(1);
+        a.verify_cores(&platform, &only_1).unwrap();
+        // A dirty set containing core 0 catches it and names it.
+        let mut only_0 = DirtyCores::new();
+        only_0.mark(0);
+        let err = a.verify_cores(&platform, &only_0).unwrap_err();
+        assert!(err.to_string().contains("core 0 fails"));
+        // Structural violations are always caught, whatever the set.
+        let mut broken = a.clone();
+        broken.cores[0].alloc = Alloc::new(30, 10);
+        assert!(broken.verify_cores(&platform, &DirtyCores::new()).is_err());
+    }
+
+    #[test]
+    fn verify_cores_all_equals_full_verify() {
+        let platform = Platform::platform_a();
+        let good = simple_allocation();
+        assert_eq!(
+            good.verify(&platform),
+            good.verify_cores(&platform, &DirtyCores::all(good.cores_used()))
+        );
+        let bad = SystemAllocation::new(
+            vec![vcpu(0, 10.0, 6.0), vcpu(1, 10.0, 6.0)],
+            vec![CoreAssignment {
+                vcpus: vec![0, 1],
+                alloc: Alloc::new(10, 10),
+            }],
+        );
+        assert_eq!(
+            bad.verify(&platform),
+            bad.verify_cores(&platform, &DirtyCores::all(bad.cores_used()))
+        );
+    }
+
+    #[test]
+    fn core_content_equality_ignores_index_numbering() {
+        let a = simple_allocation();
+        // Same content, vcpus stored in swapped order with swapped
+        // index lists: core 0 of `a` matches core 1 of `b`.
+        let b = SystemAllocation::new(
+            vec![vcpu(1, 10.0, 5.0), vcpu(0, 10.0, 4.0)],
+            vec![
+                CoreAssignment {
+                    vcpus: vec![0],
+                    alloc: Alloc::new(10, 10),
+                },
+                CoreAssignment {
+                    vcpus: vec![1],
+                    alloc: Alloc::new(10, 10),
+                },
+            ],
+        );
+        assert!(a.core_content_eq(0, &b, 1));
+        assert!(a.core_content_eq(1, &b, 0));
+        assert!(!a.core_content_eq(0, &b, 0));
+        // A partition change breaks content equality even with the
+        // same vcpus.
+        let mut c = a.clone();
+        c.cores[0].alloc = Alloc::new(9, 10);
+        assert!(!a.core_content_eq(0, &c, 0));
     }
 
     #[test]

@@ -150,3 +150,87 @@ fn vc2m_dominates_baseline_statistically() {
         assert!(flattening.is_schedulable(), "flattening failed at u*=0.6");
     });
 }
+
+/// A from-first-principles reimplementation of the degradation loop
+/// with an unconditional **full** `verify()` on every attempt — the
+/// behaviour before the retry path learned to skip schedulability
+/// checks for cores proven by earlier attempts. The optimised loop
+/// must be outcome-identical to this reference on every seed
+/// (allocation, report, shed trace, and reason strings alike).
+fn degrade_full_verify_reference(
+    solution: Solution,
+    vms: &[VmSpec],
+    platform: &Platform,
+    seed: u64,
+    policy: &vc2m_alloc::DegradationPolicy,
+) -> vc2m_alloc::DegradationOutcome {
+    let mut working: Vec<VmSpec> = vms.to_vec();
+    let mut report = vc2m_alloc::DegradationReport::default();
+    while !working.is_empty() && report.attempts < policy.max_attempts {
+        report.attempts += 1;
+        let failure = match solution.try_allocate(&working, platform, seed) {
+            Ok(outcome) => match outcome.into_allocation() {
+                Some(allocation) => match allocation.verify(platform) {
+                    Ok(()) => {
+                        report.admitted = working.iter().map(|vm| vm.id()).collect();
+                        return vc2m_alloc::DegradationOutcome {
+                            allocation: Some(allocation),
+                            report,
+                        };
+                    }
+                    Err(e) => format!("verification failed: {e}"),
+                },
+                None => "workload not schedulable".to_string(),
+            },
+            Err(e) => e.to_string(),
+        };
+        // Shed the heaviest VM, first position winning ties, exactly
+        // like the production controller.
+        let mut heaviest: Option<(usize, f64)> = None;
+        for (i, vm) in working.iter().enumerate() {
+            let u = vm.reference_utilization();
+            if heaviest.is_none_or(|(_, best)| u > best) {
+                heaviest = Some((i, u));
+            }
+        }
+        if let Some((index, utilization)) = heaviest {
+            let vm = working.remove(index);
+            report.shed.push(vc2m_alloc::ShedVm {
+                vm: vm.id(),
+                utilization,
+                attempt: report.attempts,
+                reason: failure,
+            });
+        }
+    }
+    vc2m_alloc::DegradationOutcome {
+        allocation: None,
+        report,
+    }
+}
+
+#[test]
+fn degradation_partial_verify_matches_full_verify_reference() {
+    check(24, |rng| {
+        let platform = Platform::platform_a();
+        let seed = rng.gen_range(0u64..5_000);
+        // Overloaded often enough that shedding (and thus the retry
+        // path the optimisation targets) is actually exercised.
+        let utilization = rng.gen_range(1.5f64..6.0);
+        let vm_count = rng.gen_range(2usize..6);
+        let mut generator = TasksetGenerator::new(
+            platform.resources(),
+            TasksetConfig::new(utilization, UtilizationDist::Uniform).with_vm_count(vm_count),
+            seed,
+        );
+        let vms = generator.generate_vms();
+        let policy = vc2m_alloc::DegradationPolicy::default();
+        for solution in [Solution::HeuristicFlattening, Solution::Auto] {
+            let fast =
+                vc2m_alloc::allocate_with_degradation(solution, &vms, &platform, seed, &policy);
+            let reference =
+                degrade_full_verify_reference(solution, &vms, &platform, seed, &policy);
+            assert_eq!(fast, reference, "divergence at seed {seed} ({solution})");
+        }
+    });
+}

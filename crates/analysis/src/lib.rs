@@ -51,6 +51,7 @@ mod error;
 
 pub mod cache;
 pub mod core_check;
+pub mod dirty;
 pub mod existing;
 pub mod flattening;
 pub mod overhead;
@@ -58,6 +59,7 @@ pub mod regulated;
 pub mod regulated_supply;
 
 pub use cache::{AnalysisCache, CacheStats};
+pub use dirty::DirtyCores;
 pub use error::AnalysisError;
 pub use vc2m_sched::kernel::KernelCounters;
 

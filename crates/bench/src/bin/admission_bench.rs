@@ -1,0 +1,315 @@
+//! Streaming-admission benchmark: the warm-start [`AdmissionEngine`]
+//! against a from-scratch comparator that re-runs the full
+//! `allocate_with_degradation` solver after every request — the naive
+//! admission controller the engine's incremental path replaces.
+//!
+//! ```text
+//! cargo run --release -p vc2m-bench --bin admission_bench            # 1000 requests
+//! cargo run --release -p vc2m-bench --bin admission_bench -- --full  # 5000 requests
+//! VC2M_ADMIT_REQUESTS=120 ... admission_bench                        # CI smoke scale
+//! ```
+//!
+//! Conformance comes first and gates the timings: the fast engine and
+//! the reference engine (analysis cache disabled, full verification
+//! after every request) must produce byte-identical decision logs and
+//! equal final allocations over the whole trace, the replay must be
+//! deterministic (two fast runs, identical bytes), and the final
+//! admitted state must pass `verify()`. Only then are the arms timed,
+//! over the *same pre-materialized request stream* (trace decoding and
+//! taskset generation are the workload author's cost, identical for
+//! any controller, so they stay outside both timed regions).
+//!
+//! Two speedups are reported, deliberately separated:
+//!
+//! * `speedup_incremental_vs_scratch` — the headline: on the requests
+//!   the engine served with warm-start work alone (incremental
+//!   admissions, departures, incremental mode changes), the summed
+//!   engine time against the summed time the from-scratch controller
+//!   spends on those same requests. This is the direct price of a
+//!   solver pass versus an in-place state update.
+//! * `speedup_vs_scratch` — the whole-trace ratio, including the
+//!   requests where the engine itself falls back to the full solver
+//!   (repacks and solver rejections). Fallbacks cost both arms the
+//!   same solver pass, so this ratio is diluted toward 1 exactly in
+//!   proportion to the trace's rejection rate; it is the honest
+//!   end-to-end number, not the headline.
+//!
+//! Results land in `results/BENCH_admission.json` with the engine's
+//! `admission.*` metrics. `VC2M_ADMIT_FLOOR=<f64>` turns
+//! `decisions_per_sec` into a hard gate (checked after the artifact is
+//! written, so a failing run still leaves its numbers behind).
+
+use std::time::Instant;
+use vc2m::admission::{generate, materialize, replay, AdmissionTrace, TraceItem, TraceSpec};
+use vc2m::prelude::*;
+use vc2m_bench::timing::{metrics_json, JsonBuilder};
+use vc2m_bench::{full_scale_requested, write_results};
+
+/// The engine seed; also the trace-generator seed, matching the CLI's
+/// `vc2m admit --seed 42` default so the two artifacts correspond.
+const SEED: u64 = 42;
+
+/// The no-shed policy of the engine's repack path, reused by the
+/// comparator so both arms solve the same problem per request.
+const NO_SHED: DegradationPolicy = DegradationPolicy { max_attempts: 1 };
+
+fn requested_trace_size() -> usize {
+    match std::env::var("VC2M_ADMIT_REQUESTS") {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("VC2M_ADMIT_REQUESTS must be a usize, got {raw:?}")),
+        Err(_) => {
+            if full_scale_requested() {
+                5000
+            } else {
+                1000
+            }
+        }
+    }
+    .max(1)
+}
+
+/// One pre-materialized trace item: the requests (one, or a batch's
+/// several) ready to submit.
+struct StreamItem {
+    batch: bool,
+    requests: Vec<AdmissionRequest>,
+}
+
+fn pre_materialize(trace: &AdmissionTrace, space: vc2m::model::ResourceSpace) -> Vec<StreamItem> {
+    trace
+        .items()
+        .iter()
+        .map(|item| match item {
+            TraceItem::Single(r) => StreamItem {
+                batch: false,
+                requests: vec![materialize(r, space)],
+            },
+            TraceItem::Batch(rs) => StreamItem {
+                batch: true,
+                requests: rs.iter().map(|r| materialize(r, space)).collect(),
+            },
+        })
+        .collect()
+}
+
+/// Whether every decision in `decisions` was served without a solver
+/// pass: incremental admissions, departures (including unknown-VM
+/// rejections, which are O(1) lookups) — anything but a repack, a
+/// solver rejection, or a degraded mode change.
+fn all_incremental(decisions: &[AdmissionDecision]) -> bool {
+    decisions.iter().all(|d| {
+        let line = d.log_line();
+        !line.contains("admitted/repack")
+            && !line.contains("rejected (workload not schedulable)")
+            && !line.contains("rejected (verification failed")
+            && !line.contains("degraded")
+    })
+}
+
+/// Replays the pre-materialized stream through a fresh engine, timing
+/// each item. Returns the engine plus per-item microseconds.
+fn timed_engine_pass(
+    platform: &Platform,
+    items: &[StreamItem],
+) -> (AdmissionEngine, Vec<f64>, Vec<bool>) {
+    let mut engine = AdmissionEngine::new(*platform, AdmissionConfig::new(SEED));
+    let mut per_item = Vec::with_capacity(items.len());
+    let mut incremental = Vec::with_capacity(items.len());
+    for item in items {
+        let before = engine.decisions().len();
+        let t = Instant::now();
+        if item.batch {
+            engine.submit_batch(item.requests.clone());
+        } else {
+            engine.submit(item.requests[0].clone());
+        }
+        per_item.push(t.elapsed().as_secs_f64() * 1e6);
+        incremental.push(all_incremental(&engine.decisions()[before..]));
+    }
+    (engine, per_item, incremental)
+}
+
+/// The from-scratch comparator: a working set of VM specs and one full
+/// `allocate_with_degradation` pass per request — arrivals and mode
+/// changes solve for the candidate set, departures re-solve for the
+/// survivor set. Returns per-item microseconds.
+fn timed_scratch_pass(platform: &Platform, items: &[StreamItem]) -> Vec<f64> {
+    let mut working: Vec<VmSpec> = Vec::new();
+    let mut per_item = Vec::with_capacity(items.len());
+    for item in items {
+        let t = Instant::now();
+        for request in &item.requests {
+            match request {
+                AdmissionRequest::Arrival(vm) | AdmissionRequest::ModeChange(vm) => {
+                    let previous = working.clone();
+                    working.retain(|w| w.id() != vm.id());
+                    working.push(vm.clone());
+                    let outcome =
+                        allocate_with_degradation(Solution::Auto, &working, platform, SEED, &NO_SHED);
+                    if outcome.allocation.is_none() {
+                        working = previous;
+                    }
+                    std::hint::black_box(&outcome);
+                }
+                AdmissionRequest::Departure(id) => {
+                    let had = working.iter().any(|w| w.id() == *id);
+                    working.retain(|w| w.id() != *id);
+                    if had && !working.is_empty() {
+                        std::hint::black_box(allocate_with_degradation(
+                            Solution::Auto,
+                            &working,
+                            platform,
+                            SEED,
+                            &NO_SHED,
+                        ));
+                    }
+                }
+            }
+        }
+        per_item.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    per_item
+}
+
+/// Best-of-`iters` total plus the per-item vector of the best pass.
+fn best_of<T>(iters: usize, mut pass: impl FnMut() -> (Vec<f64>, T)) -> (f64, Vec<f64>, T) {
+    let mut best: Option<(f64, Vec<f64>, T)> = None;
+    for _ in 0..iters.max(1) {
+        let (per_item, extra) = pass();
+        let total: f64 = per_item.iter().sum();
+        if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
+            best = Some((total, per_item, extra));
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+fn main() {
+    let platform = Platform::platform_a();
+    let requests = requested_trace_size();
+    let trace = generate(&TraceSpec::new(requests, SEED));
+    let space = platform.resources();
+    println!(
+        "admission bench on {platform}: {} requests (seed {SEED})\n",
+        trace.len()
+    );
+
+    // Conformance gates the timings: warm-start vs the full-verify
+    // reference oracle, plus replay determinism and final safety.
+    let mut fast = AdmissionEngine::new(platform, AdmissionConfig::new(SEED));
+    replay(&mut fast, &trace);
+    let mut reference =
+        AdmissionEngine::new(platform, AdmissionConfig::new(SEED).reference_mode());
+    replay(&mut reference, &trace);
+    assert_eq!(
+        fast.log_text(),
+        reference.log_text(),
+        "fast engine diverged from the reference oracle"
+    );
+    assert_eq!(
+        fast.allocation(),
+        reference.allocation(),
+        "final allocations diverged between fast and reference engines"
+    );
+    let mut rerun = AdmissionEngine::new(platform, AdmissionConfig::new(SEED));
+    replay(&mut rerun, &trace);
+    assert_eq!(
+        fast.log_text(),
+        rerun.log_text(),
+        "fast engine replay is not deterministic"
+    );
+    if !fast.working_set().is_empty() {
+        fast.allocation()
+            .verify(&platform)
+            .expect("admitted final state must be schedulable");
+    }
+    let stats = *fast.stats();
+    println!(
+        "conformant: {} admitted ({} incremental, {} repack), {} rejected, {} degraded, {} departed",
+        stats.admitted_incremental + stats.admitted_repack,
+        stats.admitted_incremental,
+        stats.admitted_repack,
+        stats.rejected,
+        stats.degraded,
+        stats.departed,
+    );
+
+    // Timed arms over the identical pre-materialized stream.
+    let items = pre_materialize(&trace, space);
+    let iters = if full_scale_requested() { 5 } else { 3 };
+    let (engine_total, engine_items, (engine, incremental)) = best_of(iters, || {
+        let (engine, per_item, incremental) = timed_engine_pass(&platform, &items);
+        (per_item, (engine, incremental))
+    });
+    let (scratch_total, scratch_items, ()) =
+        best_of(iters, || (timed_scratch_pass(&platform, &items), ()));
+
+    // The paired incremental-path comparison: engine vs solver on the
+    // requests the engine served without any solver pass.
+    let mut engine_incremental_us = 0.0;
+    let mut scratch_incremental_us = 0.0;
+    let mut incremental_items = 0usize;
+    for (i, &is_incremental) in incremental.iter().enumerate() {
+        if is_incremental {
+            engine_incremental_us += engine_items[i];
+            scratch_incremental_us += scratch_items[i];
+            incremental_items += 1;
+        }
+    }
+    let incremental_speedup = scratch_incremental_us / engine_incremental_us.max(1e-9);
+    let whole_trace_speedup = scratch_total / engine_total.max(1e-9);
+    let decisions_per_sec = trace.len() as f64 / (engine_total / 1e6);
+
+    println!(
+        "\nwarm-start engine:       {:>12.0} us total ({:.1} us/request)",
+        engine_total,
+        engine_total / trace.len() as f64
+    );
+    println!(
+        "from-scratch comparator: {:>12.0} us total ({:.1} us/request)",
+        scratch_total,
+        scratch_total / trace.len() as f64
+    );
+    println!(
+        "incremental-path pairs:  {incremental_items} items, {:.1} us engine vs {:.1} us scratch",
+        engine_incremental_us, scratch_incremental_us
+    );
+    println!(
+        "\nheadline: {decisions_per_sec:.0} decisions/s; incremental admission {incremental_speedup:.1}x \
+         over from-scratch re-allocation ({whole_trace_speedup:.2}x whole-trace incl. solver fallbacks)"
+    );
+
+    let mut metrics = vc2m::simcore::MetricsRegistry::new();
+    engine.export_metrics(&mut metrics);
+    let json = JsonBuilder::new()
+        .str("bench", "admission_bench")
+        .str("scale", if full_scale_requested() { "full" } else { "quick" })
+        .int("requests", trace.len() as u64)
+        .int("seed", SEED)
+        .bool("conformant", true)
+        .num("decisions_per_sec", decisions_per_sec)
+        .num("speedup_incremental_vs_scratch", incremental_speedup)
+        .num("speedup_vs_scratch", whole_trace_speedup)
+        .int("incremental_items", incremental_items as u64)
+        .num("engine_total_us", engine_total)
+        .num("scratch_total_us", scratch_total)
+        .num("engine_incremental_us", engine_incremental_us)
+        .num("scratch_incremental_us", scratch_incremental_us)
+        .raw("engine_metrics", metrics_json(&metrics))
+        .build();
+    let path = write_results("BENCH_admission.json", &json);
+    println!("wrote {}", path.display());
+
+    // Optional hard gate, after the artifact is written so a failing
+    // run still leaves its numbers behind for debugging.
+    if let Ok(floor) = std::env::var("VC2M_ADMIT_FLOOR") {
+        let floor: f64 = floor
+            .parse()
+            .unwrap_or_else(|_| panic!("VC2M_ADMIT_FLOOR must be a float, got '{floor}'"));
+        assert!(
+            decisions_per_sec >= floor,
+            "decisions_per_sec {decisions_per_sec:.0} fell below the required floor {floor:.0}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! vc2m analyze   --utilization 1.0 ...   allocate a random workload
 //! vc2m simulate  --utilization 1.0 ...   allocate, then validate by simulation
 //! vc2m sweep     --distribution uniform  schedulability sweep (Fig. 2/3 style)
+//! vc2m admit     --requests 100          stream a VM admission trace
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
@@ -61,6 +62,7 @@ COMMANDS:
     simulate      Allocate a workload and validate it on the simulator
     sweep         Run a schedulability sweep (Figure 2/3 style)
     isolation     WCET with vs without isolation (Section 3.3 style)
+    admit         Replay a VM admission trace through the streaming engine
     help          Show this message
 
 COMMON OPTIONS:
@@ -85,6 +87,14 @@ SIMULATE OPTIONS:
     --gantt                       Print an ASCII schedule chart (first 200 ms)
     --trace-out <path>            Write the event trace (last 4096 records/run)
     --metrics-out <path>          Write per-solution run metrics as JSON
+
+ADMIT OPTIONS:
+    --trace-in <path>             Replay this vc2m-admission-trace-v1 file
+    --requests <usize>            Generate a trace of this size instead (default: 100)
+    --reference                   Run the slow differential-oracle engine
+    --trace-out <path>            Write the (generated) trace text here
+    --report-out <path>           Write the byte-stable decision log here
+    --metrics-out <path>          Write the admission.* metrics as JSON
 ";
 
 /// Runs the CLI on the given arguments (without the program name).
@@ -112,6 +122,7 @@ fn dispatch(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
         "simulate" => commands::simulate(rest, out),
         "sweep" => commands::sweep(rest, out),
         "isolation" => commands::isolation(rest, out),
+        "admit" => commands::admit(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_error)?;
             Ok(())

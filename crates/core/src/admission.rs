@@ -1,0 +1,490 @@
+//! Replayable admission-request traces and the streaming driver.
+//!
+//! The admission engine ([`vc2m_alloc::admission`]) consumes a stream
+//! of arrival/departure/mode-change requests. This module defines the
+//! *trace*: a seeded, fully replayable representation of such a stream
+//! with a stable text format (`vc2m-admission-trace-v1`), a generator
+//! producing fleet-style churn (bounded live-set size, small VMs,
+//! occasional mode changes and concurrent-arrival batches), and the
+//! driver that replays a trace into an engine.
+//!
+//! # Text format
+//!
+//! One request per line; `#` starts a comment. Utilizations are stored
+//! in milli-units and rendered with three decimals, so parse → render
+//! round-trips byte-for-byte:
+//!
+//! ```text
+//! # vc2m-admission-trace-v1
+//! arrive 1 0.180 9054
+//! mode 1 0.240 117
+//! depart 1
+//! batch 2
+//! arrive 2 0.120 53
+//! arrive 3 0.305 99
+//! ```
+//!
+//! A `batch n` header groups the next `n` arrivals into one concurrent
+//! batch (admitted order-independently by the engine).
+//!
+//! # Determinism
+//!
+//! A request's VM is materialized from `(vm id, utilization, taskset
+//! seed)` alone — independent of the rest of the trace — so replaying
+//! any trace against [`AdmissionEngine`]s with equal configuration
+//! yields byte-identical decision logs, and a trace file pins its
+//! whole workload.
+
+use vc2m_alloc::{AdmissionEngine, AdmissionRequest};
+use vc2m_model::{ResourceSpace, Task, TaskId, TaskSet, VmId, VmSpec};
+use vc2m_rng::{DetRng, Rng};
+use vc2m_workload::{TasksetConfig, TasksetGenerator, UtilizationDist};
+
+/// The first line every rendered trace carries.
+pub const TRACE_HEADER: &str = "# vc2m-admission-trace-v1";
+
+/// One request of a trace, in its replayable (pre-materialized) form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRequest {
+    /// A VM arrives: `arrive <vm> <utilization> <seed>`.
+    Arrive {
+        /// The VM id.
+        vm: usize,
+        /// Target reference utilization in milli-units (`180` ⇒ `0.180`).
+        utilization_milli: u32,
+        /// Seed for the VM's taskset.
+        seed: u64,
+    },
+    /// A VM departs: `depart <vm>`.
+    Depart {
+        /// The VM id.
+        vm: usize,
+    },
+    /// A VM changes mode (replaces its taskset):
+    /// `mode <vm> <utilization> <seed>`.
+    Mode {
+        /// The VM id.
+        vm: usize,
+        /// The new mode's utilization in milli-units.
+        utilization_milli: u32,
+        /// Seed for the new mode's taskset.
+        seed: u64,
+    },
+}
+
+impl TraceRequest {
+    fn render(&self) -> String {
+        match *self {
+            TraceRequest::Arrive {
+                vm,
+                utilization_milli,
+                seed,
+            } => format!("arrive {vm} {:.3} {seed}", utilization_milli as f64 / 1000.0),
+            TraceRequest::Depart { vm } => format!("depart {vm}"),
+            TraceRequest::Mode {
+                vm,
+                utilization_milli,
+                seed,
+            } => format!("mode {vm} {:.3} {seed}", utilization_milli as f64 / 1000.0),
+        }
+    }
+}
+
+/// One scheduling unit of a trace: a single request, or a batch of
+/// concurrent arrivals admitted in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceItem {
+    /// One request processed on its own.
+    Single(TraceRequest),
+    /// Concurrent arrivals admitted as one order-independent batch.
+    Batch(Vec<TraceRequest>),
+}
+
+/// A replayable admission-request trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionTrace {
+    items: Vec<TraceItem>,
+}
+
+impl AdmissionTrace {
+    /// Builds a trace from items.
+    pub fn from_items(items: Vec<TraceItem>) -> Self {
+        AdmissionTrace { items }
+    }
+
+    /// The trace's items in replay order.
+    pub fn items(&self) -> &[TraceItem] {
+        &self.items
+    }
+
+    /// Total number of requests (batch members count individually).
+    pub fn len(&self) -> usize {
+        self.items
+            .iter()
+            .map(|item| match item {
+                TraceItem::Single(_) => 1,
+                TraceItem::Batch(requests) => requests.len(),
+            })
+            .sum()
+    }
+
+    /// Whether the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders the stable text form (header + one line per request,
+    /// newline-terminated). `parse` of the result reproduces `self`.
+    pub fn render(&self) -> String {
+        let mut text = String::from(TRACE_HEADER);
+        text.push('\n');
+        for item in &self.items {
+            match item {
+                TraceItem::Single(request) => {
+                    text.push_str(&request.render());
+                    text.push('\n');
+                }
+                TraceItem::Batch(requests) => {
+                    text.push_str(&format!("batch {}\n", requests.len()));
+                    for request in requests {
+                        text.push_str(&request.render());
+                        text.push('\n');
+                    }
+                }
+            }
+        }
+        text
+    }
+
+    /// Parses the text form. Comment (`#`) and blank lines are
+    /// ignored; `batch n` consumes the next `n` arrival lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut items = Vec::new();
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        while let Some((number, line)) = lines.next() {
+            let mut fields = line.split_whitespace();
+            let keyword = fields.next().expect("non-empty line has a field");
+            if keyword == "batch" {
+                let arity: usize = parse_field(fields.next(), number, "batch arity")?;
+                let mut batch = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    let (member_number, member_line) = lines
+                        .next()
+                        .ok_or_else(|| format!("line {number}: batch truncated"))?;
+                    let request = parse_request(member_line, member_number)?;
+                    if !matches!(request, TraceRequest::Arrive { .. }) {
+                        return Err(format!(
+                            "line {member_number}: only arrivals may appear in a batch"
+                        ));
+                    }
+                    batch.push(request);
+                }
+                items.push(TraceItem::Batch(batch));
+            } else {
+                items.push(TraceItem::Single(parse_request(line, number)?));
+            }
+        }
+        Ok(AdmissionTrace { items })
+    }
+}
+
+fn parse_request(line: &str, number: usize) -> Result<TraceRequest, String> {
+    let mut fields = line.split_whitespace();
+    let keyword = fields
+        .next()
+        .ok_or_else(|| format!("line {number}: empty request"))?;
+    let request = match keyword {
+        "arrive" | "mode" => {
+            let vm = parse_field(fields.next(), number, "vm id")?;
+            let utilization: f64 = parse_field(fields.next(), number, "utilization")?;
+            if !(0.0..=1000.0).contains(&utilization) {
+                return Err(format!("line {number}: utilization {utilization} out of range"));
+            }
+            let utilization_milli = (utilization * 1000.0).round() as u32;
+            let seed = parse_field(fields.next(), number, "seed")?;
+            if keyword == "arrive" {
+                TraceRequest::Arrive {
+                    vm,
+                    utilization_milli,
+                    seed,
+                }
+            } else {
+                TraceRequest::Mode {
+                    vm,
+                    utilization_milli,
+                    seed,
+                }
+            }
+        }
+        "depart" => TraceRequest::Depart {
+            vm: parse_field(fields.next(), number, "vm id")?,
+        },
+        other => return Err(format!("line {number}: unknown request '{other}'")),
+    };
+    if fields.next().is_some() {
+        return Err(format!("line {number}: trailing fields"));
+    }
+    Ok(request)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    number: usize,
+    what: &str,
+) -> Result<T, String> {
+    field
+        .ok_or_else(|| format!("line {number}: missing {what}"))?
+        .parse()
+        .map_err(|_| format!("line {number}: malformed {what}"))
+}
+
+/// Parameters of the fleet-churn trace generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Total requests to emit (batch members count individually).
+    pub requests: usize,
+    /// Generator seed (also seeds nothing else — per-VM taskset seeds
+    /// are drawn from this stream and stored in the trace).
+    pub seed: u64,
+    /// Per-VM target utilization range, milli-units, inclusive.
+    pub utilization_milli: (u32, u32),
+    /// Live-set bounds: below `lo` only arrivals are emitted, at or
+    /// above `hi` only departures — the churn regime in between.
+    pub live_range: (usize, usize),
+    /// Fraction of in-regime requests that are mode changes.
+    pub mode_fraction: f64,
+    /// Fraction of in-regime requests that open a concurrent batch.
+    pub batch_fraction: f64,
+    /// Maximum batch arity.
+    pub max_batch: usize,
+}
+
+impl TraceSpec {
+    /// The default fleet-churn shape for `requests` requests: small
+    /// VMs (0.060–0.280), live set bounded to 6..14, 10% mode
+    /// changes, 8% batches of up to 3.
+    pub fn new(requests: usize, seed: u64) -> Self {
+        TraceSpec {
+            requests,
+            seed,
+            utilization_milli: (60, 280),
+            live_range: (6, 14),
+            mode_fraction: 0.10,
+            batch_fraction: 0.08,
+            max_batch: 3,
+        }
+    }
+}
+
+/// Generates a seeded fleet-churn trace: VM ids are never reused,
+/// departures and mode changes target VMs the generator has arrived
+/// and not yet departed (whether or not the engine admitted them —
+/// departures of rejected VMs exercise the unknown-VM path).
+pub fn generate(spec: &TraceSpec) -> AdmissionTrace {
+    let mut rng = DetRng::seed_from_u64(spec.seed);
+    let (lo, hi) = spec.utilization_milli;
+    let (live_lo, live_hi) = spec.live_range;
+    let mut items = Vec::new();
+    let mut live: Vec<usize> = Vec::new();
+    let mut next_vm = 1usize;
+    let mut emitted = 0usize;
+    let arrival = |rng: &mut DetRng, live: &mut Vec<usize>, next_vm: &mut usize| {
+        let vm = *next_vm;
+        *next_vm += 1;
+        live.push(vm);
+        TraceRequest::Arrive {
+            vm,
+            utilization_milli: rng.gen_range(lo as usize..hi as usize + 1) as u32,
+            seed: rng.gen_range(0u64..1 << 48),
+        }
+    };
+    while emitted < spec.requests {
+        let must_arrive = live.len() < live_lo;
+        let must_depart = live.len() >= live_hi;
+        let roll = rng.gen_f64();
+        if !must_arrive && !must_depart && roll < spec.mode_fraction {
+            let vm = live[rng.gen_range(0usize..live.len())];
+            items.push(TraceItem::Single(TraceRequest::Mode {
+                vm,
+                utilization_milli: rng.gen_range(lo as usize..hi as usize + 1) as u32,
+                seed: rng.gen_range(0u64..1 << 48),
+            }));
+            emitted += 1;
+        } else if !must_depart && roll < spec.mode_fraction + spec.batch_fraction {
+            let arity = rng
+                .gen_range(2usize..spec.max_batch.max(2) + 1)
+                .min(spec.requests - emitted);
+            if arity < 2 {
+                items.push(TraceItem::Single(arrival(&mut rng, &mut live, &mut next_vm)));
+                emitted += 1;
+            } else {
+                let batch: Vec<TraceRequest> = (0..arity)
+                    .map(|_| arrival(&mut rng, &mut live, &mut next_vm))
+                    .collect();
+                emitted += batch.len();
+                items.push(TraceItem::Batch(batch));
+            }
+        } else if must_depart || (!must_arrive && rng.gen_f64() < 0.5) {
+            let position = rng.gen_range(0usize..live.len());
+            let vm = live.swap_remove(position);
+            items.push(TraceItem::Single(TraceRequest::Depart { vm }));
+            emitted += 1;
+        } else {
+            items.push(TraceItem::Single(arrival(&mut rng, &mut live, &mut next_vm)));
+            emitted += 1;
+        }
+    }
+    AdmissionTrace { items }
+}
+
+/// Materializes a trace request into an engine request: the VM's
+/// taskset is generated from `(utilization, seed)` alone, with task
+/// ids offset into a per-VM range so ids stay globally unique across
+/// the whole stream.
+pub fn materialize(request: &TraceRequest, space: ResourceSpace) -> AdmissionRequest {
+    match *request {
+        TraceRequest::Arrive {
+            vm,
+            utilization_milli,
+            seed,
+        } => AdmissionRequest::Arrival(trace_vm(vm, utilization_milli, seed, space)),
+        TraceRequest::Depart { vm } => AdmissionRequest::Departure(VmId(vm)),
+        TraceRequest::Mode {
+            vm,
+            utilization_milli,
+            seed,
+        } => AdmissionRequest::ModeChange(trace_vm(vm, utilization_milli, seed, space)),
+    }
+}
+
+/// Task-id range reserved per VM (ids are `vm * TASK_ID_STRIDE + i`).
+const TASK_ID_STRIDE: usize = 100_000;
+
+fn trace_vm(vm: usize, utilization_milli: u32, seed: u64, space: ResourceSpace) -> VmSpec {
+    let config = TasksetConfig::new(utilization_milli as f64 / 1000.0, UtilizationDist::Uniform);
+    let mut generator = TasksetGenerator::new(space, config, seed);
+    let tasks: TaskSet = generator
+        .generate()
+        .iter()
+        .enumerate()
+        .map(|(i, task)| {
+            Task::new(
+                TaskId(vm * TASK_ID_STRIDE + i),
+                task.period(),
+                task.wcet_surface().clone(),
+            )
+            .expect("re-identified task keeps its validity")
+        })
+        .collect();
+    VmSpec::new(VmId(vm), tasks).expect("generated taskset is non-empty")
+}
+
+/// Replays `trace` into `engine` (appending to its decision log):
+/// singles via [`AdmissionEngine::submit`], batches via
+/// [`AdmissionEngine::submit_batch`].
+pub fn replay(engine: &mut AdmissionEngine, trace: &AdmissionTrace) {
+    let space = engine.platform().resources();
+    for item in trace.items() {
+        match item {
+            TraceItem::Single(request) => {
+                engine.submit(materialize(request, space));
+            }
+            TraceItem::Batch(requests) => {
+                engine.submit_batch(requests.iter().map(|r| materialize(r, space)).collect());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc2m_alloc::AdmissionConfig;
+    use vc2m_model::Platform;
+
+    #[test]
+    fn generate_is_deterministic_and_sized() {
+        let spec = TraceSpec::new(120, 9);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+    }
+
+    #[test]
+    fn generated_trace_exercises_every_request_kind() {
+        let trace = generate(&TraceSpec::new(300, 4));
+        let mut arrivals = 0;
+        let mut departures = 0;
+        let mut modes = 0;
+        let mut batches = 0;
+        for item in trace.items() {
+            match item {
+                TraceItem::Batch(b) => {
+                    batches += 1;
+                    arrivals += b.len();
+                }
+                TraceItem::Single(TraceRequest::Arrive { .. }) => arrivals += 1,
+                TraceItem::Single(TraceRequest::Depart { .. }) => departures += 1,
+                TraceItem::Single(TraceRequest::Mode { .. }) => modes += 1,
+            }
+        }
+        assert!(arrivals > 0 && departures > 0 && modes > 0 && batches > 0);
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let trace = generate(&TraceSpec::new(150, 33));
+        let text = trace.render();
+        let parsed = AdmissionTrace::parse(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.render(), text);
+        assert!(text.starts_with(TRACE_HEADER));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(AdmissionTrace::parse("arrive").unwrap_err().contains("missing"));
+        assert!(AdmissionTrace::parse("arrive x 0.1 3")
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(AdmissionTrace::parse("frob 1").unwrap_err().contains("unknown"));
+        assert!(AdmissionTrace::parse("batch 2\narrive 1 0.1 3")
+            .unwrap_err()
+            .contains("truncated"));
+        assert!(AdmissionTrace::parse("batch 1\ndepart 1")
+            .unwrap_err()
+            .contains("only arrivals"));
+        assert!(AdmissionTrace::parse("arrive 1 0.1 3 9")
+            .unwrap_err()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn materialized_vms_have_disjoint_task_ids() {
+        let space = Platform::platform_a().resources();
+        let a = trace_vm(1, 200, 7, space);
+        let b = trace_vm(2, 200, 7, space);
+        let ids_a: Vec<usize> = a.tasks().iter().map(|t| t.id().0).collect();
+        let ids_b: Vec<usize> = b.tasks().iter().map(|t| t.id().0).collect();
+        assert!(ids_a.iter().all(|i| !ids_b.contains(i)));
+    }
+
+    #[test]
+    fn replay_produces_one_decision_per_request() {
+        let trace = generate(&TraceSpec::new(80, 21));
+        let mut engine =
+            AdmissionEngine::new(Platform::platform_a(), AdmissionConfig::new(42));
+        replay(&mut engine, &trace);
+        assert_eq!(engine.decisions().len(), trace.len());
+        engine.allocation().verify(engine.platform()).unwrap();
+    }
+}

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod sweep;
 
 pub use vc2m_alloc as alloc;
@@ -67,10 +68,13 @@ pub use vc2m_workload as workload;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::admission::{AdmissionTrace, TraceItem, TraceRequest, TraceSpec};
     pub use crate::sweep::{utilization_steps, SweepConfig, SweepResults};
     pub use vc2m_alloc::{
-        allocate_with_degradation, AllocationOutcome, DegradationOutcome, DegradationPolicy,
-        DegradationReport, Solution, SystemAllocation,
+        allocate_with_degradation, AdmissionConfig, AdmissionDecision, AdmissionEngine,
+        AdmissionPath, AdmissionRequest, AdmissionStats, AdmissionVerdict, AllocationOutcome,
+        DegradationOutcome, DegradationPolicy, DegradationReport, RequestKind, Solution,
+        SystemAllocation,
     };
     pub use vc2m_analysis::{AnalysisCache, CacheStats};
     pub use vc2m_hypervisor::{
