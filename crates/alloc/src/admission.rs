@@ -68,6 +68,7 @@ use crate::error::AllocError;
 use crate::result::{CoreAssignment, SystemAllocation};
 use crate::solution::Solution;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use vc2m_analysis::core_check::{self, UTILIZATION_EPS};
 use vc2m_analysis::{AnalysisCache, DirtyCores};
 use vc2m_model::{Alloc, Platform, VcpuId, VcpuSpec, VmId, VmSpec};
@@ -88,18 +89,26 @@ pub struct AdmissionConfig {
     /// (departures included). Semantically identical to the fast mode
     /// — the conformance suite pins that — but with no warm-start
     /// verification shortcuts, so it serves as the slow differential
-    /// oracle.
+    /// oracle. Reference mode also disables the rejection memo.
     pub reference: bool,
+    /// Saturated-regime rejection memo: remember solver rejections
+    /// keyed by `(state signature, newcomer signature)` so a repeat of
+    /// a just-failed arrival skips the failing solver search. The memo
+    /// never changes a decision — memo-on and memo-off decision logs
+    /// are bit-identical (pinned by the conformance suite) — only the
+    /// cost of reaching it.
+    pub memo: bool,
 }
 
 impl AdmissionConfig {
     /// The default configuration for `seed`: [`Solution::Auto`], fast
-    /// mode.
+    /// mode, rejection memo enabled.
     pub fn new(seed: u64) -> Self {
         AdmissionConfig {
             solution: Solution::Auto,
             seed,
             reference: false,
+            memo: true,
         }
     }
 
@@ -109,9 +118,20 @@ impl AdmissionConfig {
         self
     }
 
-    /// Switches to reference (slow differential oracle) mode.
+    /// Switches to reference (slow differential oracle) mode. The
+    /// oracle stays maximally naive: the rejection memo is disabled
+    /// along with the analysis cache.
     pub fn reference_mode(mut self) -> Self {
         self.reference = true;
+        self.memo = false;
+        self
+    }
+
+    /// Disables the rejection memo (every rejection re-runs the full
+    /// failing search). Used by the conformance suite and the
+    /// memo-off benchmark arm.
+    pub fn without_memo(mut self) -> Self {
+        self.memo = false;
         self
     }
 }
@@ -274,6 +294,13 @@ pub struct AdmissionStats {
     pub dirty_cores_verified: u64,
     /// Full verifications run (reference mode and batch boundaries).
     pub full_verifies: u64,
+    /// Arrivals rejected straight from the rejection memo (no solver
+    /// search run).
+    pub memo_hits: u64,
+    /// Solver rejections recorded into the memo.
+    pub memo_inserts: u64,
+    /// Memo invalidations (any state mutation clears it).
+    pub memo_invalidations: u64,
 }
 
 impl AdmissionStats {
@@ -292,6 +319,105 @@ impl AdmissionStats {
         out.counter_add("admission.core_upgrades", self.core_upgrades);
         out.counter_add("admission.dirty_cores_verified", self.dirty_cores_verified);
         out.counter_add("admission.full_verifies", self.full_verifies);
+        out.counter_add("admission.memo_hits", self.memo_hits);
+        out.counter_add("admission.memo_inserts", self.memo_inserts);
+        out.counter_add("admission.memo_invalidations", self.memo_invalidations);
+    }
+
+    /// Field-wise sum, for fleet-level aggregation across host
+    /// engines.
+    pub fn merged(mut self, other: &AdmissionStats) -> AdmissionStats {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.admitted_incremental += other.admitted_incremental;
+        self.admitted_repack += other.admitted_repack;
+        self.rejected += other.rejected;
+        self.degraded += other.degraded;
+        self.departed += other.departed;
+        self.capacity_rejects += other.capacity_rejects;
+        self.repack_attempts += other.repack_attempts;
+        self.cores_opened += other.cores_opened;
+        self.core_upgrades += other.core_upgrades;
+        self.dirty_cores_verified += other.dirty_cores_verified;
+        self.full_verifies += other.full_verifies;
+        self.memo_hits += other.memo_hits;
+        self.memo_inserts += other.memo_inserts;
+        self.memo_invalidations += other.memo_invalidations;
+        self
+    }
+}
+
+/// Canonical concurrent-arrival order (decreasing utilization, then
+/// [`VmId`] ascending): the total order both the engine's batch
+/// admission and the fleet's cross-shard batch routing sort by, so a
+/// batch's outcome never depends on its submission permutation.
+pub(crate) fn canonical_vm_order(a: &VmSpec, b: &VmSpec) -> Ordering {
+    b.reference_utilization()
+        .partial_cmp(&a.reference_utilization())
+        .unwrap_or(Ordering::Equal)
+        .then(a.id().0.cmp(&b.id().0))
+}
+
+/// FNV-1a 64-bit step, the stable in-tree hash behind the memo
+/// signatures (no `RandomState`, so signatures are identical across
+/// runs and platforms).
+fn fnv_mix(hash: &mut u64, word: u64) {
+    *hash ^= word;
+    *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+}
+
+/// Content signature of a VM spec: id plus every task's id, period
+/// bits, and full WCET surface bits. Two VMs with equal signatures are
+/// interchangeable inputs to the solver.
+fn vm_signature(vm: &VmSpec) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    fnv_mix(&mut hash, vm.id().0 as u64);
+    for task in vm.tasks().iter() {
+        fnv_mix(&mut hash, task.id().0 as u64);
+        fnv_mix(&mut hash, task.period().to_bits());
+        for (_, wcet) in task.wcet_surface().iter() {
+            fnv_mix(&mut hash, wcet.to_bits());
+        }
+    }
+    hash
+}
+
+/// The saturated-regime rejection memo: solver rejections keyed by
+/// `(engine-state signature, newcomer signature)`.
+///
+/// Soundness: the engine is deterministic, so an arrival's verdict is
+/// a pure function of the engine state (working set, VCPUs, core
+/// layout) and the newcomer spec. The state signature hashes all of
+/// that content, and the memo is *additionally* cleared on every state
+/// mutation (admission, departure, committed mode change), so a hit
+/// can only occur when the exact failing computation would be re-run —
+/// the memo replays its recorded verdict instead. Decision logs with
+/// the memo on and off are therefore bit-identical (pinned by the
+/// conformance suite); only `memo_*` counters differ.
+#[derive(Debug, Default)]
+struct RejectionMemo {
+    entries: HashMap<(u64, u64), String>,
+}
+
+impl RejectionMemo {
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn get(&self, key: (u64, u64)) -> Option<&String> {
+        self.entries.get(&key)
+    }
+
+    fn insert(&mut self, key: (u64, u64), reason: String) {
+        self.entries.insert(key, reason);
+    }
+
+    fn clear(&mut self) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        self.entries.clear();
+        true
     }
 }
 
@@ -329,6 +455,7 @@ pub struct AdmissionEngine {
     next_index: u64,
     decisions: Vec<AdmissionDecision>,
     stats: AdmissionStats,
+    memo: RejectionMemo,
 }
 
 impl AdmissionEngine {
@@ -351,6 +478,7 @@ impl AdmissionEngine {
             next_index: 0,
             decisions: Vec::new(),
             stats: AdmissionStats::default(),
+            memo: RejectionMemo::default(),
         }
     }
 
@@ -501,12 +629,10 @@ impl AdmissionEngine {
 
     /// Canonical within-batch order: decreasing utilization, then
     /// [`VmId`] ascending — a total order over distinct VMs, so any
-    /// permutation of a batch sorts identically.
+    /// permutation of a batch sorts identically. (Shared with the
+    /// fleet's cross-shard batch routing via [`canonical_vm_order`].)
     fn canonical_order(a: &VmSpec, b: &VmSpec) -> Ordering {
-        b.reference_utilization()
-            .partial_cmp(&a.reference_utilization())
-            .unwrap_or(Ordering::Equal)
-            .then(a.id().0.cmp(&b.id().0))
+        canonical_vm_order(a, b)
     }
 
     fn position(&self, id: VmId) -> Option<usize> {
@@ -583,6 +709,26 @@ impl AdmissionEngine {
             };
         }
 
+        // Saturated-regime memo: a repeat of a just-failed arrival
+        // against the unchanged state replays its recorded rejection
+        // instead of re-running the failing search. Signatures are
+        // computed lazily — the memo is empty outside the saturated
+        // regime (every state mutation clears it), so the churn-regime
+        // fast path never hashes anything.
+        let memo_key = if self.config.memo && !self.memo.is_empty() {
+            let key = (self.state_signature(), vm_signature(&vm));
+            if let Some(reason) = self.memo.get(key) {
+                self.stats.memo_hits += 1;
+                self.stats.rejected += 1;
+                return AdmissionVerdict::Rejected {
+                    reason: reason.clone(),
+                };
+            }
+            Some(key)
+        } else {
+            None
+        };
+
         // Warm start: place only the newcomer; untouched cores keep
         // their standing schedulability proof.
         let saved_cores = self.cores.clone();
@@ -603,6 +749,7 @@ impl AdmissionEngine {
                     self.vms.push(vm);
                     self.revisions.push(revision);
                     self.stats.admitted_incremental += 1;
+                    self.invalidate_memo();
                     return AdmissionVerdict::Admitted {
                         path: AdmissionPath::Incremental,
                     };
@@ -621,16 +768,76 @@ impl AdmissionEngine {
             self.vcpus.truncate(saved_vcpus_len);
             self.next_vcpu_id = saved_next;
         }
+        let newcomer_sig = if self.config.memo {
+            memo_key.map(|(_, sig)| sig).or_else(|| Some(vm_signature(&vm)))
+        } else {
+            None
+        };
         let verdict = self.repack(vm, revision);
-        if matches!(verdict, AdmissionVerdict::Admitted { .. }) {
-            // A repack renumbered every core; dirty indices collected
-            // so far in this batch are stale, and the repack itself
-            // verified the whole allocation, so the merged set resets.
-            if let Some(merged) = batch_dirty {
-                merged.clear();
+        match &verdict {
+            AdmissionVerdict::Admitted { .. } => {
+                self.invalidate_memo();
+                // A repack renumbered every core; dirty indices
+                // collected so far in this batch are stale, and the
+                // repack itself verified the whole allocation, so the
+                // merged set resets.
+                if let Some(merged) = batch_dirty {
+                    merged.clear();
+                }
             }
+            AdmissionVerdict::Rejected { reason } => {
+                // The expensive failing search just ran; the state is
+                // untouched, so its signature still describes the
+                // state the verdict was computed against.
+                if let Some(sig) = newcomer_sig {
+                    let state = memo_key
+                        .map(|(state, _)| state)
+                        .unwrap_or_else(|| self.state_signature());
+                    self.memo.insert((state, sig), reason.clone());
+                    self.stats.memo_inserts += 1;
+                }
+            }
+            _ => {}
         }
         verdict
+    }
+
+    /// Clears the rejection memo after a state mutation (admission or
+    /// departure): recorded rejections were computed against capacity
+    /// that no longer exists in that shape.
+    fn invalidate_memo(&mut self) {
+        if self.memo.clear() {
+            self.stats.memo_invalidations += 1;
+        }
+    }
+
+    /// Content signature of the whole mutable engine state: the
+    /// working set (specs and revisions, in sequence) plus the live
+    /// VCPUs and core layout. Equal signatures mean the next arrival
+    /// decision is computed from identical inputs.
+    fn state_signature(&self) -> u64 {
+        let mut hash = 0x84_22_23_25_CB_F2_9C_E4u64;
+        for (vm, revision) in self.vms.iter().zip(&self.revisions) {
+            fnv_mix(&mut hash, vm_signature(vm));
+            fnv_mix(&mut hash, *revision);
+        }
+        for vcpu in &self.vcpus {
+            fnv_mix(&mut hash, vcpu.id().0 as u64);
+            fnv_mix(&mut hash, vcpu.vm().0 as u64);
+            fnv_mix(&mut hash, vcpu.period().to_bits());
+            for (_, budget) in vcpu.budget_surface().iter() {
+                fnv_mix(&mut hash, budget.to_bits());
+            }
+        }
+        for core in &self.cores {
+            fnv_mix(&mut hash, u64::from(core.alloc.cache));
+            fnv_mix(&mut hash, u64::from(core.alloc.bandwidth));
+            for &index in &core.vcpus {
+                fnv_mix(&mut hash, index as u64);
+            }
+            fnv_mix(&mut hash, u64::MAX); // core boundary
+        }
+        hash
     }
 
     /// Full repack fallback: re-allocate the whole working set plus
@@ -683,6 +890,7 @@ impl AdmissionEngine {
         self.revisions.remove(position);
         self.remove_vcpus_of(id);
         self.stats.departed += 1;
+        self.invalidate_memo();
         if self.config.reference {
             // The slow oracle re-proves what the fast path relies on:
             // removal only shrinks per-core demand.
@@ -849,7 +1057,9 @@ impl AdmissionEngine {
         }
         // Pass 3: open a new core funded from the spare pool.
         let space = self.platform.resources();
-        let (spare_cache, spare_bw) = self.spare_pool();
+        let Ok((spare_cache, spare_bw)) = self.spare_pool() else {
+            return false;
+        };
         if self.cores.len() < self.platform.max_usable_cores()
             && spare_cache >= space.cache_min()
             && spare_bw >= space.bw_min()
@@ -875,14 +1085,38 @@ impl AdmissionEngine {
 
     /// Unallocated partitions: the platform totals minus what the
     /// current cores hold.
-    fn spare_pool(&self) -> (u32, u32) {
+    ///
+    /// The sums exceeding the platform totals would mean the engine
+    /// published an over-subscribed core allocation — an invariant
+    /// breach, not a full pool. A `saturating_sub` here would silently
+    /// mask that as "zero spare"; instead the invariant is asserted
+    /// (debug) and surfaced as a typed error (release), which the
+    /// placement paths treat as "cannot place" so the repack rebuilds
+    /// a verified state from scratch.
+    fn spare_pool(&self) -> Result<(u32, u32), AllocError> {
         let space = self.platform.resources();
         let cache: u32 = self.cores.iter().map(|c| c.alloc.cache).sum();
         let bw: u32 = self.cores.iter().map(|c| c.alloc.bandwidth).sum();
-        (
-            space.cache_max().saturating_sub(cache),
-            space.bw_max().saturating_sub(bw),
-        )
+        match (
+            space.cache_max().checked_sub(cache),
+            space.bw_max().checked_sub(bw),
+        ) {
+            (Some(spare_cache), Some(spare_bw)) => Ok((spare_cache, spare_bw)),
+            _ => {
+                debug_assert!(
+                    false,
+                    "core allocation oversubscribed: cache {cache}/{}, bandwidth {bw}/{}",
+                    space.cache_max(),
+                    space.bw_max(),
+                );
+                Err(AllocError::CoreOversubscription {
+                    cache_allocated: cache,
+                    cache_total: space.cache_max(),
+                    bw_allocated: bw,
+                    bw_total: space.bw_max(),
+                })
+            }
+        }
     }
 
     /// Whether core `k` stays schedulable with `extra` added under
@@ -926,9 +1160,25 @@ impl AdmissionEngine {
         self.grow_until_accepted(k, extra)
     }
 
+    /// Grows core `k`'s allocation one spare partition at a time until
+    /// it accepts `extra` (or the spare pool is exhausted).
+    ///
+    /// The step direction is the larger single-step utilization
+    /// reduction (cache on ties, phase-2 style). WCET surfaces are
+    /// step functions, so they have interior *plateaus*: regions where
+    /// one more partition changes nothing but two or three more cross
+    /// a cliff. On a plateau (no single step has positive gain) the
+    /// historical code gave up and fell through to the ~5.6×-cost full
+    /// repack even though spare remained. Instead, a jump-to-max probe
+    /// first decides whether any grant within the remaining spare can
+    /// accept at all — WCETs are monotone non-increasing in both
+    /// resources, so if the maximal grant fails, every grant fails —
+    /// and only then does the walk take bounded zero-gain steps across
+    /// the plateau, steering by the axis whose full remaining headroom
+    /// reduces utilization more (cache on ties).
     fn grow_until_accepted(&self, k: usize, extra: usize) -> Option<Alloc> {
         let space = self.platform.resources();
-        let (base_cache, base_bw) = self.spare_pool();
+        let (base_cache, base_bw) = self.spare_pool().ok()?;
         let committed = self.cores[k].alloc;
         let mut alloc = committed;
         loop {
@@ -937,24 +1187,68 @@ impl AdmissionEngine {
             }
             let spare_cache = base_cache.saturating_sub(alloc.cache - committed.cache);
             let spare_bw = base_bw.saturating_sub(alloc.bandwidth - committed.bandwidth);
+            let can_cache = spare_cache > 0 && alloc.cache < space.cache_max();
+            let can_bw = spare_bw > 0 && alloc.bandwidth < space.bw_max();
+            if !can_cache && !can_bw {
+                return None;
+            }
             let current = self.core_load(k, extra, alloc);
-            let mut best: Option<(f64, Alloc)> = None;
-            if spare_cache > 0 && alloc.cache < space.cache_max() {
-                let candidate = Alloc::new(alloc.cache + 1, alloc.bandwidth);
-                let gain = current - self.core_load(k, extra, candidate);
-                if gain > 0.0 {
-                    best = Some((gain, candidate));
-                }
-            }
-            if spare_bw > 0 && alloc.bandwidth < space.bw_max() {
-                let candidate = Alloc::new(alloc.cache, alloc.bandwidth + 1);
-                let gain = current - self.core_load(k, extra, candidate);
+            let cache_step = Alloc::new(alloc.cache + 1, alloc.bandwidth);
+            let bw_step = Alloc::new(alloc.cache, alloc.bandwidth + 1);
+            let cache_gain = if can_cache {
+                current - self.core_load(k, extra, cache_step)
+            } else {
+                f64::NEG_INFINITY
+            };
+            let bw_gain = if can_bw {
+                current - self.core_load(k, extra, bw_step)
+            } else {
+                f64::NEG_INFINITY
+            };
+            if cache_gain > 0.0 || bw_gain > 0.0 {
                 // Strict > keeps the cache-first tie-break.
-                if gain > 0.0 && best.is_none_or(|(g, _)| gain > g) {
-                    best = Some((gain, candidate));
-                }
+                alloc = if bw_gain > cache_gain { bw_step } else { cache_step };
+                continue;
             }
-            alloc = best?.1;
+            // Zero-gain plateau. Probe the maximal grant: if even all
+            // the remaining spare cannot make the core accept, no
+            // smaller grant can (monotonicity) — stop here instead of
+            // wasting steps.
+            let max_alloc = Alloc::new(
+                (alloc.cache + spare_cache).min(space.cache_max()),
+                (alloc.bandwidth + spare_bw).min(space.bw_max()),
+            );
+            if !self.core_accepts(k, extra, max_alloc) {
+                return None;
+            }
+            // Some grant within reach accepts: cross the plateau with
+            // bounded zero-gain steps, steering toward the axis whose
+            // full remaining headroom reduces utilization more.
+            let cache_axis_gain = if can_cache {
+                current
+                    - self.core_load(
+                        k,
+                        extra,
+                        Alloc::new(max_alloc.cache, alloc.bandwidth),
+                    )
+            } else {
+                f64::NEG_INFINITY
+            };
+            let bw_axis_gain = if can_bw {
+                current
+                    - self.core_load(
+                        k,
+                        extra,
+                        Alloc::new(alloc.cache, max_alloc.bandwidth),
+                    )
+            } else {
+                f64::NEG_INFINITY
+            };
+            alloc = if bw_axis_gain > cache_axis_gain || !can_cache {
+                bw_step
+            } else {
+                cache_step
+            };
         }
     }
 }
@@ -1099,5 +1393,164 @@ mod tests {
         assert_eq!(registry.counter("admission.admitted_incremental"), Some(1));
         assert_eq!(registry.gauge("admission.vms"), Some(1.0));
         assert!(registry.counter("admission.cache.lookups").is_some());
+    }
+
+    /// A VM whose single task sits on a WCET *plateau*: unschedulable
+    /// (utilization 1.1) until the core holds at least `cliff` cache
+    /// partitions, then comfortable (0.5). Single-partition steps gain
+    /// exactly zero until the cliff.
+    fn cliff_vm(id: usize, cliff: u32) -> VmSpec {
+        let space = Platform::platform_a().resources();
+        let surface = WcetSurface::from_fn(&space, |a| {
+            if a.cache >= cliff {
+                5.0
+            } else {
+                11.0
+            }
+        })
+        .unwrap();
+        let tasks: TaskSet = std::iter::once(Task::new(TaskId(id * 1000), 10.0, surface).unwrap())
+            .collect();
+        VmSpec::new(VmId(id), tasks).unwrap()
+    }
+
+    /// Regression for the warm-start zero-gain dead-end: the historical
+    /// `grow_until_accepted` returned `None` on the first zero-gain
+    /// step, so a plateau VM fell through to the full repack even
+    /// though growing the core further would accept it. The rewritten
+    /// walk probes the maximal grant and crosses the plateau, so this
+    /// admission must take the incremental path — with the
+    /// accepted/rejected log identical to the reference oracle's.
+    #[test]
+    fn plateau_vm_places_incrementally_instead_of_repacking() {
+        let run = |config: AdmissionConfig| {
+            let mut e = AdmissionEngine::new(Platform::platform_a(), config);
+            e.submit(AdmissionRequest::Arrival(vm(1, 2.0, 1)));
+            e.submit(AdmissionRequest::Arrival(cliff_vm(2, 10)));
+            e
+        };
+        let e = run(AdmissionConfig::new(42));
+        assert!(matches!(
+            e.decisions()[1].verdict,
+            AdmissionVerdict::Admitted { .. }
+        ));
+        assert_eq!(
+            e.stats().admitted_incremental,
+            2,
+            "plateau VM must place incrementally, not via repack:\n{}",
+            e.log_text()
+        );
+        assert_eq!(e.stats().admitted_repack, 0);
+        e.allocation().verify(e.platform()).unwrap();
+        // The decision log (verdicts included) matches the oracle.
+        let reference = run(AdmissionConfig::new(42).reference_mode());
+        assert_eq!(e.log_text(), reference.log_text());
+    }
+
+    fn oversubscribe(e: &mut AdmissionEngine) {
+        let space = e.platform.resources();
+        e.cores.push(CoreAssignment {
+            vcpus: Vec::new(),
+            alloc: Alloc::new(space.cache_max(), space.bw_max()),
+        });
+        e.cores.push(CoreAssignment {
+            vcpus: Vec::new(),
+            alloc: Alloc::new(1, 1),
+        });
+    }
+
+    /// `spare_pool` used to `saturating_sub` the granted partitions
+    /// from the platform totals, silently reporting an oversubscribed
+    /// state as "zero spare". It is an invariant breach and must be
+    /// loud: a debug assertion in debug builds…
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn spare_pool_panics_on_oversubscription_in_debug() {
+        let mut e = engine();
+        oversubscribe(&mut e);
+        let _ = e.spare_pool();
+    }
+
+    /// …and a typed error in release builds.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn spare_pool_errors_on_oversubscription_in_release() {
+        let mut e = engine();
+        oversubscribe(&mut e);
+        let space = e.platform.resources();
+        match e.spare_pool() {
+            Err(AllocError::CoreOversubscription {
+                cache_allocated,
+                cache_total,
+                bw_allocated,
+                bw_total,
+            }) => {
+                assert_eq!(cache_allocated, space.cache_max() + 1);
+                assert_eq!(cache_total, space.cache_max());
+                assert_eq!(bw_allocated, space.bw_max() + 1);
+                assert_eq!(bw_total, space.bw_max());
+            }
+            other => panic!("expected CoreOversubscription, got {other:?}"),
+        }
+    }
+
+    /// A VM that passes the capacity pre-filter but cannot be packed
+    /// next to `vm(1, 2.0, 2)`: four 0.9-utilization tasks need four
+    /// dedicated cores, leaving nowhere for the incumbent's load.
+    fn unpackable_vm(id: usize) -> VmSpec {
+        vm(id, 9.0, 4)
+    }
+
+    #[test]
+    fn memo_skips_repeated_rejection_and_invalidates_on_departure() {
+        let mut e = engine();
+        e.submit(AdmissionRequest::Arrival(vm(1, 2.0, 2)));
+        let first = e
+            .submit(AdmissionRequest::Arrival(unpackable_vm(2)))
+            .clone();
+        let AdmissionVerdict::Rejected { reason } = &first.verdict else {
+            panic!("expected a solver rejection, got {:?}", first.verdict);
+        };
+        assert!(reason.contains("not schedulable"), "{reason}");
+        assert_eq!(e.stats().memo_inserts, 1);
+        assert_eq!(e.stats().memo_hits, 0);
+        // Identical retry against identical state: served from the
+        // memo, byte-identical verdict.
+        let retry = e
+            .submit(AdmissionRequest::Arrival(unpackable_vm(2)))
+            .clone();
+        assert_eq!(retry.verdict, first.verdict);
+        assert_eq!(e.stats().memo_hits, 1);
+        // Any capacity change invalidates: after the departure the
+        // retry must consult the solver again (and now succeeds).
+        e.submit(AdmissionRequest::Departure(VmId(1)));
+        assert!(e.stats().memo_invalidations >= 1);
+        let after = e
+            .submit(AdmissionRequest::Arrival(unpackable_vm(2)))
+            .clone();
+        assert_eq!(e.stats().memo_hits, 1, "stale memo entry must not hit");
+        assert!(matches!(after.verdict, AdmissionVerdict::Admitted { .. }));
+        e.allocation().verify(e.platform()).unwrap();
+    }
+
+    #[test]
+    fn memo_on_and_memo_off_logs_are_identical() {
+        let run = |config: AdmissionConfig| {
+            let mut e = AdmissionEngine::new(Platform::platform_a(), config);
+            e.submit(AdmissionRequest::Arrival(vm(1, 2.0, 2)));
+            for _ in 0..3 {
+                e.submit(AdmissionRequest::Arrival(unpackable_vm(2)));
+            }
+            e.submit(AdmissionRequest::Departure(VmId(1)));
+            e.submit(AdmissionRequest::Arrival(unpackable_vm(2)));
+            e
+        };
+        let on = run(AdmissionConfig::new(42));
+        let off = run(AdmissionConfig::new(42).without_memo());
+        assert!(on.stats().memo_hits >= 2, "memo was never exercised");
+        assert_eq!(off.stats().memo_hits, 0);
+        assert_eq!(on.log_text(), off.log_text());
+        assert_eq!(on.allocation(), off.allocation());
     }
 }

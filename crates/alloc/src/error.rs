@@ -21,6 +21,20 @@ pub enum AllocError {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// The per-core partition grants sum past the platform totals —
+    /// an admission-state invariant breach surfaced by
+    /// [`AdmissionEngine`](crate::AdmissionEngine)'s spare-pool
+    /// accounting instead of being masked as "zero spare".
+    CoreOversubscription {
+        /// Cache partitions granted across all cores.
+        cache_allocated: u32,
+        /// Cache partitions the platform has.
+        cache_total: u32,
+        /// Bandwidth partitions granted across all cores.
+        bw_allocated: u32,
+        /// Bandwidth partitions the platform has.
+        bw_total: u32,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -32,6 +46,16 @@ impl fmt::Display for AllocError {
             AllocError::InvalidAllocation { detail } => {
                 write!(f, "invalid allocation: {detail}")
             }
+            AllocError::CoreOversubscription {
+                cache_allocated,
+                cache_total,
+                bw_allocated,
+                bw_total,
+            } => write!(
+                f,
+                "core allocation oversubscribed: cache {cache_allocated}/{cache_total}, \
+                 bandwidth {bw_allocated}/{bw_total}"
+            ),
         }
     }
 }

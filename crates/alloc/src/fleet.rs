@@ -1,0 +1,789 @@
+//! Sharded multi-hypervisor admission: N independent per-host
+//! [`AdmissionEngine`]s behind a deterministic cross-shard placement
+//! policy.
+//!
+//! # Model
+//!
+//! An [`AdmissionFleet`] owns `hosts` engines, each managing its own
+//! platform instance with its own CAT/membw state, analysis cache, and
+//! rejection memo. Requests are routed to exactly one host by the
+//! [`FleetRouter`], then served by that host's engine exactly as the
+//! single-host engine would serve them — a one-host fleet is
+//! byte-for-byte the plain engine (same decision log bytes, same
+//! allocation, same counters; pinned by the conformance suite).
+//!
+//! # Placement policy (the determinism argument)
+//!
+//! Routing is a pure function of the *bookkept* per-host requested
+//! load, never of solver outcomes:
+//!
+//! * **Arrival** — a VM the router already owns (a retry of a
+//!   still-live arrival) routes back to its owning host with no second
+//!   charge, so the owning engine's duplicate-id check or rejection
+//!   memo answers it. For a fresh VM, candidate hosts are ordered
+//!   canonically: ascending
+//!   bookkept headroom (best fit first), host index on ties. The
+//!   request *falls through* that order past every host whose bookkept
+//!   headroom cannot take the VM's reference utilization, and lands on
+//!   the first that can; when no host can, it lands on the
+//!   maximum-headroom host (whose engine then runs the authoritative
+//!   capacity/solver checks and rejects — the saturated regime the
+//!   per-engine rejection memo exists for). The router then charges
+//!   the VM's utilization to the chosen host *whether or not the
+//!   engine admits it* — requested-load bookkeeping. That is what
+//!   makes the decision loop trivially parallel across shards: the
+//!   whole routing plan is computable without a single solver call, so
+//!   each host's request subsequence is fixed up front and replays
+//!   independently ([`AdmissionFleet::replay_parallel`]). Bookkeeping
+//!   noise (a rejected VM stays charged until its departure) only
+//!   shifts future placements between hosts; the engines stay the
+//!   ground truth for every admit/reject.
+//! * **Departure / mode change** — routed to the owning host (the one
+//!   the arrival was routed to, admitted or not); the router releases
+//!   or adjusts the bookkept charge. Requests for VMs the router never
+//!   saw go canonically to host 0, whose engine produces the same
+//!   deterministic rejection the single engine would.
+//! * **Batch** — members are put in the engine's canonical order
+//!   (decreasing utilization, id on ties) and routed in that order;
+//!   members landing on the same host form one per-host sub-batch so
+//!   each engine keeps its batch-boundary verification semantics.
+//!
+//! # Parallel replay
+//!
+//! [`AdmissionFleet::replay_parallel`] reuses the coarse-unit executor
+//! pattern of the sweep: the routing pass (serial, cheap) assigns each
+//! decision a global ticket and buckets the work per host; worker
+//! threads claim whole hosts from an atomic ticket counter, replay
+//! each host's subsequence on a private engine, and the per-host
+//! decision vectors merge once after join by ticket order. The merged
+//! `#NNNNN`-indexed decision log is byte-identical at every thread
+//! count and equal to the serial fleet's, because every engine sees
+//! the identical request subsequence either way.
+
+use crate::admission::{
+    canonical_vm_order, AdmissionConfig, AdmissionDecision, AdmissionEngine, AdmissionRequest,
+    AdmissionStats,
+};
+use vc2m_analysis::core_check::UTILIZATION_EPS;
+use vc2m_model::Platform;
+use vc2m_simcore::MetricsRegistry;
+
+/// Fleet configuration: how many hosts, and the per-host engine
+/// configuration (every host gets the same one — engines derive their
+/// per-VM streams from request content, not host identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated hosts (shards). Must be at least 1.
+    pub hosts: usize,
+    /// The configuration each per-host engine runs with.
+    pub engine: AdmissionConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `hosts` hosts with the default engine configuration
+    /// for `seed`.
+    pub fn new(hosts: usize, seed: u64) -> Self {
+        FleetConfig {
+            hosts,
+            engine: AdmissionConfig::new(seed),
+        }
+    }
+
+    /// Replaces the per-host engine configuration.
+    pub fn with_engine(mut self, engine: AdmissionConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Fleet-level routing counters (engine counters aggregate separately
+/// via [`AdmissionFleet::aggregate_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Requests routed (batch members count individually).
+    pub routed: u64,
+    /// Arrivals routed to a bookkeeping-feasible host (best fit or a
+    /// fall-through).
+    pub best_fit_routes: u64,
+    /// Arrivals of VMs the router already owns (retries), routed to
+    /// the owning host without a second charge.
+    pub retry_routes: u64,
+    /// Arrivals for which no host was bookkeeping-feasible (sent to
+    /// the maximum-headroom host for the authoritative rejection).
+    pub saturated_routes: u64,
+    /// Departures/mode changes for VMs the router never saw (sent to
+    /// host 0 for the deterministic unknown-VM rejection).
+    pub unowned_routes: u64,
+}
+
+impl FleetStats {
+    /// Exports the counters under the `fleet.` prefix.
+    pub fn export_metrics(&self, out: &mut MetricsRegistry) {
+        out.counter_add("fleet.routed", self.routed);
+        out.counter_add("fleet.best_fit_routes", self.best_fit_routes);
+        out.counter_add("fleet.retry_routes", self.retry_routes);
+        out.counter_add("fleet.saturated_routes", self.saturated_routes);
+        out.counter_add("fleet.unowned_routes", self.unowned_routes);
+    }
+}
+
+/// The deterministic cross-shard router: bookkept requested load per
+/// host plus the VM → owning-host map. See the [module docs](self)
+/// for the policy and why it is outcome-independent.
+#[derive(Debug, Clone)]
+pub struct FleetRouter {
+    capacity: f64,
+    loads: Vec<f64>,
+    /// `(vm id, owning host, bookkept utilization)` for every routed
+    /// arrival not yet departed.
+    owners: Vec<(usize, usize, f64)>,
+    stats: FleetStats,
+}
+
+impl FleetRouter {
+    /// A router over `hosts` empty hosts of the given platform.
+    pub fn new(hosts: usize, platform: &Platform) -> Self {
+        assert!(hosts >= 1, "a fleet needs at least one host");
+        FleetRouter {
+            capacity: platform.max_usable_cores() as f64 * (1.0 + UTILIZATION_EPS),
+            loads: vec![0.0; hosts],
+            owners: Vec::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Bookkept load per host.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Routing counters.
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    fn owner_position(&self, vm: usize) -> Option<usize> {
+        self.owners.iter().position(|&(id, _, _)| id == vm)
+    }
+
+    /// Routes an arrival. A VM the router already owns (a *retry* of
+    /// a still-live arrival) goes back to its owning host without a
+    /// second charge — retry affinity is what lets the owning engine's
+    /// rejection memo (or duplicate-id check) answer it. A fresh VM
+    /// goes to the first bookkeeping-feasible host in canonical
+    /// candidate order (ascending headroom, index on ties), else the
+    /// maximum-headroom host, and is charged to it either way.
+    pub fn route_arrival(&mut self, vm: usize, utilization: f64) -> usize {
+        self.stats.routed += 1;
+        if let Some(position) = self.owner_position(vm) {
+            self.stats.retry_routes += 1;
+            return self.owners[position].1;
+        }
+        let mut best_fit: Option<usize> = None;
+        let mut fallback = 0usize;
+        for (h, &load) in self.loads.iter().enumerate() {
+            if load + utilization <= self.capacity
+                && best_fit.is_none_or(|b| load > self.loads[b])
+            {
+                best_fit = Some(h);
+            }
+            if load < self.loads[fallback] {
+                fallback = h;
+            }
+        }
+        let host = match best_fit {
+            Some(h) => {
+                self.stats.best_fit_routes += 1;
+                h
+            }
+            None => {
+                self.stats.saturated_routes += 1;
+                fallback
+            }
+        };
+        self.loads[host] += utilization;
+        self.owners.push((vm, host, utilization));
+        host
+    }
+
+    /// Routes a departure to the owning host and releases the charge;
+    /// unknown VMs go to host 0 (for the deterministic rejection).
+    pub fn route_departure(&mut self, vm: usize) -> usize {
+        self.stats.routed += 1;
+        match self.owner_position(vm) {
+            Some(position) => {
+                let (_, host, utilization) = self.owners.remove(position);
+                self.loads[host] -= utilization;
+                host
+            }
+            None => {
+                self.stats.unowned_routes += 1;
+                0
+            }
+        }
+    }
+
+    /// Routes a mode change to the owning host and re-charges it with
+    /// the new mode's utilization; unknown VMs go to host 0.
+    pub fn route_mode(&mut self, vm: usize, utilization: f64) -> usize {
+        self.stats.routed += 1;
+        match self.owner_position(vm) {
+            Some(position) => {
+                let (_, host, previous) = self.owners[position];
+                self.loads[host] += utilization - previous;
+                self.owners[position].2 = utilization;
+                host
+            }
+            None => {
+                self.stats.unowned_routes += 1;
+                0
+            }
+        }
+    }
+
+    /// Routes one request (the shared dispatch used by the serial
+    /// fleet and the parallel routing pass).
+    pub fn route(&mut self, request: &AdmissionRequest) -> usize {
+        match request {
+            AdmissionRequest::Arrival(vm) => {
+                self.route_arrival(vm.id().0, vm.reference_utilization())
+            }
+            AdmissionRequest::Departure(id) => self.route_departure(id.0),
+            AdmissionRequest::ModeChange(vm) => {
+                self.route_mode(vm.id().0, vm.reference_utilization())
+            }
+        }
+    }
+}
+
+/// One merged-log entry: the owning host plus the engine's decision
+/// with its index rewritten to the fleet-global ticket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDecision {
+    /// The host whose engine served the request.
+    pub host: usize,
+    /// The engine decision, re-indexed into the merged fleet log.
+    pub decision: AdmissionDecision,
+}
+
+impl FleetDecision {
+    /// The merged-log line: the engine's byte-stable line, with the
+    /// owning host appended when the fleet has more than one (so a
+    /// one-host fleet log is byte-identical to the engine log).
+    pub fn log_line(&self, hosts: usize) -> String {
+        if hosts > 1 {
+            format!("{} host={}", self.decision.log_line(), self.host)
+        } else {
+            self.decision.log_line()
+        }
+    }
+}
+
+/// One unit of replayable fleet work: a single request or a batch of
+/// concurrent arrivals (mirroring the trace model, without depending
+/// on it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetWorkItem {
+    /// One request on its own.
+    Single(AdmissionRequest),
+    /// Concurrent arrivals admitted as one order-independent batch.
+    Batch(Vec<AdmissionRequest>),
+}
+
+/// Work bucketed for one host by the parallel routing pass.
+enum HostWork {
+    Single(u64, AdmissionRequest),
+    Batch(Vec<u64>, Vec<AdmissionRequest>),
+}
+
+/// The sharded admission controller. See the [module docs](self).
+#[derive(Debug)]
+pub struct AdmissionFleet {
+    platform: Platform,
+    config: FleetConfig,
+    engines: Vec<AdmissionEngine>,
+    router: FleetRouter,
+    decisions: Vec<FleetDecision>,
+    next_index: u64,
+}
+
+impl AdmissionFleet {
+    /// Creates a fleet of empty hosts.
+    pub fn new(platform: Platform, config: FleetConfig) -> Self {
+        assert!(config.hosts >= 1, "a fleet needs at least one host");
+        AdmissionFleet {
+            platform,
+            config,
+            engines: (0..config.hosts)
+                .map(|_| AdmissionEngine::new(platform, config.engine))
+                .collect(),
+            router: FleetRouter::new(config.hosts, &platform),
+            decisions: Vec::new(),
+            next_index: 0,
+        }
+    }
+
+    /// The platform every host runs.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The per-host engines, indexed by host.
+    pub fn engines(&self) -> &[AdmissionEngine] {
+        &self.engines
+    }
+
+    /// The router (bookkept loads and routing counters).
+    pub fn router(&self) -> &FleetRouter {
+        &self.router
+    }
+
+    /// The merged decision log so far, in ticket order.
+    pub fn decisions(&self) -> &[FleetDecision] {
+        &self.decisions
+    }
+
+    /// Renders the merged decision log, one byte-stable line per
+    /// decision, newline-terminated. With one host this is exactly the
+    /// engine's `log_text()`.
+    pub fn log_text(&self) -> String {
+        let mut text = String::new();
+        for d in &self.decisions {
+            text.push_str(&d.log_line(self.config.hosts));
+            text.push('\n');
+        }
+        text
+    }
+
+    /// Engine counters summed across hosts.
+    pub fn aggregate_stats(&self) -> AdmissionStats {
+        self.engines
+            .iter()
+            .fold(AdmissionStats::default(), |sum, e| sum.merged(e.stats()))
+    }
+
+    /// Total admitted reference utilization across hosts (ground
+    /// truth, not the router's bookkeeping). The `+ 0.0` normalizes
+    /// the empty sum, which is `-0.0`.
+    pub fn admitted_load(&self) -> f64 {
+        self.engines
+            .iter()
+            .flat_map(|e| e.working_set())
+            .map(|vm| vm.reference_utilization())
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Exports fleet routing counters, aggregated `admission.*`
+    /// engine counters, and fleet-level gauges.
+    pub fn export_metrics(&self, out: &mut MetricsRegistry) {
+        self.router.stats.export_metrics(out);
+        self.aggregate_stats().export_metrics(out);
+        out.gauge_set("fleet.hosts", self.config.hosts as f64);
+        out.gauge_set("fleet.load", self.admitted_load());
+        out.gauge_set(
+            "fleet.vms",
+            self.engines
+                .iter()
+                .map(|e| e.working_set().len())
+                .sum::<usize>() as f64,
+        );
+    }
+
+    fn push(&mut self, host: usize, mut decision: AdmissionDecision) -> &FleetDecision {
+        decision.index = self.next_index;
+        self.next_index += 1;
+        self.decisions.push(FleetDecision { host, decision });
+        self.decisions.last().expect("just pushed")
+    }
+
+    /// Routes and serves one request.
+    pub fn submit(&mut self, request: AdmissionRequest) -> &FleetDecision {
+        let host = self.router.route(&request);
+        let decision = self.engines[host].submit(request).clone();
+        self.push(host, decision)
+    }
+
+    /// Routes and serves a batch of concurrent arrivals: members are
+    /// put in canonical order, routed in that order, and each host's
+    /// members are admitted as one engine sub-batch. Returns the
+    /// batch's merged decisions in canonical order.
+    pub fn submit_batch(&mut self, requests: Vec<AdmissionRequest>) -> &[FleetDecision] {
+        let first = self.decisions.len();
+        if self.config.hosts == 1 {
+            // Degenerate to the engine's own batch path so even the
+            // per-engine counters match the plain engine exactly.
+            self.router.route_batch_bookkeeping(&requests);
+            let decisions: Vec<AdmissionDecision> =
+                self.engines[0].submit_batch(requests).to_vec();
+            for decision in decisions {
+                self.push(0, decision);
+            }
+            return &self.decisions[first..];
+        }
+        let mut arrivals: Vec<AdmissionRequest> = Vec::new();
+        for request in requests {
+            match request {
+                AdmissionRequest::Arrival(_) => arrivals.push(request),
+                // Mirror the engine: anything else in a batch is
+                // processed in place, before the arrivals.
+                other => {
+                    self.submit(other);
+                }
+            }
+        }
+        arrivals.sort_by(|a, b| match (a, b) {
+            (AdmissionRequest::Arrival(x), AdmissionRequest::Arrival(y)) => {
+                canonical_vm_order(x, y)
+            }
+            _ => unreachable!("only arrivals are collected"),
+        });
+        // Route in canonical order, bucketing per host while keeping
+        // each member's position in the canonical sequence.
+        let mut per_host: Vec<(usize, Vec<usize>, Vec<AdmissionRequest>)> = Vec::new();
+        for (position, request) in arrivals.into_iter().enumerate() {
+            let host = self.router.route(&request);
+            match per_host.iter_mut().find(|(h, _, _)| *h == host) {
+                Some((_, positions, members)) => {
+                    positions.push(position);
+                    members.push(request);
+                }
+                None => per_host.push((host, vec![position], vec![request])),
+            }
+        }
+        per_host.sort_by_key(|&(h, _, _)| h);
+        let mut ordered: Vec<(usize, usize, AdmissionDecision)> = Vec::new();
+        for (host, positions, members) in per_host {
+            let decisions = self.engines[host].submit_batch(members).to_vec();
+            debug_assert_eq!(decisions.len(), positions.len());
+            for (position, decision) in positions.into_iter().zip(decisions) {
+                ordered.push((position, host, decision));
+            }
+        }
+        ordered.sort_by_key(|&(position, _, _)| position);
+        for (_, host, decision) in ordered {
+            self.push(host, decision);
+        }
+        &self.decisions[first..]
+    }
+
+    /// Serially replays pre-materialized work items (the canonical
+    /// fleet semantics the parallel replay is pinned against).
+    pub fn replay(&mut self, items: &[FleetWorkItem]) {
+        for item in items {
+            match item {
+                FleetWorkItem::Single(request) => {
+                    self.submit(request.clone());
+                }
+                FleetWorkItem::Batch(requests) => {
+                    self.submit_batch(requests.clone());
+                }
+            }
+        }
+    }
+
+    /// Replays `items` over a fresh fleet in parallel: a serial
+    /// routing pass fixes every decision's host and global ticket,
+    /// worker threads claim whole hosts from an atomic counter and
+    /// replay each host's subsequence on a private engine, and the
+    /// decision vectors merge once after the join in ticket order.
+    ///
+    /// The result is bit-identical to `new` + [`Self::replay`] at
+    /// every `threads` value (pinned by the fleet conformance suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or a worker thread panics.
+    pub fn replay_parallel(
+        platform: Platform,
+        config: FleetConfig,
+        items: &[FleetWorkItem],
+        threads: usize,
+    ) -> AdmissionFleet {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        assert!(threads > 0, "need at least one thread");
+        let hosts = config.hosts;
+        // Routing pass: identical calls, in identical order, to what
+        // the serial fleet makes — so bookkept loads, owners, and
+        // chosen hosts agree by construction.
+        let mut router = FleetRouter::new(hosts, &platform);
+        let mut plan: Vec<Vec<HostWork>> = (0..hosts).map(|_| Vec::new()).collect();
+        let mut ticket = 0u64;
+        for item in items {
+            match item {
+                FleetWorkItem::Single(request) => {
+                    let host = router.route(request);
+                    plan[host].push(HostWork::Single(ticket, request.clone()));
+                    ticket += 1;
+                }
+                FleetWorkItem::Batch(requests) => {
+                    if hosts == 1 {
+                        router.route_batch_bookkeeping(requests);
+                        let tickets: Vec<u64> =
+                            (ticket..ticket + requests.len() as u64).collect();
+                        ticket += requests.len() as u64;
+                        plan[0].push(HostWork::Batch(tickets, requests.clone()));
+                        continue;
+                    }
+                    let mut arrivals: Vec<AdmissionRequest> = Vec::new();
+                    for request in requests {
+                        match request {
+                            AdmissionRequest::Arrival(_) => arrivals.push(request.clone()),
+                            other => {
+                                let host = router.route(other);
+                                plan[host].push(HostWork::Single(ticket, other.clone()));
+                                ticket += 1;
+                            }
+                        }
+                    }
+                    arrivals.sort_by(|a, b| match (a, b) {
+                        (AdmissionRequest::Arrival(x), AdmissionRequest::Arrival(y)) => {
+                            canonical_vm_order(x, y)
+                        }
+                        _ => unreachable!("only arrivals are collected"),
+                    });
+                    let mut buckets: Vec<(usize, Vec<u64>, Vec<AdmissionRequest>)> = Vec::new();
+                    for request in arrivals {
+                        let host = router.route(&request);
+                        match buckets.iter_mut().find(|(h, _, _)| *h == host) {
+                            Some((_, tickets, members)) => {
+                                tickets.push(ticket);
+                                members.push(request);
+                            }
+                            None => buckets.push((host, vec![ticket], vec![request])),
+                        }
+                        ticket += 1;
+                    }
+                    for (host, tickets, members) in buckets {
+                        plan[host].push(HostWork::Batch(tickets, members));
+                    }
+                }
+            }
+        }
+        // Parallel pass: whole hosts are the work units, claimed from
+        // an atomic ticket counter; everything mutable is per-thread
+        // and merges once after the join (the sweep executor pattern).
+        let next = AtomicUsize::new(0);
+        let plan_ref = &plan;
+        let mut host_results: Vec<(usize, AdmissionEngine, Vec<FleetDecision>)> =
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads.min(hosts))
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let host = next.fetch_add(1, Ordering::Relaxed);
+                                if host >= hosts {
+                                    break;
+                                }
+                                let mut engine = AdmissionEngine::new(platform, config.engine);
+                                let mut decisions = Vec::new();
+                                for work in &plan_ref[host] {
+                                    match work {
+                                        HostWork::Single(ticket, request) => {
+                                            let mut decision =
+                                                engine.submit(request.clone()).clone();
+                                            decision.index = *ticket;
+                                            decisions.push(FleetDecision { host, decision });
+                                        }
+                                        HostWork::Batch(tickets, members) => {
+                                            let batch =
+                                                engine.submit_batch(members.clone()).to_vec();
+                                            debug_assert_eq!(batch.len(), tickets.len());
+                                            for (ticket, mut decision) in
+                                                tickets.iter().zip(batch)
+                                            {
+                                                decision.index = *ticket;
+                                                decisions
+                                                    .push(FleetDecision { host, decision });
+                                            }
+                                        }
+                                    }
+                                }
+                                mine.push((host, engine, decisions));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("fleet worker panicked"))
+                    .collect()
+            });
+        host_results.sort_by_key(|&(host, _, _)| host);
+        let mut engines: Vec<AdmissionEngine> = Vec::with_capacity(hosts);
+        let mut decisions: Vec<FleetDecision> = Vec::new();
+        for (_, engine, host_decisions) in host_results {
+            engines.push(engine);
+            decisions.extend(host_decisions);
+        }
+        decisions.sort_by_key(|d| d.decision.index);
+        AdmissionFleet {
+            platform,
+            config,
+            engines,
+            router,
+            decisions,
+            next_index: ticket,
+        }
+    }
+}
+
+impl FleetRouter {
+    /// Bookkeeping for a one-host batch handed verbatim to the
+    /// engine's own batch path: charge arrivals and route the rest, in
+    /// the same order the engine processes them, without choosing
+    /// hosts (there is only one).
+    fn route_batch_bookkeeping(&mut self, requests: &[AdmissionRequest]) {
+        for request in requests {
+            self.route(request);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionVerdict;
+    use vc2m_model::{Task, TaskId, TaskSet, VmId, VmSpec, WcetSurface};
+
+    fn vm(id: usize, wcet_ms: f64, n: usize) -> VmSpec {
+        let space = Platform::platform_a().resources();
+        let tasks: TaskSet = (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId(id * 1000 + i),
+                    10.0,
+                    WcetSurface::flat(&space, wcet_ms).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        VmSpec::new(VmId(id), tasks).unwrap()
+    }
+
+    fn fleet(hosts: usize) -> AdmissionFleet {
+        AdmissionFleet::new(Platform::platform_a(), FleetConfig::new(hosts, 42))
+    }
+
+    #[test]
+    fn one_host_fleet_matches_plain_engine() {
+        let mut f = fleet(1);
+        let mut e = AdmissionEngine::new(Platform::platform_a(), AdmissionConfig::new(42));
+        for request in [
+            AdmissionRequest::Arrival(vm(1, 2.0, 2)),
+            AdmissionRequest::Arrival(vm(2, 3.0, 3)),
+            AdmissionRequest::Departure(VmId(1)),
+            AdmissionRequest::ModeChange(vm(2, 1.0, 1)),
+            AdmissionRequest::Departure(VmId(9)),
+        ] {
+            f.submit(request.clone());
+            e.submit(request);
+        }
+        f.submit_batch(vec![
+            AdmissionRequest::Arrival(vm(5, 2.0, 1)),
+            AdmissionRequest::Arrival(vm(6, 1.0, 2)),
+        ]);
+        e.submit_batch(vec![
+            AdmissionRequest::Arrival(vm(5, 2.0, 1)),
+            AdmissionRequest::Arrival(vm(6, 1.0, 2)),
+        ]);
+        assert_eq!(f.log_text(), e.log_text());
+        assert_eq!(f.engines()[0].allocation(), e.allocation());
+        assert_eq!(&f.aggregate_stats(), e.stats());
+    }
+
+    #[test]
+    fn arrivals_spread_over_hosts_and_departures_route_home() {
+        let mut f = fleet(2);
+        // Each VM loads 1.5 cores of a 4-core host; bookkeeping packs
+        // two onto host 0 (3.0 <= 4) and spills the third (4.5 > 4).
+        let d1 = f.submit(AdmissionRequest::Arrival(vm(1, 5.0, 3))).clone();
+        let d2 = f.submit(AdmissionRequest::Arrival(vm(2, 5.0, 3))).clone();
+        let d3 = f.submit(AdmissionRequest::Arrival(vm(3, 5.0, 3))).clone();
+        assert!(matches!(
+            d1.decision.verdict,
+            AdmissionVerdict::Admitted { .. }
+        ));
+        assert!(matches!(
+            d2.decision.verdict,
+            AdmissionVerdict::Admitted { .. }
+        ));
+        assert_eq!(d1.host, 0);
+        assert_eq!(d2.host, 0, "best fit packs the tighter host first");
+        assert_eq!(d3.host, 1, "bookkept capacity falls through to host 1");
+        let d = f.submit(AdmissionRequest::Departure(VmId(2))).clone();
+        assert_eq!(d.host, 0, "departure routes to the owning host");
+        assert_eq!(d.decision.verdict, AdmissionVerdict::Departed);
+        for engine in f.engines() {
+            if !engine.working_set().is_empty() {
+                engine.allocation().verify(f.platform()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn merged_log_indices_are_global_and_lines_carry_hosts() {
+        let mut f = fleet(2);
+        f.submit(AdmissionRequest::Arrival(vm(1, 6.0, 3)));
+        f.submit(AdmissionRequest::Arrival(vm(2, 6.0, 3)));
+        f.submit(AdmissionRequest::Arrival(vm(3, 6.0, 3)));
+        let text = f.log_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("#00000 "), "{}", lines[0]);
+        assert!(lines[2].starts_with("#00002 "), "{}", lines[2]);
+        assert!(lines[0].ends_with("host=0"), "{}", lines[0]);
+        assert!(lines[2].ends_with("host=1"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_at_every_thread_count() {
+        let items: Vec<FleetWorkItem> = vec![
+            FleetWorkItem::Single(AdmissionRequest::Arrival(vm(1, 4.0, 3))),
+            FleetWorkItem::Single(AdmissionRequest::Arrival(vm(2, 4.0, 3))),
+            FleetWorkItem::Batch(vec![
+                AdmissionRequest::Arrival(vm(3, 2.0, 2)),
+                AdmissionRequest::Arrival(vm(4, 5.0, 2)),
+            ]),
+            FleetWorkItem::Single(AdmissionRequest::Departure(VmId(2))),
+            FleetWorkItem::Single(AdmissionRequest::ModeChange(vm(1, 2.0, 2))),
+        ];
+        let platform = Platform::platform_a();
+        let config = FleetConfig::new(3, 42);
+        let mut serial = AdmissionFleet::new(platform, config);
+        serial.replay(&items);
+        for threads in [1, 2, 8] {
+            let parallel = AdmissionFleet::replay_parallel(platform, config, &items, threads);
+            assert_eq!(parallel.log_text(), serial.log_text(), "threads={threads}");
+            assert_eq!(parallel.aggregate_stats(), serial.aggregate_stats());
+            assert_eq!(parallel.router().loads(), serial.router().loads());
+            for (a, b) in parallel.engines().iter().zip(serial.engines()) {
+                assert_eq!(a.allocation(), b.allocation());
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_metrics_families_export() {
+        let mut f = fleet(2);
+        f.submit(AdmissionRequest::Arrival(vm(1, 2.0, 2)));
+        let mut registry = MetricsRegistry::new();
+        f.export_metrics(&mut registry);
+        assert_eq!(registry.gauge("fleet.hosts"), Some(2.0));
+        assert_eq!(registry.counter("fleet.routed"), Some(1));
+        assert_eq!(registry.counter("admission.requests"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        fleet(0);
+    }
+}

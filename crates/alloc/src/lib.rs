@@ -52,6 +52,7 @@ mod result;
 
 pub mod admission;
 pub mod degrade;
+pub mod fleet;
 pub mod hypervisor_level;
 pub mod kmeans;
 pub mod packing;
@@ -66,5 +67,8 @@ pub use degrade::{
     allocate_with_degradation, DegradationOutcome, DegradationPolicy, DegradationReport, ShedVm,
 };
 pub use error::AllocError;
+pub use fleet::{
+    AdmissionFleet, FleetConfig, FleetDecision, FleetRouter, FleetStats, FleetWorkItem,
+};
 pub use result::{AllocationOutcome, CoreAssignment, SystemAllocation};
 pub use solution::Solution;

@@ -54,6 +54,9 @@ const SEED: u64 = 42;
 const NO_SHED: DegradationPolicy = DegradationPolicy { max_attempts: 1 };
 
 fn requested_trace_size() -> usize {
+    // No `.max(1)`: an explicit `VC2M_ADMIT_REQUESTS=0` is a valid
+    // degenerate run (all rate fields become `null`), not something to
+    // silently round up.
     match std::env::var("VC2M_ADMIT_REQUESTS") {
         Ok(raw) => raw
             .parse()
@@ -66,7 +69,22 @@ fn requested_trace_size() -> usize {
             }
         }
     }
-    .max(1)
+}
+
+/// `numerator / denominator`, or `None` when the denominator is not a
+/// positive finite quantity — an empty or all-departure trace can make
+/// elapsed time or decision counts zero, and `0/0` must surface as
+/// `null` in the JSON, not as NaN/inf.
+fn guarded_rate(numerator: f64, denominator: f64) -> Option<f64> {
+    (denominator.is_finite() && denominator > 0.0).then(|| numerator / denominator)
+}
+
+/// Renders a guarded rate for the console (`n/a` instead of NaN).
+fn show(rate: Option<f64>, precision: usize) -> String {
+    match rate {
+        Some(value) => format!("{value:.precision$}"),
+        None => "n/a".to_string(),
+    }
 }
 
 /// One pre-materialized trace item: the requests (one, or a batch's
@@ -185,10 +203,11 @@ fn best_of<T>(iters: usize, mut pass: impl FnMut() -> (Vec<f64>, T)) -> (f64, Ve
     best.expect("at least one iteration")
 }
 
-fn main() {
+/// Everything but env/CLI plumbing and the floor gate: conformance,
+/// the timed arms, the printed summary, and the JSON document. Returns
+/// the document and the headline rate (`None` on a degenerate trace).
+fn run(trace: &AdmissionTrace, iters: usize) -> (String, Option<f64>) {
     let platform = Platform::platform_a();
-    let requests = requested_trace_size();
-    let trace = generate(&TraceSpec::new(requests, SEED));
     let space = platform.resources();
     println!(
         "admission bench on {platform}: {} requests (seed {SEED})\n",
@@ -198,10 +217,10 @@ fn main() {
     // Conformance gates the timings: warm-start vs the full-verify
     // reference oracle, plus replay determinism and final safety.
     let mut fast = AdmissionEngine::new(platform, AdmissionConfig::new(SEED));
-    replay(&mut fast, &trace);
+    replay(&mut fast, trace);
     let mut reference =
         AdmissionEngine::new(platform, AdmissionConfig::new(SEED).reference_mode());
-    replay(&mut reference, &trace);
+    replay(&mut reference, trace);
     assert_eq!(
         fast.log_text(),
         reference.log_text(),
@@ -213,7 +232,7 @@ fn main() {
         "final allocations diverged between fast and reference engines"
     );
     let mut rerun = AdmissionEngine::new(platform, AdmissionConfig::new(SEED));
-    replay(&mut rerun, &trace);
+    replay(&mut rerun, trace);
     assert_eq!(
         fast.log_text(),
         rerun.log_text(),
@@ -236,8 +255,7 @@ fn main() {
     );
 
     // Timed arms over the identical pre-materialized stream.
-    let items = pre_materialize(&trace, space);
-    let iters = if full_scale_requested() { 5 } else { 3 };
+    let items = pre_materialize(trace, space);
     let (engine_total, engine_items, (engine, incremental)) = best_of(iters, || {
         let (engine, per_item, incremental) = timed_engine_pass(&platform, &items);
         (per_item, (engine, incremental))
@@ -257,40 +275,46 @@ fn main() {
             incremental_items += 1;
         }
     }
-    let incremental_speedup = scratch_incremental_us / engine_incremental_us.max(1e-9);
-    let whole_trace_speedup = scratch_total / engine_total.max(1e-9);
-    let decisions_per_sec = trace.len() as f64 / (engine_total / 1e6);
+    let incremental_speedup = guarded_rate(scratch_incremental_us, engine_incremental_us);
+    let whole_trace_speedup = guarded_rate(scratch_total, engine_total);
+    let decisions_per_sec = guarded_rate(trace.len() as f64, engine_total / 1e6);
 
     println!(
-        "\nwarm-start engine:       {:>12.0} us total ({:.1} us/request)",
-        engine_total,
-        engine_total / trace.len() as f64
+        "\nwarm-start engine:       {engine_total:>12.0} us total ({} us/request)",
+        show(guarded_rate(engine_total, trace.len() as f64), 1)
     );
     println!(
-        "from-scratch comparator: {:>12.0} us total ({:.1} us/request)",
-        scratch_total,
-        scratch_total / trace.len() as f64
+        "from-scratch comparator: {scratch_total:>12.0} us total ({} us/request)",
+        show(guarded_rate(scratch_total, trace.len() as f64), 1)
     );
     println!(
         "incremental-path pairs:  {incremental_items} items, {:.1} us engine vs {:.1} us scratch",
         engine_incremental_us, scratch_incremental_us
     );
     println!(
-        "\nheadline: {decisions_per_sec:.0} decisions/s; incremental admission {incremental_speedup:.1}x \
-         over from-scratch re-allocation ({whole_trace_speedup:.2}x whole-trace incl. solver fallbacks)"
+        "\nheadline: {} decisions/s; incremental admission {}x over from-scratch \
+         re-allocation ({}x whole-trace incl. solver fallbacks)",
+        show(decisions_per_sec, 0),
+        show(incremental_speedup, 1),
+        show(whole_trace_speedup, 2),
     );
 
     let mut metrics = vc2m::simcore::MetricsRegistry::new();
     engine.export_metrics(&mut metrics);
+    // `JsonBuilder::num` renders non-finite values as `null`, so the
+    // guarded `None`s are passed through as NaN deliberately.
     let json = JsonBuilder::new()
         .str("bench", "admission_bench")
         .str("scale", if full_scale_requested() { "full" } else { "quick" })
         .int("requests", trace.len() as u64)
         .int("seed", SEED)
         .bool("conformant", true)
-        .num("decisions_per_sec", decisions_per_sec)
-        .num("speedup_incremental_vs_scratch", incremental_speedup)
-        .num("speedup_vs_scratch", whole_trace_speedup)
+        .num("decisions_per_sec", decisions_per_sec.unwrap_or(f64::NAN))
+        .num(
+            "speedup_incremental_vs_scratch",
+            incremental_speedup.unwrap_or(f64::NAN),
+        )
+        .num("speedup_vs_scratch", whole_trace_speedup.unwrap_or(f64::NAN))
         .int("incremental_items", incremental_items as u64)
         .num("engine_total_us", engine_total)
         .num("scratch_total_us", scratch_total)
@@ -298,18 +322,78 @@ fn main() {
         .num("scratch_incremental_us", scratch_incremental_us)
         .raw("engine_metrics", metrics_json(&metrics))
         .build();
+    (json, decisions_per_sec)
+}
+
+fn main() {
+    let requests = requested_trace_size();
+    let trace = generate(&TraceSpec::new(requests, SEED));
+    let iters = if full_scale_requested() { 5 } else { 3 };
+    let (json, decisions_per_sec) = run(&trace, iters);
     let path = write_results("BENCH_admission.json", &json);
     println!("wrote {}", path.display());
 
     // Optional hard gate, after the artifact is written so a failing
-    // run still leaves its numbers behind for debugging.
+    // run still leaves its numbers behind for debugging. A degenerate
+    // run has no rate to gate on.
     if let Ok(floor) = std::env::var("VC2M_ADMIT_FLOOR") {
         let floor: f64 = floor
             .parse()
             .unwrap_or_else(|_| panic!("VC2M_ADMIT_FLOOR must be a float, got '{floor}'"));
+        match decisions_per_sec {
+            Some(rate) => assert!(
+                rate >= floor,
+                "decisions_per_sec {rate:.0} fell below the required floor {floor:.0}"
+            ),
+            None => println!("degenerate trace: no decisions_per_sec to gate on"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_rate_handles_degenerate_denominators() {
+        assert_eq!(guarded_rate(10.0, 2.0), Some(5.0));
+        assert_eq!(guarded_rate(10.0, 0.0), None);
+        assert_eq!(guarded_rate(0.0, 0.0), None);
+        assert_eq!(guarded_rate(10.0, -1.0), None);
+        assert_eq!(guarded_rate(10.0, f64::NAN), None);
+        assert_eq!(show(None, 1), "n/a");
+        assert_eq!(show(Some(1.25), 1), "1.2");
+    }
+
+    /// `VC2M_ADMIT_REQUESTS=0` end-to-end: the empty trace runs clean
+    /// through conformance and both timed arms, every rate field is
+    /// `null` (never NaN/inf text), and there is no rate to gate on.
+    #[test]
+    fn zero_request_trace_emits_null_rates() {
+        let trace = generate(&TraceSpec::new(0, SEED));
+        assert_eq!(trace.len(), 0);
+        let (json, rate) = run(&trace, 1);
+        assert_eq!(rate, None);
+        assert!(json.contains("\"decisions_per_sec\": null"), "{json}");
+        assert!(json.contains("\"speedup_vs_scratch\": null"), "{json}");
         assert!(
-            decisions_per_sec >= floor,
-            "decisions_per_sec {decisions_per_sec:.0} fell below the required floor {floor:.0}"
+            json.contains("\"speedup_incremental_vs_scratch\": null"),
+            "{json}"
         );
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    /// An all-departure trace (every request an unknown-VM departure)
+    /// also stays finite-or-null: decisions exist, but no incremental
+    /// admission pair and no scratch solver pass ever runs.
+    #[test]
+    fn all_departure_trace_stays_finite_or_null() {
+        use vc2m::admission::{TraceItem, TraceRequest};
+        let items = (1..=5)
+            .map(|vm| TraceItem::Single(TraceRequest::Depart { vm }))
+            .collect();
+        let trace = AdmissionTrace::from_items(items);
+        let (json, _) = run(&trace, 1);
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
     }
 }

@@ -373,12 +373,18 @@ pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `vc2m admit`: replay an admission-request trace through the
-/// streaming [`AdmissionEngine`].
+/// streaming [`AdmissionEngine`] (or, with `--hosts N`, the sharded
+/// [`vc2m::alloc::AdmissionFleet`]).
 ///
 /// The trace comes from `--trace-in` (the `vc2m-admission-trace-v1`
 /// text format) or is generated deterministically from `--requests`
 /// and `--seed`. The full decision log goes to `--report-out`, the
-/// `admission.*` counters to `--metrics-out`.
+/// `admission.*` counters to `--metrics-out`. The host count defaults
+/// to the trace's `hosts` directive (1 when absent); with one host the
+/// engine path runs and the output is byte-identical to what it always
+/// was. `--threads` replays an N-host fleet in parallel (the merged
+/// log is thread-count invariant); `--no-memo` disables the
+/// saturated-regime rejection memo.
 pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use vc2m::admission::{generate, replay, AdmissionTrace, TraceSpec};
     let options = Options::parse(argv)?;
@@ -398,6 +404,16 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     };
+    let explicit_hosts: Option<usize> = match options.value("hosts") {
+        Some(_) => {
+            let hosts = options.parse_or("hosts", 1usize)?;
+            if hosts == 0 {
+                return Err(CliError::new("--hosts must be at least 1"));
+            }
+            Some(hosts)
+        }
+        None => None,
+    };
     let trace = match options.value("trace-in") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -410,9 +426,15 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             if requests == 0 {
                 return Err(CliError::new("--requests must be at least 1"));
             }
-            generate(&TraceSpec::new(requests, seed))
+            let spec = if options.switch("rejection-heavy") {
+                TraceSpec::rejection_heavy(requests, seed, explicit_hosts.unwrap_or(1))
+            } else {
+                TraceSpec::new(requests, seed).with_hosts(explicit_hosts.unwrap_or(1))
+            };
+            generate(&spec)
         }
     };
+    let hosts = explicit_hosts.unwrap_or_else(|| trace.hosts());
     if let Some(path) = options.value("trace-out") {
         std::fs::write(path, trace.render())
             .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
@@ -421,6 +443,12 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut config = AdmissionConfig::new(seed).with_solution(solution);
     if options.switch("reference") {
         config = config.reference_mode();
+    }
+    if options.switch("no-memo") {
+        config = config.without_memo();
+    }
+    if hosts > 1 {
+        return admit_fleet(&options, platform, config, &trace, hosts, seed, solution, out);
     }
     let mut engine = AdmissionEngine::new(platform, config);
     replay(&mut engine, &trace);
@@ -469,6 +497,104 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(path) = options.value("metrics-out") {
         let mut metrics = vc2m::simcore::MetricsRegistry::new();
         engine.export_metrics(&mut metrics);
+        let document = JsonBuilder::new()
+            .str("schema", "vc2m-metrics-v1")
+            .str("command", "admit")
+            .raw("metrics", metrics_json(&metrics))
+            .build();
+        std::fs::write(path, document + "\n")
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote {path}").map_err(io_error)?;
+    }
+    Ok(())
+}
+
+/// The `--hosts N` (N > 1) arm of [`admit`]: route the trace across a
+/// sharded fleet, serially or in parallel, and summarize per host.
+#[allow(clippy::too_many_arguments)]
+fn admit_fleet(
+    options: &Options,
+    platform: vc2m::model::Platform,
+    config: AdmissionConfig,
+    trace: &vc2m::admission::AdmissionTrace,
+    hosts: usize,
+    seed: u64,
+    solution: Solution,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use vc2m::admission::fleet_items;
+    use vc2m::alloc::{AdmissionFleet, FleetConfig};
+    let threads: usize = options.parse_or("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::new("--threads must be at least 1"));
+    }
+    let fleet_config = FleetConfig::new(hosts, seed).with_engine(config);
+    let items = fleet_items(trace, platform.resources());
+    let fleet = if threads > 1 {
+        AdmissionFleet::replay_parallel(platform, fleet_config, &items, threads)
+    } else {
+        let mut fleet = AdmissionFleet::new(platform, fleet_config);
+        fleet.replay(&items);
+        fleet
+    };
+    let stats = fleet.aggregate_stats();
+    let routing = *fleet.router().stats();
+    writeln!(
+        out,
+        "fleet admission on {hosts}x {platform}: {} requests, seed {seed}, solution {}{}{}",
+        trace.len(),
+        solution.name(),
+        if config.reference { " (reference mode)" } else { "" },
+        if config.memo { "" } else { " (memo off)" },
+    )
+    .map_err(io_error)?;
+    writeln!(
+        out,
+        "admitted {} ({} incremental, {} repack), rejected {} ({} at capacity), \
+         degraded {}, departed {}",
+        stats.admitted_incremental + stats.admitted_repack,
+        stats.admitted_incremental,
+        stats.admitted_repack,
+        stats.rejected,
+        stats.capacity_rejects,
+        stats.degraded,
+        stats.departed,
+    )
+    .map_err(io_error)?;
+    writeln!(
+        out,
+        "routing: {} best-fit, {} retry, {} saturated, {} unowned; memo: {} hits, {} inserts",
+        routing.best_fit_routes,
+        routing.retry_routes,
+        routing.saturated_routes,
+        routing.unowned_routes,
+        stats.memo_hits,
+        stats.memo_inserts,
+    )
+    .map_err(io_error)?;
+    for (host, engine) in fleet.engines().iter().enumerate() {
+        writeln!(
+            out,
+            "host {host}: {} VMs on {} cores, load {:.3}",
+            engine.working_set().len(),
+            engine.allocation().cores_used(),
+            engine
+                .working_set()
+                .iter()
+                .map(|vm| vm.reference_utilization())
+                .sum::<f64>()
+                + 0.0, // the empty sum is -0.0
+        )
+        .map_err(io_error)?;
+    }
+    if let Some(path) = options.value("report-out") {
+        std::fs::write(path, fleet.log_text())
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote {path}").map_err(io_error)?;
+    }
+    if let Some(path) = options.value("metrics-out") {
+        let mut metrics = vc2m::simcore::MetricsRegistry::new();
+        fleet.export_metrics(&mut metrics);
         let document = JsonBuilder::new()
             .str("schema", "vc2m-metrics-v1")
             .str("command", "admit")

@@ -91,10 +91,14 @@ SIMULATE OPTIONS:
 ADMIT OPTIONS:
     --trace-in <path>             Replay this vc2m-admission-trace-v1 file
     --requests <usize>            Generate a trace of this size instead (default: 100)
+    --hosts <usize>               Fleet size (default: the trace's hosts directive, else 1)
+    --threads <usize>             Parallel fleet replay threads (default: 1)
+    --rejection-heavy             Generate the saturated rejection-heavy preset
+    --no-memo                     Disable the saturated-regime rejection memo
     --reference                   Run the slow differential-oracle engine
     --trace-out <path>            Write the (generated) trace text here
     --report-out <path>           Write the byte-stable decision log here
-    --metrics-out <path>          Write the admission.* metrics as JSON
+    --metrics-out <path>          Write the admission.* / fleet.* metrics as JSON
 ";
 
 /// Runs the CLI on the given arguments (without the program name).

@@ -126,6 +126,9 @@ const METRICS_GOLDEN: &str = r#"{
       "admission.departed": 12,
       "admission.dirty_cores_verified": 37,
       "admission.full_verifies": 0,
+      "admission.memo_hits": 0,
+      "admission.memo_inserts": 12,
+      "admission.memo_invalidations": 5,
       "admission.rejected": 17,
       "admission.repack_attempts": 15,
       "admission.requests": 50

@@ -16,6 +16,7 @@
 //!
 //! ```text
 //! # vc2m-admission-trace-v1
+//! hosts 4
 //! arrive 1 0.180 9054
 //! mode 1 0.240 117
 //! depart 1
@@ -25,7 +26,10 @@
 //! ```
 //!
 //! A `batch n` header groups the next `n` arrivals into one concurrent
-//! batch (admitted order-independently by the engine).
+//! batch (admitted order-independently by the engine). An optional
+//! `hosts n` directive (before any request) sizes the fleet the trace
+//! targets; it is omitted from the rendering when `n == 1`, so
+//! single-host traces keep their historical byte form.
 //!
 //! # Determinism
 //!
@@ -35,7 +39,7 @@
 //! yields byte-identical decision logs, and a trace file pins its
 //! whole workload.
 
-use vc2m_alloc::{AdmissionEngine, AdmissionRequest};
+use vc2m_alloc::{AdmissionEngine, AdmissionFleet, AdmissionRequest, FleetWorkItem};
 use vc2m_model::{ResourceSpace, Task, TaskId, TaskSet, VmId, VmSpec};
 use vc2m_rng::{DetRng, Rng};
 use vc2m_workload::{TasksetConfig, TasksetGenerator, UtilizationDist};
@@ -101,15 +105,41 @@ pub enum TraceItem {
 }
 
 /// A replayable admission-request trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdmissionTrace {
     items: Vec<TraceItem>,
+    hosts: usize,
+}
+
+impl Default for AdmissionTrace {
+    fn default() -> Self {
+        AdmissionTrace {
+            items: Vec::new(),
+            hosts: 1,
+        }
+    }
 }
 
 impl AdmissionTrace {
-    /// Builds a trace from items.
+    /// Builds a single-host trace from items.
     pub fn from_items(items: Vec<TraceItem>) -> Self {
-        AdmissionTrace { items }
+        AdmissionTrace { items, hosts: 1 }
+    }
+
+    /// Sets the fleet size the trace targets (the `hosts` directive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        assert!(hosts >= 1, "a trace targets at least one host");
+        self.hosts = hosts;
+        self
+    }
+
+    /// The fleet size the trace targets (1 when no directive was set).
+    pub fn hosts(&self) -> usize {
+        self.hosts
     }
 
     /// The trace's items in replay order.
@@ -138,6 +168,9 @@ impl AdmissionTrace {
     pub fn render(&self) -> String {
         let mut text = String::from(TRACE_HEADER);
         text.push('\n');
+        if self.hosts > 1 {
+            text.push_str(&format!("hosts {}\n", self.hosts));
+        }
         for item in &self.items {
             match item {
                 TraceItem::Single(request) => {
@@ -157,13 +190,16 @@ impl AdmissionTrace {
     }
 
     /// Parses the text form. Comment (`#`) and blank lines are
-    /// ignored; `batch n` consumes the next `n` arrival lines.
+    /// ignored; `batch n` consumes the next `n` arrival lines; a
+    /// `hosts n` directive (at most one, before any request) sets the
+    /// fleet size.
     ///
     /// # Errors
     ///
     /// Returns a message naming the offending line on malformed input.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut items = Vec::new();
+        let mut hosts: Option<usize> = None;
         let mut lines = text
             .lines()
             .enumerate()
@@ -172,7 +208,24 @@ impl AdmissionTrace {
         while let Some((number, line)) = lines.next() {
             let mut fields = line.split_whitespace();
             let keyword = fields.next().expect("non-empty line has a field");
-            if keyword == "batch" {
+            if keyword == "hosts" {
+                if !items.is_empty() {
+                    return Err(format!(
+                        "line {number}: hosts directive must precede all requests"
+                    ));
+                }
+                if hosts.is_some() {
+                    return Err(format!("line {number}: duplicate hosts directive"));
+                }
+                let n: usize = parse_field(fields.next(), number, "host count")?;
+                if n == 0 {
+                    return Err(format!("line {number}: host count must be at least 1"));
+                }
+                if fields.next().is_some() {
+                    return Err(format!("line {number}: trailing fields"));
+                }
+                hosts = Some(n);
+            } else if keyword == "batch" {
                 let arity: usize = parse_field(fields.next(), number, "batch arity")?;
                 let mut batch = Vec::with_capacity(arity);
                 for _ in 0..arity {
@@ -192,7 +245,10 @@ impl AdmissionTrace {
                 items.push(TraceItem::Single(parse_request(line, number)?));
             }
         }
-        Ok(AdmissionTrace { items })
+        Ok(AdmissionTrace {
+            items,
+            hosts: hosts.unwrap_or(1),
+        })
     }
 }
 
@@ -205,6 +261,15 @@ fn parse_request(line: &str, number: usize) -> Result<TraceRequest, String> {
         "arrive" | "mode" => {
             let vm = parse_field(fields.next(), number, "vm id")?;
             let utilization: f64 = parse_field(fields.next(), number, "utilization")?;
+            // Rust's f64 parser accepts "NaN"/"inf"; reject them by
+            // name instead of relying on range-comparison fall-through
+            // (NaN fails any comparison, but the resulting "out of
+            // range" message would misname the defect).
+            if !utilization.is_finite() {
+                return Err(format!(
+                    "line {number}: non-finite utilization '{utilization}'"
+                ));
+            }
             if !(0.0..=1000.0).contains(&utilization) {
                 return Err(format!("line {number}: utilization {utilization} out of range"));
             }
@@ -265,12 +330,21 @@ pub struct TraceSpec {
     pub batch_fraction: f64,
     /// Maximum batch arity.
     pub max_batch: usize,
+    /// Fraction of in-regime requests that *retry* a live VM's
+    /// original arrival line verbatim (same id, utilization, and
+    /// taskset seed). Retries of admitted VMs hit the cheap
+    /// duplicate-id rejection; retries of rejected VMs against an
+    /// unchanged state are exactly what the engine's rejection memo
+    /// short-circuits.
+    pub retry_fraction: f64,
+    /// The fleet size stamped into the generated trace.
+    pub hosts: usize,
 }
 
 impl TraceSpec {
     /// The default fleet-churn shape for `requests` requests: small
     /// VMs (0.060–0.280), live set bounded to 6..14, 10% mode
-    /// changes, 8% batches of up to 3.
+    /// changes, 8% batches of up to 3, no retries, one host.
     pub fn new(requests: usize, seed: u64) -> Self {
         TraceSpec {
             requests,
@@ -280,38 +354,71 @@ impl TraceSpec {
             mode_fraction: 0.10,
             batch_fraction: 0.08,
             max_batch: 3,
+            retry_fraction: 0.0,
+            hosts: 1,
         }
+    }
+
+    /// The rejection-heavy preset: mid-size VMs (0.300–0.500) arriving
+    /// far past fleet capacity with essentially no departures
+    /// (live set bounded to 50..400), no mode changes or batches, and
+    /// 90% retries. Once the fleet saturates, every fresh arrival runs
+    /// the expensive failing search and every retry repeats it — the
+    /// regime the rejection memo is built for.
+    pub fn rejection_heavy(requests: usize, seed: u64, hosts: usize) -> Self {
+        TraceSpec {
+            requests,
+            seed,
+            utilization_milli: (300, 500),
+            live_range: (50, 400),
+            mode_fraction: 0.0,
+            batch_fraction: 0.0,
+            max_batch: 2,
+            retry_fraction: 0.90,
+            hosts,
+        }
+    }
+
+    /// Replaces the fleet size stamped into the generated trace.
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
+        self
     }
 }
 
 /// Generates a seeded fleet-churn trace: VM ids are never reused,
-/// departures and mode changes target VMs the generator has arrived
-/// and not yet departed (whether or not the engine admitted them —
-/// departures of rejected VMs exercise the unknown-VM path).
+/// departures, mode changes, and retries target VMs the generator has
+/// arrived and not yet departed (whether or not the engine admitted
+/// them — departures of rejected VMs exercise the unknown-VM path,
+/// retries of rejected VMs exercise the rejection memo).
 pub fn generate(spec: &TraceSpec) -> AdmissionTrace {
     let mut rng = DetRng::seed_from_u64(spec.seed);
     let (lo, hi) = spec.utilization_milli;
     let (live_lo, live_hi) = spec.live_range;
     let mut items = Vec::new();
-    let mut live: Vec<usize> = Vec::new();
+    // Live VMs with their original arrival lines (re-emitted verbatim
+    // by retries).
+    let mut live: Vec<(usize, TraceRequest)> = Vec::new();
     let mut next_vm = 1usize;
     let mut emitted = 0usize;
-    let arrival = |rng: &mut DetRng, live: &mut Vec<usize>, next_vm: &mut usize| {
-        let vm = *next_vm;
-        *next_vm += 1;
-        live.push(vm);
-        TraceRequest::Arrive {
-            vm,
-            utilization_milli: rng.gen_range(lo as usize..hi as usize + 1) as u32,
-            seed: rng.gen_range(0u64..1 << 48),
-        }
-    };
+    let arrival =
+        |rng: &mut DetRng, live: &mut Vec<(usize, TraceRequest)>, next_vm: &mut usize| {
+            let vm = *next_vm;
+            *next_vm += 1;
+            let request = TraceRequest::Arrive {
+                vm,
+                utilization_milli: rng.gen_range(lo as usize..hi as usize + 1) as u32,
+                seed: rng.gen_range(0u64..1 << 48),
+            };
+            live.push((vm, request));
+            request
+        };
     while emitted < spec.requests {
         let must_arrive = live.len() < live_lo;
         let must_depart = live.len() >= live_hi;
         let roll = rng.gen_f64();
         if !must_arrive && !must_depart && roll < spec.mode_fraction {
-            let vm = live[rng.gen_range(0usize..live.len())];
+            let vm = live[rng.gen_range(0usize..live.len())].0;
             items.push(TraceItem::Single(TraceRequest::Mode {
                 vm,
                 utilization_milli: rng.gen_range(lo as usize..hi as usize + 1) as u32,
@@ -332,9 +439,18 @@ pub fn generate(spec: &TraceSpec) -> AdmissionTrace {
                 emitted += batch.len();
                 items.push(TraceItem::Batch(batch));
             }
+        } else if !must_arrive
+            && !must_depart
+            && spec.retry_fraction > 0.0
+            && roll < spec.mode_fraction + spec.batch_fraction + spec.retry_fraction
+        {
+            // Verbatim re-submission of a live VM's arrival line.
+            let request = live[rng.gen_range(0usize..live.len())].1;
+            items.push(TraceItem::Single(request));
+            emitted += 1;
         } else if must_depart || (!must_arrive && rng.gen_f64() < 0.5) {
             let position = rng.gen_range(0usize..live.len());
-            let vm = live.swap_remove(position);
+            let (vm, _) = live.swap_remove(position);
             items.push(TraceItem::Single(TraceRequest::Depart { vm }));
             emitted += 1;
         } else {
@@ -342,7 +458,10 @@ pub fn generate(spec: &TraceSpec) -> AdmissionTrace {
             emitted += 1;
         }
     }
-    AdmissionTrace { items }
+    AdmissionTrace {
+        items,
+        hosts: spec.hosts.max(1),
+    }
 }
 
 /// Materializes a trace request into an engine request: the VM's
@@ -404,10 +523,34 @@ pub fn replay(engine: &mut AdmissionEngine, trace: &AdmissionTrace) {
     }
 }
 
+/// Materializes a whole trace into fleet work items (the
+/// pre-materialized form both [`replay_fleet`] and
+/// [`AdmissionFleet::replay_parallel`] consume).
+pub fn fleet_items(trace: &AdmissionTrace, space: ResourceSpace) -> Vec<FleetWorkItem> {
+    trace
+        .items()
+        .iter()
+        .map(|item| match item {
+            TraceItem::Single(request) => FleetWorkItem::Single(materialize(request, space)),
+            TraceItem::Batch(requests) => {
+                FleetWorkItem::Batch(requests.iter().map(|r| materialize(r, space)).collect())
+            }
+        })
+        .collect()
+}
+
+/// Replays `trace` serially into `fleet` (appending to its merged
+/// decision log).
+pub fn replay_fleet(fleet: &mut AdmissionFleet, trace: &AdmissionTrace) {
+    let space = fleet.platform().resources();
+    let items = fleet_items(trace, space);
+    fleet.replay(&items);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vc2m_alloc::AdmissionConfig;
+    use vc2m_alloc::{AdmissionConfig, FleetConfig};
     use vc2m_model::Platform;
 
     #[test]
@@ -466,6 +609,85 @@ mod tests {
         assert!(AdmissionTrace::parse("arrive 1 0.1 3 9")
             .unwrap_err()
             .contains("trailing"));
+        // Non-finite utilizations are rejected by name, with the line
+        // number, for both arrivals and mode changes.
+        let err = AdmissionTrace::parse("arrive 1 NaN 3").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("non-finite"), "{err}");
+        let err = AdmissionTrace::parse("depart 2\nmode 1 inf 3").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("non-finite"), "{err}");
+        let err = AdmissionTrace::parse("arrive 1 -inf 3").unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        // Host-dimension directive errors carry line numbers too.
+        let err = AdmissionTrace::parse("hosts 0").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("at least 1"), "{err}");
+        assert!(AdmissionTrace::parse("hosts x")
+            .unwrap_err()
+            .contains("malformed host count"));
+        assert!(AdmissionTrace::parse("hosts")
+            .unwrap_err()
+            .contains("missing host count"));
+        assert!(AdmissionTrace::parse("hosts 2 3")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(AdmissionTrace::parse("hosts 2\nhosts 3")
+            .unwrap_err()
+            .contains("duplicate"));
+        let err = AdmissionTrace::parse("depart 1\nhosts 2").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("precede"), "{err}");
+    }
+
+    #[test]
+    fn hosts_directive_round_trips_and_defaults_to_one() {
+        let plain = AdmissionTrace::parse("arrive 1 0.100 3").unwrap();
+        assert_eq!(plain.hosts(), 1);
+        assert!(!plain.render().contains("hosts"));
+        let fleet = generate(&TraceSpec::rejection_heavy(40, 7, 4));
+        assert_eq!(fleet.hosts(), 4);
+        let text = fleet.render();
+        assert!(text.contains("\nhosts 4\n"), "{}", &text[..80]);
+        let parsed = AdmissionTrace::parse(&text).unwrap();
+        assert_eq!(parsed, fleet);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn retries_re_emit_live_arrival_lines_verbatim() {
+        let trace = generate(&TraceSpec::rejection_heavy(200, 11, 2));
+        assert_eq!(trace.len(), 200);
+        let mut first_arrival: std::collections::HashMap<usize, TraceRequest> =
+            std::collections::HashMap::new();
+        let mut retries = 0usize;
+        for item in trace.items() {
+            if let TraceItem::Single(request @ TraceRequest::Arrive { vm, .. }) = item {
+                match first_arrival.get(vm) {
+                    Some(original) => {
+                        assert_eq!(request, original, "retry must be verbatim");
+                        retries += 1;
+                    }
+                    None => {
+                        first_arrival.insert(*vm, *request);
+                    }
+                }
+            }
+        }
+        assert!(retries > 50, "only {retries} retries in 200 requests");
+        // Determinism: same spec, same bytes.
+        assert_eq!(
+            generate(&TraceSpec::rejection_heavy(200, 11, 2)).render(),
+            trace.render()
+        );
+    }
+
+    #[test]
+    fn fleet_replay_matches_engine_on_one_host() {
+        let trace = generate(&TraceSpec::new(60, 17));
+        let platform = Platform::platform_a();
+        let mut engine = AdmissionEngine::new(platform, AdmissionConfig::new(42));
+        replay(&mut engine, &trace);
+        let mut fleet = AdmissionFleet::new(platform, FleetConfig::new(1, 42));
+        replay_fleet(&mut fleet, &trace);
+        assert_eq!(fleet.log_text(), engine.log_text());
+        assert_eq!(&fleet.aggregate_stats(), engine.stats());
     }
 
     #[test]

@@ -72,8 +72,9 @@ pub mod prelude {
     pub use crate::sweep::{utilization_steps, SweepConfig, SweepResults};
     pub use vc2m_alloc::{
         allocate_with_degradation, AdmissionConfig, AdmissionDecision, AdmissionEngine,
-        AdmissionPath, AdmissionRequest, AdmissionStats, AdmissionVerdict, AllocationOutcome,
-        DegradationOutcome, DegradationPolicy, DegradationReport, RequestKind, Solution,
+        AdmissionFleet, AdmissionPath, AdmissionRequest, AdmissionStats, AdmissionVerdict,
+        AllocationOutcome, DegradationOutcome, DegradationPolicy, DegradationReport, FleetConfig,
+        FleetDecision, FleetRouter, FleetStats, FleetWorkItem, RequestKind, Solution,
         SystemAllocation,
     };
     pub use vc2m_analysis::{AnalysisCache, CacheStats};
