@@ -2,8 +2,9 @@
 //! alloc → sim stack.
 //!
 //! ```text
-//! cargo run --release -p vc2m-bench --bin chaos_soak           # 24 scenarios
-//! VC2M_CHAOS_SCENARIOS=100 cargo run --release -p vc2m-bench --bin chaos_soak
+//! cargo run --release -p vc2m-bench --bin chaos_soak           # 96 scenarios
+//! VC2M_CHAOS_SCENARIOS=200 cargo run --release -p vc2m-bench --bin chaos_soak
+//! VC2M_CHAOS_THREADS=1 ...                                     # serial replay
 //! ```
 //!
 //! Each scenario seed drives the full pipeline: generate a multi-VM
@@ -19,6 +20,12 @@
 //!    accounting), replays deterministically, and injects exactly the
 //!    planned number of faults.
 //!
+//! Scenarios are independent by construction (everything is derived
+//! from the seed), so they run on a worker pool: workers pull seeds
+//! from an atomic ticket counter and the per-seed outcomes are merged
+//! in seed order afterwards, making the results table and the JSON
+//! byte-identical to a serial (`VC2M_CHAOS_THREADS=1`) soak.
+//!
 //! The degradation controller's contract is asserted on every
 //! scenario: an accepted allocation must re-verify schedulable, and
 //! shed order must be non-increasing utilization (lightest VMs shed
@@ -26,19 +33,30 @@
 //! seed *is* the reproduction recipe. Aggregate `faults.*` counters
 //! land in `results/BENCH_chaos.json` for CI to grep.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use vc2m::model::{SimDuration, VmSpec};
 use vc2m::prelude::*;
 use vc2m_bench::timing::JsonBuilder;
 use vc2m_bench::write_results;
 
-/// Default number of scenario seeds (the acceptance floor is 20).
-const DEFAULT_SCENARIOS: u64 = 24;
+/// Default number of scenario seeds (the acceptance floor is 20; CI
+/// runs the default).
+const DEFAULT_SCENARIOS: u64 = 96;
 
 fn scenario_count() -> u64 {
     std::env::var("VC2M_CHAOS_SCENARIOS")
         .ok()
         .and_then(|raw| raw.parse().ok())
         .unwrap_or(DEFAULT_SCENARIOS)
+}
+
+fn thread_count() -> usize {
+    std::env::var("VC2M_CHAOS_THREADS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 fn misses_of(report: &SimReport, task: TaskId) -> Vec<(u64, u64)> {
@@ -74,14 +92,206 @@ impl Totals {
         self.load_spikes += get("faults.load_spikes");
         self.load_spike_jobs += get("faults.load_spike_jobs");
     }
+
+    fn fold(&mut self, other: &Totals) {
+        self.injected += other.injected;
+        self.overruns += other.overruns;
+        self.overrun_jobs += other.overrun_jobs;
+        self.replenish_delays += other.replenish_delays;
+        self.throttle_faults += other.throttle_faults;
+        self.core_stalls += other.core_stalls;
+        self.load_spikes += other.load_spikes;
+        self.load_spike_jobs += other.load_spike_jobs;
+    }
+}
+
+/// Everything a scenario contributes to the soak's aggregates.
+#[derive(Default)]
+struct SeedOutcome {
+    totals: Totals,
+    containment_run: bool,
+    containment_tasks_checked: u64,
+    degraded: bool,
+    rejected: bool,
+    chaos_misses: u64,
+}
+
+/// One full scenario: generate → admit → baseline → containment
+/// campaign → chaos campaign. Panics (with the seed) on any contract
+/// violation; the seed is the reproduction recipe.
+fn run_scenario(
+    seed: u64,
+    platform: &Platform,
+    policy: &DegradationPolicy,
+    horizon: SimDuration,
+) -> SeedOutcome {
+    let mut outcome_acc = SeedOutcome::default();
+    // Spread target utilization across feasible-to-tight: some
+    // scenarios admit everything, some force shedding.
+    let target_u = 1.0 + 0.5 * (seed % 5) as f64;
+    let config = TasksetConfig::new(target_u, UtilizationDist::Uniform).with_vm_count(3);
+    let mut generator = TasksetGenerator::new(platform.resources(), config, seed);
+    let vms = generator.generate_vms();
+
+    let outcome =
+        allocate_with_degradation(Solution::HeuristicFlattening, &vms, platform, seed, policy);
+    // Shed order contract: non-increasing utilization, so the
+    // lightest VMs are shed last.
+    for pair in outcome.report.shed.windows(2) {
+        assert!(
+            pair[0].utilization >= pair[1].utilization,
+            "seed {seed}: shed order violates non-increasing utilization"
+        );
+    }
+    let Some(allocation) = outcome.allocation else {
+        outcome_acc.rejected = true;
+        return outcome_acc;
+    };
+    // Degradation contract: an accepted allocation re-verifies.
+    allocation
+        .verify(platform)
+        .unwrap_or_else(|e| panic!("seed {seed}: accepted allocation fails verify: {e}"));
+    outcome_acc.degraded = outcome.report.is_degraded();
+
+    let admitted: Vec<VmSpec> = vms
+        .iter()
+        .filter(|vm| outcome.report.admitted.contains(&vm.id()))
+        .cloned()
+        .collect();
+    let tasks: TaskSet = admitted
+        .iter()
+        .flat_map(|vm| vm.tasks().iter().cloned())
+        .collect();
+    let build = || {
+        HypervisorSim::new(
+            platform,
+            &allocation,
+            &tasks,
+            SimConfig::default().with_horizon(horizon),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: accepted allocation must simulate: {e}"))
+    };
+    let baseline = build().run().expect("fault-free baseline");
+
+    // Campaign 1: containment. VM-scoped faults into one VM;
+    // every other VM must be bit-identical to the baseline.
+    if admitted.len() >= 2 {
+        let faulty = &admitted[seed as usize % admitted.len()];
+        let targets = FaultTargets {
+            tasks: faulty.tasks().iter().map(Task::id).collect(),
+            vcpus: vec![],
+            vms: vec![faulty.id()],
+            cores: 0,
+        };
+        let plan = FaultPlan::generate(
+            seed ^ 0x9e37_79b9_7f4a_7c15,
+            &targets,
+            &FaultPlanSpec::vm_targeted(6, horizon),
+        );
+        let faulted = build()
+            .with_fault_plan(plan)
+            .expect("containment plan is valid")
+            .run()
+            .expect("vm-scoped faults are contained, not fatal");
+        for vm in &admitted {
+            if vm.id() == faulty.id() {
+                continue;
+            }
+            for task in vm.tasks() {
+                let t = task.id();
+                assert_eq!(
+                    misses_of(&baseline, t),
+                    misses_of(&faulted, t),
+                    "seed {seed}: isolation violated — {t} in {} perturbed by faults in {}",
+                    vm.id(),
+                    faulty.id()
+                );
+                assert_eq!(
+                    baseline.response_times.get(&t),
+                    faulted.response_times.get(&t),
+                    "seed {seed}: response times of {t} perturbed across VMs",
+                );
+                outcome_acc.containment_tasks_checked += 1;
+            }
+        }
+        outcome_acc.containment_run = true;
+    }
+
+    // Campaign 2: full chaos — all kinds, all targets.
+    let targets = FaultTargets {
+        tasks: tasks.iter().map(Task::id).collect(),
+        vcpus: allocation.vcpus().iter().map(|v| v.id()).collect(),
+        vms: admitted.iter().map(VmSpec::id).collect(),
+        cores: allocation.cores_used(),
+    };
+    let plan = FaultPlan::generate(
+        seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1),
+        &targets,
+        &FaultPlanSpec::new(8, horizon),
+    );
+    let planned = plan.len() as u64;
+    let (report, observation) = build()
+        .with_fault_plan(plan.clone())
+        .expect("chaos plan is valid")
+        .run_observed()
+        .expect("chaos runs are contained, not fatal");
+    assert_eq!(
+        observation.metrics.counter("faults.injected"),
+        Some(planned),
+        "seed {seed}: every planned fault lies within the horizon and must inject"
+    );
+    assert!(
+        report.jobs_completed <= report.jobs_released,
+        "seed {seed}: accounting"
+    );
+    // Replay determinism: the same plan over the same system is
+    // bit-identical.
+    let replay = build()
+        .with_fault_plan(plan)
+        .expect("chaos plan is valid")
+        .run()
+        .expect("replay");
+    assert_eq!(report.deadline_misses, replay.deadline_misses, "seed {seed}");
+    assert_eq!(report.jobs_released, replay.jobs_released, "seed {seed}");
+    assert_eq!(report.context_switches, replay.context_switches, "seed {seed}");
+    outcome_acc.chaos_misses = report.deadline_misses.len() as u64;
+    outcome_acc.totals.absorb(&observation.metrics);
+    outcome_acc
 }
 
 fn main() {
     let scenarios = scenario_count();
+    let threads = thread_count().min(scenarios.max(1) as usize);
     let platform = Platform::platform_a();
     let policy = DegradationPolicy::default();
     let horizon = SimDuration::from_ms(3000.0);
-    println!("chaos soak: {scenarios} scenarios on {platform}, horizon 3000 ms");
+    println!(
+        "chaos soak: {scenarios} scenarios on {platform}, horizon 3000 ms, {threads} threads"
+    );
+
+    // Workers pull seeds from a ticket counter; outcomes are keyed by
+    // seed and folded in seed order below, so the aggregates (and thus
+    // the printed table and the JSON) are byte-identical to a serial
+    // soak no matter how the seeds were interleaved.
+    let ticket = AtomicU64::new(0);
+    let collected: Mutex<Vec<(u64, SeedOutcome)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let seed = ticket.fetch_add(1, Ordering::Relaxed);
+                if seed >= scenarios {
+                    return;
+                }
+                let outcome = run_scenario(seed, &platform, &policy, horizon);
+                collected
+                    .lock()
+                    .expect("a panicking scenario aborts the soak")
+                    .push((seed, outcome));
+            });
+        }
+    });
+    let mut outcomes = collected.into_inner().expect("workers finished");
+    outcomes.sort_by_key(|(seed, _)| *seed);
 
     let mut totals = Totals::default();
     let mut containment_runs = 0u64;
@@ -89,140 +299,13 @@ fn main() {
     let mut degraded_scenarios = 0u64;
     let mut rejected_scenarios = 0u64;
     let mut chaos_misses = 0u64;
-
-    for seed in 0..scenarios {
-        // Spread target utilization across feasible-to-tight: some
-        // scenarios admit everything, some force shedding.
-        let target_u = 1.0 + 0.5 * (seed % 5) as f64;
-        let config = TasksetConfig::new(target_u, UtilizationDist::Uniform).with_vm_count(3);
-        let mut generator = TasksetGenerator::new(platform.resources(), config, seed);
-        let vms = generator.generate_vms();
-
-        let outcome =
-            allocate_with_degradation(Solution::HeuristicFlattening, &vms, &platform, seed, &policy);
-        // Shed order contract: non-increasing utilization, so the
-        // lightest VMs are shed last.
-        for pair in outcome.report.shed.windows(2) {
-            assert!(
-                pair[0].utilization >= pair[1].utilization,
-                "seed {seed}: shed order violates non-increasing utilization"
-            );
-        }
-        let Some(allocation) = outcome.allocation else {
-            rejected_scenarios += 1;
-            continue;
-        };
-        // Degradation contract: an accepted allocation re-verifies.
-        allocation
-            .verify(&platform)
-            .unwrap_or_else(|e| panic!("seed {seed}: accepted allocation fails verify: {e}"));
-        if outcome.report.is_degraded() {
-            degraded_scenarios += 1;
-        }
-
-        let admitted: Vec<VmSpec> = vms
-            .iter()
-            .filter(|vm| outcome.report.admitted.contains(&vm.id()))
-            .cloned()
-            .collect();
-        let tasks: TaskSet = admitted
-            .iter()
-            .flat_map(|vm| vm.tasks().iter().cloned())
-            .collect();
-        let build = || {
-            HypervisorSim::new(
-                &platform,
-                &allocation,
-                &tasks,
-                SimConfig::default().with_horizon(horizon),
-            )
-            .unwrap_or_else(|e| panic!("seed {seed}: accepted allocation must simulate: {e}"))
-        };
-        let baseline = build().run().expect("fault-free baseline");
-
-        // Campaign 1: containment. VM-scoped faults into one VM;
-        // every other VM must be bit-identical to the baseline.
-        if admitted.len() >= 2 {
-            let faulty = &admitted[seed as usize % admitted.len()];
-            let targets = FaultTargets {
-                tasks: faulty.tasks().iter().map(Task::id).collect(),
-                vcpus: vec![],
-                vms: vec![faulty.id()],
-                cores: 0,
-            };
-            let plan = FaultPlan::generate(
-                seed ^ 0x9e37_79b9_7f4a_7c15,
-                &targets,
-                &FaultPlanSpec::vm_targeted(6, horizon),
-            );
-            let faulted = build()
-                .with_fault_plan(plan)
-                .expect("containment plan is valid")
-                .run()
-                .expect("vm-scoped faults are contained, not fatal");
-            for vm in &admitted {
-                if vm.id() == faulty.id() {
-                    continue;
-                }
-                for task in vm.tasks() {
-                    let t = task.id();
-                    assert_eq!(
-                        misses_of(&baseline, t),
-                        misses_of(&faulted, t),
-                        "seed {seed}: isolation violated — {t} in {} perturbed by faults in {}",
-                        vm.id(),
-                        faulty.id()
-                    );
-                    assert_eq!(
-                        baseline.response_times.get(&t),
-                        faulted.response_times.get(&t),
-                        "seed {seed}: response times of {t} perturbed across VMs",
-                    );
-                    containment_tasks_checked += 1;
-                }
-            }
-            containment_runs += 1;
-        }
-
-        // Campaign 2: full chaos — all kinds, all targets.
-        let targets = FaultTargets {
-            tasks: tasks.iter().map(Task::id).collect(),
-            vcpus: allocation.vcpus().iter().map(|v| v.id()).collect(),
-            vms: admitted.iter().map(VmSpec::id).collect(),
-            cores: allocation.cores_used(),
-        };
-        let plan = FaultPlan::generate(
-            seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1),
-            &targets,
-            &FaultPlanSpec::new(8, horizon),
-        );
-        let planned = plan.len() as u64;
-        let (report, observation) = build()
-            .with_fault_plan(plan.clone())
-            .expect("chaos plan is valid")
-            .run_observed()
-            .expect("chaos runs are contained, not fatal");
-        assert_eq!(
-            observation.metrics.counter("faults.injected"),
-            Some(planned),
-            "seed {seed}: every planned fault lies within the horizon and must inject"
-        );
-        assert!(
-            report.jobs_completed <= report.jobs_released,
-            "seed {seed}: accounting"
-        );
-        // Replay determinism: the same plan over the same system is
-        // bit-identical.
-        let replay = build()
-            .with_fault_plan(plan)
-            .expect("chaos plan is valid")
-            .run()
-            .expect("replay");
-        assert_eq!(report.deadline_misses, replay.deadline_misses, "seed {seed}");
-        assert_eq!(report.jobs_released, replay.jobs_released, "seed {seed}");
-        assert_eq!(report.context_switches, replay.context_switches, "seed {seed}");
-        chaos_misses += report.deadline_misses.len() as u64;
-        totals.absorb(&observation.metrics);
+    for (_, outcome) in &outcomes {
+        totals.fold(&outcome.totals);
+        containment_runs += u64::from(outcome.containment_run);
+        containment_tasks_checked += outcome.containment_tasks_checked;
+        degraded_scenarios += u64::from(outcome.degraded);
+        rejected_scenarios += u64::from(outcome.rejected);
+        chaos_misses += outcome.chaos_misses;
     }
 
     // Dedicated overload scenario: demand far beyond the platform so

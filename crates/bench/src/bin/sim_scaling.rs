@@ -1,0 +1,154 @@
+//! Sharded-simulation scaling bench: conformance first, then timing.
+//!
+//! ```text
+//! cargo run --release -p vc2m-bench --bin sim_scaling
+//! VC2M_SIM_SPEEDUP_FLOOR=1.5 cargo run --release -p vc2m-bench --bin sim_scaling
+//! ```
+//!
+//! Phase 1 **proves conformance before timing anything**: the sharded
+//! engine's report, trace stream and metrics export are compared
+//! bit-for-bit against the serial engine on the Table-2-style
+//! scheduler-stress system (any divergence aborts with exit 1, and
+//! the `conformant` line CI greps for never prints). Only then does
+//! phase 2 time serial vs sharded runs across thread counts.
+//!
+//! The speedup gate: `VC2M_SIM_SPEEDUP_FLOOR=<f64>` fails the bench
+//! (exit 1) if the best sharded speedup falls below the floor — but
+//! only on hosts with ≥ 2 CPUs. On a single-CPU host no parallel
+//! speedup is physically available, so the floor is reported as
+//! informational and `results/BENCH_sim.json` records the honest
+//! (~1x or below) numbers together with the host's CPU count.
+
+use vc2m::model::{Platform, SimDuration};
+use vc2m::prelude::*;
+use vc2m_bench::timing::{self, json_array, JsonBuilder, Measurement};
+use vc2m_bench::{scheduler_stress_system, write_results};
+
+const VCPUS: usize = 24;
+const HORIZON_MS: f64 = 2000.0;
+const TRACE_CAPACITY: usize = 4096;
+const DEFAULT_ITERS: u64 = 5;
+
+fn config(trace_capacity: usize) -> SimConfig {
+    SimConfig::default()
+        .with_horizon(SimDuration::from_ms(HORIZON_MS))
+        .with_traffic_fraction(0.6)
+        .with_trace_capacity(trace_capacity)
+}
+
+fn build(
+    platform: &Platform,
+    allocation: &SystemAllocation,
+    tasks: &TaskSet,
+    trace_capacity: usize,
+) -> HypervisorSim {
+    HypervisorSim::new(platform, allocation, tasks, config(trace_capacity))
+        .expect("stress system is simulable")
+}
+
+fn main() {
+    let platform = Platform::platform_a();
+    let (allocation, tasks) = scheduler_stress_system(&platform, VCPUS);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "sim scaling: {VCPUS} vcpus on {platform}, horizon {HORIZON_MS} ms, host has {host_cpus} cpus"
+    );
+
+    // Phase 1: conformance. Nothing is timed until the sharded engine
+    // is proven bit-identical on this exact scenario.
+    let (serial_report, serial_obs) = build(&platform, &allocation, &tasks, TRACE_CAPACITY)
+        .run_observed()
+        .expect("serial run");
+    for threads in [2, host_cpus.max(2)] {
+        let (report, obs) = build(&platform, &allocation, &tasks, TRACE_CAPACITY)
+            .run_observed_sharded(threads)
+            .expect("sharded run");
+        let ok = serial_report.structural_eq(&report)
+            && obs.trace == serial_obs.trace
+            && obs.trace_dropped == serial_obs.trace_dropped
+            && obs.metrics == serial_obs.metrics;
+        if !ok {
+            eprintln!("NOT conformant at {threads} threads: sharded output diverges from serial");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "  conformant: sharded == serial bit-for-bit ({} trace records, {} dropped)",
+        serial_obs.trace.len(),
+        serial_obs.trace_dropped
+    );
+
+    // Phase 2: timing (tracing off — measure the engines, not the ring).
+    let serial = timing::run_consuming(
+        "sim serial",
+        DEFAULT_ITERS,
+        || build(&platform, &allocation, &tasks, 0),
+        |sim| sim.run().expect("serial run"),
+    );
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&host_cpus) {
+        thread_counts.push(host_cpus);
+    }
+    let sharded: Vec<(usize, Measurement)> = thread_counts
+        .iter()
+        .map(|&threads| {
+            let m = timing::run_consuming(
+                &format!("sim sharded x{threads}"),
+                DEFAULT_ITERS,
+                || build(&platform, &allocation, &tasks, 0),
+                move |sim| sim.run_sharded(threads).expect("sharded run"),
+            );
+            (threads, m)
+        })
+        .collect();
+
+    let (best_threads, best) = sharded
+        .iter()
+        .min_by(|(_, a), (_, b)| a.min_us().total_cmp(&b.min_us()))
+        .expect("at least one thread count");
+    let speedup = serial.min_us() / best.min_us();
+    println!("  best speedup {speedup:.2}x at {best_threads} threads (serial min / sharded min)");
+
+    let floor: Option<f64> = std::env::var("VC2M_SIM_SPEEDUP_FLOOR")
+        .ok()
+        .and_then(|raw| raw.parse().ok());
+    let enforced = floor.is_some() && host_cpus >= 2;
+    if let Some(f) = floor {
+        if enforced {
+            println!("  speedup floor {f:.2}x (enforced)");
+        } else {
+            println!("  speedup floor {f:.2}x not enforced: single-cpu host, no parallelism available");
+        }
+    }
+
+    let json = JsonBuilder::new()
+        .str("bench", "sim_scaling")
+        .bool("conformant", true)
+        .int("host_cpus", host_cpus as u64)
+        .int("vcpus", VCPUS as u64)
+        .num("horizon_ms", HORIZON_MS)
+        .int("trace_records", serial_obs.trace.len() as u64)
+        .int("trace_dropped", serial_obs.trace_dropped)
+        .raw("serial", serial.json())
+        .raw(
+            "sharded",
+            json_array(sharded.iter().map(|(_, m)| m.json())),
+        )
+        .num("best_speedup", speedup)
+        .int("best_threads", *best_threads as u64)
+        .num("speedup_floor", floor.unwrap_or(f64::NAN))
+        .bool("floor_enforced", enforced)
+        .build();
+    let path = write_results("BENCH_sim.json", &json);
+    println!("  wrote {}", path.display());
+
+    if enforced {
+        // Audited expect: `enforced` implies the floor parsed.
+        #[allow(clippy::expect_used)]
+        let f = floor.expect("floor set when enforced");
+        if speedup < f {
+            eprintln!("sim scaling FAILED: best speedup {speedup:.2}x is below the floor {f:.2}x");
+            std::process::exit(1);
+        }
+    }
+}

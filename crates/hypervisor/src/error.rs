@@ -112,6 +112,13 @@ pub enum SimError {
         /// What was wrong.
         detail: String,
     },
+    /// A sharded run was given a core partition that is not a
+    /// permutation of the simulated cores (a core missing, duplicated,
+    /// out of range, or an empty group).
+    InvalidPartition {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -144,6 +151,9 @@ impl fmt::Display for SimError {
                  (cache {cache_total}/{cache_max}, bw {bw_total}/{bw_max})"
             ),
             SimError::InvalidFault { detail } => write!(f, "invalid fault: {detail}"),
+            SimError::InvalidPartition { detail } => {
+                write!(f, "invalid core partition: {detail}")
+            }
         }
     }
 }
@@ -190,6 +200,12 @@ mod tests {
                     detail: "factor NaN".into(),
                 },
                 "factor NaN",
+            ),
+            (
+                SimError::InvalidPartition {
+                    detail: "core 3 appears twice".into(),
+                },
+                "appears twice",
             ),
         ];
         for (err, needle) in cases {

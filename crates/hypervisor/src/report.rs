@@ -104,6 +104,29 @@ impl SimReport {
         self.response_times.get(&task).and_then(MinAvgMax::max)
     }
 
+    /// Exact field-wise equality over every **deterministic** field,
+    /// ignoring only `handler_overheads` — the one field holding
+    /// wall-clock measurements, which legitimately differ run to run
+    /// (and, under sharded execution, in sample count: each shard
+    /// times its own refill barrier).
+    ///
+    /// This is the single notion of report equality every conformance
+    /// suite pins: serial-vs-serial replay, parallel-vs-serial
+    /// sharding, and fault-containment baselines all compare with it.
+    /// Float fields compare bitwise (via `PartialEq` on `f64`), so
+    /// "equal" here means *bit-identical*, not approximately equal.
+    pub fn structural_eq(&self, other: &SimReport) -> bool {
+        self.deadline_misses == other.deadline_misses
+            && self.jobs_completed == other.jobs_completed
+            && self.jobs_released == other.jobs_released
+            && self.throttle_events == other.throttle_events
+            && self.context_switches == other.context_switches
+            && self.response_times == other.response_times
+            && self.supply_logs == other.supply_logs
+            && self.core_times == other.core_times
+            && self.horizon_ms == other.horizon_ms
+    }
+
     /// Total energy of the run under `model` and the given throttling
     /// policy (the paper's regulator uses [`ThrottlePolicy::Idle`];
     /// MemGuard-style regulation corresponds to
@@ -152,6 +175,37 @@ mod tests {
         assert!(HandlerKind::BwReplenish
             .to_string()
             .contains("replenishment"));
+    }
+
+    #[test]
+    fn structural_eq_ignores_only_wall_clock_fields() {
+        let mut a = SimReport {
+            jobs_released: 4,
+            jobs_completed: 4,
+            horizon_ms: 100.0,
+            ..SimReport::default()
+        };
+        let mut b = a.clone();
+        assert!(a.structural_eq(&b));
+
+        // Wall-clock overheads differing must NOT break equality.
+        b.handler_overheads
+            .insert(HandlerKind::Scheduling, [1.0, 2.0].into_iter().collect());
+        assert!(a.structural_eq(&b));
+
+        // Any deterministic field differing must break it.
+        b.jobs_completed = 3;
+        assert!(!a.structural_eq(&b));
+        b.jobs_completed = 4;
+        b.context_switches = 1;
+        assert!(!a.structural_eq(&b));
+        b.context_switches = 0;
+        a.deadline_misses.push(DeadlineMiss {
+            task: TaskId(0),
+            job: 0,
+            deadline: SimTime::from_ms(10.0),
+        });
+        assert!(!a.structural_eq(&b));
     }
 
     #[test]

@@ -22,13 +22,17 @@
 //! verdicts: an allocation declared schedulable must produce zero
 //! deadline misses.
 
+mod shard;
+
+pub use shard::CorePartition;
+
 use crate::config::{IsolationMode, SimConfig};
 use crate::error::{SimConfigError, SimError};
 use crate::fault::{Fault, FaultKind, FaultPlan, FaultStats};
 use crate::probes::Probes;
 use crate::report::{DeadlineMiss, HandlerKind, SimReport};
 use crate::trace::{SimObservation, TraceEvent};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use vc2m_alloc::SystemAllocation;
@@ -105,7 +109,7 @@ struct Job {
     remaining: SimDuration,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SimTask {
     id: TaskId,
     period: SimDuration,
@@ -142,7 +146,7 @@ impl SimTask {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SimVcpu {
     server: PeriodicServer,
     tasks: Vec<usize>,
@@ -163,7 +167,7 @@ struct Running {
     start: SimTime,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SimCore {
     vcpus: Vec<usize>,
     running: Option<Running>,
@@ -250,15 +254,117 @@ const PRIO_FAULT: u64 = 3;
 const PRIO_RELEASE: u64 = 4;
 const PRIO_DEADLINE: u64 = 5;
 
+// Canonical keys order simultaneous equal-priority events by content,
+// so the serial delivery order is reconstructible from independently
+// advancing shards (see [`shard`]). Within the shared priority class 2
+// the order is: reallocations (key = index), then the bandwidth refill
+// (`REFILL_KEY`), then fault-stall expiries (`FAULT_CLEAR_BASE +
+// core`) — matching the historical insertion order, where the refill
+// chain and reallocations are seeded up front while `FaultClear` is
+// pushed mid-run.
+const REFILL_KEY: u64 = 1 << 60;
+const FAULT_CLEAR_BASE: u64 = REFILL_KEY + 1;
+
+// Trace-tag subkey lanes for records emitted *within* one event's
+// handling (see `TaggedRing`): the refill phases stamp
+// `phase * TAG_SPAN + core`, a load spike stamps `1 + task` per
+// released job. Core/task indices stay far below `TAG_SPAN`.
+const TAG_SPAN: u64 = 1 << 32;
+
+// Horizon-flush trace records sort after every real event priority.
+const PRIO_FLUSH: u64 = PRIO_DEADLINE + 1;
+
 /// Numeric-residue tolerance at a deadline: real-valued budgets meet
 /// integer-nanosecond time, so up to ~a microsecond of a job can
 /// remain at its deadline purely from rounding. See the
 /// `DeadlineCheck` handler.
 const MISS_TOLERANCE: SimDuration = SimDuration(1_000);
 
+/// Restricts a simulation clone to one core group of a sharded run:
+/// the shard advances only events whose target lives on an owned core
+/// and merges with its peers at regulation barriers.
+#[derive(Debug, Clone)]
+struct ShardScope {
+    /// Owned core indices, ascending.
+    cores: Vec<usize>,
+    /// `local[k]` for every core of the full system.
+    local: Vec<bool>,
+}
+
+/// One record of a shard's trace ring, tagged with its canonical
+/// position in the serial emission order: the `(time, priority, key)`
+/// ordering prefix of the event being handled when it was emitted, a
+/// `subkey` separating emission lanes within one handler (refill
+/// phases, load-spike job releases), and the shard-local emission
+/// counter `order`. Sorting the union of shard rings by
+/// `(time, priority, key, subkey, order)` reproduces the serial ring.
+#[derive(Debug, Clone, Copy)]
+struct ShardTraceRecord {
+    time: SimTime,
+    priority: u64,
+    key: u64,
+    subkey: u64,
+    order: u64,
+    event: TraceEvent,
+}
+
+impl ShardTraceRecord {
+    fn sort_key(&self) -> (SimTime, u64, u64, u64, u64) {
+        (self.time, self.priority, self.key, self.subkey, self.order)
+    }
+}
+
+/// A shard's bounded trace ring. Mirrors `TraceBuffer` eviction (keep
+/// the newest `capacity` records, count the rest as dropped) but tags
+/// each record for the cross-shard merge. A shard's records are
+/// emitted in ascending tag order, so a record evicted *locally* can
+/// never belong to the newest `capacity` records *globally* — which is
+/// what makes merging the per-shard rings exact.
+#[derive(Debug, Clone)]
+struct TaggedRing {
+    ring: VecDeque<ShardTraceRecord>,
+    capacity: usize,
+    emitted: u64,
+    priority: u64,
+    key: u64,
+    subkey: u64,
+}
+
+impl TaggedRing {
+    fn new(capacity: usize) -> Self {
+        TaggedRing {
+            ring: VecDeque::new(),
+            capacity,
+            emitted: 0,
+            priority: 0,
+            key: 0,
+            subkey: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, event: TraceEvent) {
+        let order = self.emitted;
+        self.emitted += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ShardTraceRecord {
+            time,
+            priority: self.priority,
+            key: self.key,
+            subkey: self.subkey,
+            order,
+            event,
+        });
+    }
+}
+
 /// The simulated hypervisor (see the [crate docs](crate) for the
 /// model).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HypervisorSim {
     config: SimConfig,
     tasks: Vec<SimTask>,
@@ -293,6 +399,11 @@ pub struct HypervisorSim {
     jobs_released: u64,
     throttle_events: u64,
     context_switches: u64,
+    /// Set on shard clones of a sharded run; `None` on the serial path.
+    scope: Option<ShardScope>,
+    /// Tag-merging trace ring of a shard clone; `None` on the serial
+    /// path (which records into `trace` directly).
+    tagged: Option<TaggedRing>,
 }
 
 impl HypervisorSim {
@@ -448,6 +559,8 @@ impl HypervisorSim {
             jobs_released: 0,
             throttle_events: 0,
             context_switches: 0,
+            scope: None,
+            tagged: None,
         })
     }
 
@@ -490,18 +603,40 @@ impl HypervisorSim {
 
     /// Builds the metrics registry from the finished run. Strictly a
     /// read-out of already-accumulated state — nothing here may touch
-    /// simulation behavior. Wall-clock handler overheads are left out
-    /// deliberately: the registry holds only deterministic values, so
-    /// its JSON rendering can be golden-pinned.
+    /// simulation behavior.
     fn collect_metrics(&self, report: &SimReport) -> MetricsRegistry {
+        Self::render_metrics(
+            &self.config,
+            report,
+            self.trace.len() as u64,
+            self.trace.dropped(),
+            &self.regulator,
+            self.fault_plan.is_some().then_some(self.fault_stats),
+        )
+    }
+
+    /// Renders the deterministic run counters into a registry — the
+    /// single formatting point shared by the serial read-out and the
+    /// sharded merge, so both produce byte-identical exports from equal
+    /// inputs. Wall-clock handler overheads are left out deliberately:
+    /// the registry holds only deterministic values, so its JSON
+    /// rendering can be golden-pinned.
+    fn render_metrics(
+        config: &SimConfig,
+        report: &SimReport,
+        trace_recorded: u64,
+        trace_dropped: u64,
+        regulator: &BwRegulator,
+        fault_stats: Option<FaultStats>,
+    ) -> MetricsRegistry {
         let mut m = MetricsRegistry::new();
         m.counter_add("sim.jobs.released", report.jobs_released);
         m.counter_add("sim.jobs.completed", report.jobs_completed);
         m.counter_add("sim.deadline.misses", report.deadline_misses.len() as u64);
         m.counter_add("sim.throttle.events", report.throttle_events);
         m.counter_add("sim.context.switches", report.context_switches);
-        m.counter_add("sim.trace.recorded", self.trace.len() as u64);
-        m.counter_add("sim.trace.dropped", self.trace.dropped());
+        m.counter_add("sim.trace.recorded", trace_recorded);
+        m.counter_add("sim.trace.dropped", trace_dropped);
         m.gauge_set("sim.horizon_ms", report.horizon_ms);
         for (k, ct) in report.core_times.iter().enumerate() {
             m.gauge_set(&format!("sim.core{k}.busy_ms"), ct.busy_ms);
@@ -510,14 +645,13 @@ impl HypervisorSim {
         for (task, response) in &report.response_times {
             m.observe_summary(&format!("sim.response_ms.{task}"), response);
         }
-        if self.config.isolation == IsolationMode::Isolated {
-            self.regulator.export_metrics("membw.", &mut m);
+        if config.isolation == IsolationMode::Isolated {
+            regulator.export_metrics("membw.", &mut m);
         }
         // Fault counters appear exactly when a plan was attached, so
         // fault-free runs keep their metrics renderings byte-identical
         // to before fault injection existed (golden-pinned).
-        if self.fault_plan.is_some() {
-            let s = self.fault_stats;
+        if let Some(s) = fault_stats {
             m.counter_add("faults.injected", s.injected);
             m.counter_add("faults.overruns", s.overruns);
             m.counter_add("faults.overrun_jobs", s.overrun_jobs);
@@ -730,6 +864,103 @@ impl HypervisorSim {
     }
 
     fn run_inner(&mut self) -> Result<SimReport, SimError> {
+        self.seed_events();
+        let horizon = SimTime::ZERO + self.config.horizon;
+        self.advance(None, horizon)?;
+        self.finish(horizon);
+        Ok(self.build_report())
+    }
+
+    // ---- Scope helpers -------------------------------------------------
+    //
+    // A serial run has no scope: every core, VCPU and task is local. A
+    // shard clone owns a core subset; a VCPU or task is local exactly
+    // when its core is, so any core partition cleanly partitions the
+    // whole entity graph (cores couple only through the regulation
+    // barrier).
+
+    fn core_is_local(&self, core: usize) -> bool {
+        self.scope.as_ref().is_none_or(|s| s.local[core])
+    }
+
+    fn vcpu_is_local(&self, vcpu: usize) -> bool {
+        self.core_is_local(self.vcpus[vcpu].core)
+    }
+
+    fn task_is_local(&self, task: usize) -> bool {
+        self.vcpu_is_local(self.tasks[task].vcpu)
+    }
+
+    /// The cores this simulation advances, ascending.
+    fn own_cores(&self) -> Vec<usize> {
+        match &self.scope {
+            Some(s) => s.cores.clone(),
+            None => (0..self.cores.len()).collect(),
+        }
+    }
+
+    /// Whether this shard handles `fault` at all (owns any target).
+    fn fault_is_relevant(&self, fault: &ResolvedFault) -> bool {
+        match fault {
+            ResolvedFault::WcetOverrun { task, .. } => self.task_is_local(*task),
+            ResolvedFault::ReplenishDelay { vcpu, .. } => self.vcpu_is_local(*vcpu),
+            ResolvedFault::ThrottleFault { core } | ResolvedFault::CoreStall { core, .. } => {
+                self.core_is_local(*core)
+            }
+            ResolvedFault::LoadSpike { tasks } => tasks.iter().any(|&t| self.task_is_local(t)),
+        }
+    }
+
+    // ---- Event keying --------------------------------------------------
+
+    /// The canonical key of `event`: derived from content, never from
+    /// insertion history, so simultaneous equal-priority events order
+    /// identically whether they live in one queue or are split across
+    /// shard queues.
+    fn event_key(&self, event: &Event) -> u64 {
+        match *event {
+            Event::SegmentEnd { core, .. } => core as u64,
+            Event::ServerReplenish { vcpu } => vcpu as u64,
+            Event::Refill => REFILL_KEY,
+            Event::Reallocate { index } => index as u64,
+            Event::FaultInject { index } => index as u64,
+            Event::FaultClear { core } => FAULT_CLEAR_BASE + core as u64,
+            Event::JobRelease { task } => task as u64,
+            Event::DeadlineCheck { task, .. } => task as u64,
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, priority: u64, event: Event) {
+        let key = self.event_key(&event);
+        self.queue.push_keyed(time, priority, key, event);
+    }
+
+    /// Points the tagged trace ring (if any) at a new canonical
+    /// position. No-op on the serial path.
+    fn set_tag(&mut self, priority: u64, key: u64, subkey: u64) {
+        if let Some(tag) = &mut self.tagged {
+            tag.priority = priority;
+            tag.key = key;
+            tag.subkey = subkey;
+        }
+    }
+
+    /// Advances only the emission lane within the current event's tag.
+    fn set_subkey(&mut self, subkey: u64) {
+        if let Some(tag) = &mut self.tagged {
+            tag.subkey = subkey;
+        }
+    }
+
+    // ---- Run phases ----------------------------------------------------
+
+    /// Seeds the initial event population. Scope-aware: a shard seeds
+    /// only releases/replenishments of its own tasks and VCPUs and the
+    /// faults it owns a target of, never the `Refill` chain (barriers
+    /// replace it) — but *every* reallocation, because reallocation
+    /// validity depends on the global allocation table and each shard
+    /// must track it identically (see [`Self::apply_reallocation`]).
+    fn seed_events(&mut self) {
         // Release synchronization (Section 3.2): align each VCPU's
         // first release with its earliest task release.
         if self.config.synchronize_releases {
@@ -749,6 +980,9 @@ impl HypervisorSim {
         }
         if self.config.record_supply {
             for v in 0..self.vcpus.len() {
+                if !self.vcpu_is_local(v) {
+                    continue;
+                }
                 let server = &self.vcpus[v].server;
                 self.supply_logs[v] = Some(crate::regulation::SupplyLog::new(
                     server.period(),
@@ -759,20 +993,28 @@ impl HypervisorSim {
         // Initial events: task releases at their offsets, server
         // replenishments at the first period boundaries, the refiller.
         for t in 0..self.tasks.len() {
+            if !self.task_is_local(t) {
+                continue;
+            }
             let offset = self.tasks[t].offset;
-            self.queue.push(
+            self.push_event(
                 SimTime::ZERO + offset,
                 PRIO_RELEASE,
                 Event::JobRelease { task: t },
             );
         }
         for v in 0..self.vcpus.len() {
+            if !self.vcpu_is_local(v) {
+                continue;
+            }
             let deadline = self.vcpus[v].server.deadline();
-            self.queue
-                .push(deadline, PRIO_REPLENISH, Event::ServerReplenish { vcpu: v });
+            self.push_event(deadline, PRIO_REPLENISH, Event::ServerReplenish { vcpu: v });
         }
-        if self.config.isolation == IsolationMode::Isolated && !self.cores.is_empty() {
-            self.queue.push(
+        if self.scope.is_none()
+            && self.config.isolation == IsolationMode::Isolated
+            && !self.cores.is_empty()
+        {
+            self.push_event(
                 SimTime::ZERO + self.config.regulation_period,
                 PRIO_REFILL,
                 Event::Refill,
@@ -780,42 +1022,78 @@ impl HypervisorSim {
         }
         for index in 0..self.reallocations.len() {
             let (at, _, _) = self.reallocations[index];
-            self.queue
-                .push(at, PRIO_REALLOC, Event::Reallocate { index });
+            self.push_event(at, PRIO_REALLOC, Event::Reallocate { index });
         }
         for index in 0..self.resolved_faults.len() {
-            let (at, _) = self.resolved_faults[index];
-            self.queue.push(at, PRIO_FAULT, Event::FaultInject { index });
+            let (at, fault) = &self.resolved_faults[index];
+            if !self.fault_is_relevant(fault) {
+                continue;
+            }
+            let at = *at;
+            self.push_event(at, PRIO_FAULT, Event::FaultInject { index });
         }
+    }
 
-        let horizon = SimTime::ZERO + self.config.horizon;
-        while let Some(&time) = self.queue.peek_time().as_ref() {
+    /// Drains events up to `horizon`, stopping — without popping — at
+    /// the first event whose `(time, priority, key)` is at or past the
+    /// refill point of `barrier`, when one is given. Sharded runs
+    /// advance window by window with a barrier at every
+    /// regulation-period boundary; the serial run passes `None` and
+    /// drains to the horizon in one call.
+    fn advance(&mut self, barrier: Option<SimTime>, horizon: SimTime) -> Result<(), SimError> {
+        while let Some((time, priority, key)) = self.queue.peek_order() {
             if time > horizon {
                 break;
             }
-            let Some((now, _, event)) = self.queue.pop() else {
+            if let Some(b) = barrier {
+                if (time, priority, key) >= (b, PRIO_REFILL, REFILL_KEY) {
+                    break;
+                }
+            }
+            let Some((now, priority, key, event)) = self.queue.pop_keyed() else {
                 break;
             };
+            self.set_tag(priority, key, 0);
             self.handle(now, event)?;
         }
+        Ok(())
+    }
 
-        // Horizon flush: close in-flight run segments and open
-        // throttle intervals, or busy/throttled time (and supply logs,
-        // and the energy model on top of them) undercount the final
-        // partial period. The flush cannot complete a job: every event
-        // at or before the horizon has been drained, so an in-flight
-        // segment's planned end lies strictly beyond it, and the
-        // elapsed slice is strictly shorter than the job's remaining
-        // work. A flush-induced throttle opens its interval *at* the
-        // horizon and closes immediately — zero length, as it must be.
-        for core in 0..self.cores.len() {
+    /// One regulation barrier of a shard: performs the refill phases
+    /// over the shard's own cores. The `Refill` trace record itself is
+    /// synthesized by the coordinator from the summed per-shard wake
+    /// counts (see [`shard`]), so it is not emitted here.
+    fn barrier_refill(&mut self, now: SimTime) -> usize {
+        self.set_tag(PRIO_REFILL, REFILL_KEY, 0);
+        self.refill_phases(now, false)
+    }
+
+    /// Horizon flush: close in-flight run segments and open
+    /// throttle intervals, or busy/throttled time (and supply logs,
+    /// and the energy model on top of them) undercount the final
+    /// partial period. The flush cannot complete a job: every event
+    /// at or before the horizon has been drained, so an in-flight
+    /// segment's planned end lies strictly beyond it, and the
+    /// elapsed slice is strictly shorter than the job's remaining
+    /// work. A flush-induced throttle opens its interval *at* the
+    /// horizon and closes immediately — zero length, as it must be.
+    fn finish(&mut self, horizon: SimTime) {
+        for core in self.own_cores() {
+            self.set_tag(PRIO_FLUSH, core as u64, 0);
             self.suspend(core, horizon);
             if let Some(since) = self.cores[core].throttled_since.take() {
                 self.cores[core].throttled_ns += horizon.since(since).as_ns();
             }
         }
+    }
 
-        Ok(SimReport {
+    /// Reads the finished run out into a report. Scope-aware: a shard
+    /// reports only its own tasks' response times and supply logs
+    /// (foreign `core_times` entries are zero and are replaced by the
+    /// owning shard's at merge).
+    fn build_report(&mut self) -> SimReport {
+        let local: Vec<bool> = (0..self.tasks.len()).map(|t| self.task_is_local(t)).collect();
+        SimReport {
             deadline_misses: std::mem::take(&mut self.misses),
             jobs_completed: self.jobs_completed,
             jobs_released: self.jobs_released,
@@ -825,7 +1103,9 @@ impl HypervisorSim {
             response_times: self
                 .tasks
                 .iter()
-                .map(|t| (t.id, t.response.clone()))
+                .zip(&local)
+                .filter(|(_, &l)| l)
+                .map(|(t, _)| (t.id, t.response.clone()))
                 .collect(),
             supply_logs: self
                 .vcpus
@@ -842,7 +1122,7 @@ impl HypervisorSim {
                 })
                 .collect(),
             horizon_ms: self.config.horizon.as_ms(),
-        })
+        }
     }
 
     fn handle(&mut self, now: SimTime, event: Event) -> Result<(), SimError> {
@@ -869,8 +1149,7 @@ impl HypervisorSim {
                 // periods, so later replenishments return to the
                 // period grid.
                 if let Some(delay) = self.vcpus[vcpu].pending_replenish_delay.take() {
-                    self.queue
-                        .push(now + delay, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
+                    self.push_event(now + delay, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
                     self.schedule(core, now);
                     return Ok(());
                 }
@@ -878,50 +1157,14 @@ impl HypervisorSim {
                     self.vcpus[vcpu].server.replenish(now);
                 });
                 let next = self.vcpus[vcpu].server.deadline();
-                self.queue
-                    .push(next, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
+                self.push_event(next, PRIO_REPLENISH, Event::ServerReplenish { vcpu });
                 let id = self.vcpus[vcpu].server.id();
                 self.trace(now, TraceEvent::Replenish { vcpu: id });
                 self.schedule(core, now);
             }
             Event::Refill => {
-                // Close in-flight segments of traffic-generating tasks
-                // so their requests are charged to the period that just
-                // ended, not lumped into a later one.
-                let mut suspended = Vec::new();
-                for core in 0..self.cores.len() {
-                    let generates_traffic = self.cores[core]
-                        .running
-                        .and_then(|r| r.task)
-                        .is_some_and(|t| self.tasks[t].request_rate > 0.0);
-                    if generates_traffic {
-                        self.suspend(core, now);
-                        suspended.push(core);
-                    }
-                }
-                let woken = self
-                    .probes
-                    .time(HandlerKind::BwReplenish, || self.regulator.replenish_all());
-                self.trace(now, TraceEvent::Refill { woken: woken.len() });
-                for core in woken {
-                    self.cores[core].throttled = false;
-                    // A concurrent fault stall keeps the core held (and
-                    // its idle interval open); its FaultClear closes
-                    // both.
-                    if self.cores[core].fault_until.is_none() {
-                        if let Some(since) = self.cores[core].throttled_since.take() {
-                            self.cores[core].throttled_ns += now.since(since).as_ns();
-                        }
-                        self.trace(now, TraceEvent::Unthrottle { core });
-                    }
-                }
-                suspended.extend((0..self.cores.len()).filter(|&c| !self.cores[c].is_held()));
-                suspended.sort_unstable();
-                suspended.dedup();
-                for core in suspended {
-                    self.schedule(core, now);
-                }
-                self.queue.push(
+                self.refill_phases(now, true);
+                self.push_event(
                     now + self.config.regulation_period,
                     PRIO_REFILL,
                     Event::Refill,
@@ -970,9 +1213,8 @@ impl HypervisorSim {
                 }
                 self.jobs_released += 1;
                 let period = self.tasks[task].period;
-                self.queue
-                    .push(now + period, PRIO_RELEASE, Event::JobRelease { task });
-                self.queue.push(
+                self.push_event(now + period, PRIO_RELEASE, Event::JobRelease { task });
+                self.push_event(
                     deadline,
                     PRIO_DEADLINE,
                     Event::DeadlineCheck { task, job: index },
@@ -1023,20 +1265,94 @@ impl HypervisorSim {
         Ok(())
     }
 
+    /// The bandwidth refiller's period boundary, in its fixed phase
+    /// order over the cores this simulation owns (all of them on the
+    /// serial path): (0) close in-flight segments of traffic-generating
+    /// tasks so their requests are charged to the period that just
+    /// ended, not lumped into a later one; (1) replenish budgets —
+    /// and, when `record` is set, emit the `Refill` trace record;
+    /// (2) wake throttled cores; (3) re-run the scheduler on every
+    /// unheld core, ascending. Returns the number of cores woken.
+    ///
+    /// The serial event loop passes `record = true`; shard barriers
+    /// pass `false` and let the coordinator synthesize one record per
+    /// barrier from the summed per-shard wake counts, slotted between
+    /// the phase-0 and phase-2 lanes by its tag subkey.
+    fn refill_phases(&mut self, now: SimTime, record: bool) -> usize {
+        let own = self.own_cores();
+        let mut suspended = Vec::new();
+        for &core in &own {
+            self.set_subkey(core as u64);
+            let generates_traffic = self.cores[core]
+                .running
+                .and_then(|r| r.task)
+                .is_some_and(|t| self.tasks[t].request_rate > 0.0);
+            if generates_traffic {
+                self.suspend(core, now);
+                suspended.push(core);
+            }
+        }
+        let woken = self
+            .probes
+            .time(HandlerKind::BwReplenish, || self.regulator.replenish_cores(&own));
+        if record {
+            self.trace(now, TraceEvent::Refill { woken: woken.len() });
+        }
+        let woken_count = woken.len();
+        for core in woken {
+            self.set_subkey(2 * TAG_SPAN + core as u64);
+            self.cores[core].throttled = false;
+            // A concurrent fault stall keeps the core held (and
+            // its idle interval open); its FaultClear closes
+            // both.
+            if self.cores[core].fault_until.is_none() {
+                if let Some(since) = self.cores[core].throttled_since.take() {
+                    self.cores[core].throttled_ns += now.since(since).as_ns();
+                }
+                self.trace(now, TraceEvent::Unthrottle { core });
+            }
+        }
+        suspended.extend(own.iter().copied().filter(|&c| !self.cores[c].is_held()));
+        suspended.sort_unstable();
+        suspended.dedup();
+        for core in suspended {
+            self.set_subkey(3 * TAG_SPAN + core as u64);
+            self.schedule(core, now);
+        }
+        woken_count
+    }
+
     /// Injects the `index`-th resolved fault at `now` (see
     /// [`fault`](crate::fault) for the taxonomy and containment
-    /// semantics).
+    /// semantics). Scope-aware: single-target faults are only ever
+    /// seeded in the shard owning the target; a load spike spanning
+    /// shards is seeded in each, with the shard owning the
+    /// lowest-indexed target acting as *owner* — it alone counts the
+    /// plan-level stats and emits the `FaultInjected` record, while
+    /// every shard releases the spike jobs of its own tasks.
     fn inject_fault(&mut self, index: usize, now: SimTime) {
-        self.fault_stats.injected += 1;
         let fault = self.resolved_faults[index].1.clone();
-        let kind = match &fault {
-            ResolvedFault::WcetOverrun { .. } => FaultKind::WcetOverrun,
-            ResolvedFault::ReplenishDelay { .. } => FaultKind::ReplenishDelay,
-            ResolvedFault::ThrottleFault { .. } => FaultKind::ThrottleFault,
-            ResolvedFault::CoreStall { .. } => FaultKind::CoreStall,
-            ResolvedFault::LoadSpike { .. } => FaultKind::LoadSpike,
+        let owner = match &fault {
+            ResolvedFault::WcetOverrun { task, .. } => self.task_is_local(*task),
+            ResolvedFault::ReplenishDelay { vcpu, .. } => self.vcpu_is_local(*vcpu),
+            ResolvedFault::ThrottleFault { core } | ResolvedFault::CoreStall { core, .. } => {
+                self.core_is_local(*core)
+            }
+            ResolvedFault::LoadSpike { tasks } => {
+                tasks.first().is_some_and(|&t| self.task_is_local(t))
+            }
         };
-        self.trace(now, TraceEvent::FaultInjected { kind });
+        if owner {
+            self.fault_stats.injected += 1;
+            let kind = match &fault {
+                ResolvedFault::WcetOverrun { .. } => FaultKind::WcetOverrun,
+                ResolvedFault::ReplenishDelay { .. } => FaultKind::ReplenishDelay,
+                ResolvedFault::ThrottleFault { .. } => FaultKind::ThrottleFault,
+                ResolvedFault::CoreStall { .. } => FaultKind::CoreStall,
+                ResolvedFault::LoadSpike { .. } => FaultKind::LoadSpike,
+            };
+            self.trace(now, TraceEvent::FaultInjected { kind });
+        }
         match fault {
             ResolvedFault::WcetOverrun {
                 task,
@@ -1068,8 +1384,14 @@ impl HypervisorSim {
                 self.stall_core(core, now + duration, now);
             }
             ResolvedFault::LoadSpike { tasks } => {
-                self.fault_stats.load_spikes += 1;
+                if owner {
+                    self.fault_stats.load_spikes += 1;
+                }
                 for task in tasks {
+                    if !self.task_is_local(task) {
+                        continue;
+                    }
+                    self.set_subkey(1 + task as u64);
                     let (deadline, job_index, overran) = {
                         let t = &mut self.tasks[task];
                         let job_index = t.next_index;
@@ -1092,7 +1414,7 @@ impl HypervisorSim {
                     }
                     self.jobs_released += 1;
                     self.fault_stats.load_spike_jobs += 1;
-                    self.queue.push(
+                    self.push_event(
                         deadline,
                         PRIO_DEADLINE,
                         Event::DeadlineCheck {
@@ -1115,8 +1437,7 @@ impl HypervisorSim {
         self.suspend(core, now);
         if self.cores[core].fault_until.is_none_or(|u| until > u) {
             self.cores[core].fault_until = Some(until);
-            self.queue
-                .push(until, PRIO_REFILL, Event::FaultClear { core });
+            self.push_event(until, PRIO_REFILL, Event::FaultClear { core });
         }
         if !self.cores[core].throttled && self.cores[core].throttled_since.is_none() {
             self.cores[core].throttled_since = Some(now);
@@ -1304,7 +1625,7 @@ impl HypervisorSim {
             task,
             start: now,
         });
-        self.queue.push(
+        self.push_event(
             now + limit,
             PRIO_SEGMENT_END,
             Event::SegmentEnd { core, generation },
@@ -1340,6 +1661,18 @@ impl HypervisorSim {
                 bw_total,
                 bw_max: space.bw_max(),
             });
+        }
+
+        // Every shard of a sharded run processes every reallocation so
+        // the global-budget validation above runs against the same
+        // allocation table everywhere (reallocations are totally
+        // ordered by their canonical keys, and `core_allocs` is mutated
+        // by nothing else — so a failing reallocation fails in every
+        // shard, identically, and nothing past it is processed). For a
+        // foreign core only the bookkeeping applies.
+        if !self.core_is_local(core) {
+            self.core_allocs[core] = alloc;
+            return Ok(());
         }
 
         // Close the in-flight segment so consumption is accounted at
@@ -1386,8 +1719,14 @@ impl HypervisorSim {
     /// whether or not the buffer is enabled — the disabled-path
     /// guarantee the `trace_alloc` test pins. A disabled buffer counts
     /// the push as dropped, so `recorded + dropped` is always the total
-    /// number of events the run emitted.
+    /// number of events the run emitted. Shard clones record into
+    /// their tagged ring instead, carrying the canonical position for
+    /// the cross-shard merge.
     fn trace(&mut self, now: SimTime, event: TraceEvent) {
-        self.trace.push(now, event);
+        if let Some(tag) = &mut self.tagged {
+            tag.push(now, event);
+        } else {
+            self.trace.push(now, event);
+        }
     }
 }

@@ -148,11 +148,10 @@ fn faulted_runs_are_deterministic() {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.deadline_misses, b.deadline_misses);
-        assert_eq!(a.jobs_released, b.jobs_released);
-        assert_eq!(a.jobs_completed, b.jobs_completed);
-        assert_eq!(a.context_switches, b.context_switches);
-        assert_eq!(a.response_times, b.response_times);
+        assert!(
+            a.structural_eq(&b),
+            "same plan, same seed: reports must be bit-identical"
+        );
     });
 }
 

@@ -155,15 +155,7 @@ fn tardy_job_keeps_running_and_is_counted_once() {
 /// `handler_overheads` is wall-clock (`Instant`-probed), so it is
 /// compared structurally — same handlers, same sample counts.
 fn assert_reports_identical(a: &vc2m_hypervisor::SimReport, b: &vc2m_hypervisor::SimReport) {
-    assert_eq!(a.deadline_misses, b.deadline_misses);
-    assert_eq!(a.jobs_completed, b.jobs_completed);
-    assert_eq!(a.jobs_released, b.jobs_released);
-    assert_eq!(a.throttle_events, b.throttle_events);
-    assert_eq!(a.context_switches, b.context_switches);
-    assert_eq!(a.response_times, b.response_times);
-    assert_eq!(a.supply_logs, b.supply_logs);
-    assert_eq!(a.core_times, b.core_times);
-    assert_eq!(a.horizon_ms, b.horizon_ms);
+    assert!(a.structural_eq(b), "reports differ structurally");
     let keys = |r: &vc2m_hypervisor::SimReport| {
         r.handler_overheads
             .iter()

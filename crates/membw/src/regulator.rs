@@ -217,28 +217,64 @@ impl BwRegulator {
     /// list of cores that were throttled (the hypervisor must invoke
     /// its scheduler on each to resume a VCPU).
     pub fn replenish_all(&mut self) -> Vec<usize> {
+        let cores: Vec<usize> = (0..self.cores.len()).collect();
+        self.replenish_cores(&cores)
+    }
+
+    /// The refiller path restricted to a core subset: replenishes only
+    /// the listed cores, leaving every other core's budget, counter and
+    /// throttle status untouched. One call counts as one elapsed
+    /// period, so a sharded simulation — where each shard replenishes
+    /// exactly its own cores at a regulation barrier — keeps per-shard
+    /// `periods_elapsed` equal to the serial run's.
+    ///
+    /// Returns the listed cores that were throttled, in the order
+    /// given (callers pass ascending core indices for deterministic
+    /// wake order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed core is out of range (the list is
+    /// caller-constructed, never external input).
+    pub fn replenish_cores(&mut self, cores: &[usize]) -> Vec<usize> {
         self.periods_elapsed += 1;
         let mut woken = Vec::new();
-        for (core, state) in self.cores.iter_mut().enumerate() {
+        for &core in cores {
+            let state = &mut self.cores[core];
             if state.throttled {
                 woken.push(core);
             }
             state.throttled = state.budget == 0;
             state.counter.reset(state.budget);
             state.used_this_period = 0;
+            if state.throttled {
+                self.throttled_mask |= 1 << core;
+            } else {
+                self.throttled_mask &= !(1 << core);
+            }
         }
-        self.throttled_mask = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.throttled)
-            .fold(0, |mask, (core, _)| mask | (1 << core));
         woken
     }
 
     /// Number of regulation periods elapsed (refiller invocations).
     pub fn periods_elapsed(&self) -> u64 {
         self.periods_elapsed
+    }
+
+    /// Folds another regulator's cumulative *statistics* into this one
+    /// (sharded-simulation merge): throttle totals add, since each
+    /// shard throttles a disjoint core subset. `periods_elapsed` is
+    /// left alone — every shard replenishes at every barrier, so the
+    /// per-shard clocks already agree with the serial run's.
+    ///
+    /// Per-core budget/counter state is *not* merged; the receiver is
+    /// only meaningful as a statistics source afterwards.
+    pub fn merge_stats(&mut self, other: &BwRegulator) {
+        debug_assert_eq!(
+            self.periods_elapsed, other.periods_elapsed,
+            "shards must have clocked the same number of barriers"
+        );
+        self.total_throttles += other.total_throttles;
     }
 
     /// Total throttle events since setup.
@@ -364,6 +400,68 @@ mod tests {
         let woken = r.replenish_all();
         assert_eq!(woken, vec![0], "refiller still reports it");
         assert!(r.is_throttled(0), "but it stays throttled");
+    }
+
+    #[test]
+    fn replenish_cores_touches_only_the_subset() {
+        let mut r = regulator();
+        r.record_requests(0, 200).unwrap();
+        r.record_requests(2, 200).unwrap();
+        let woken = r.replenish_cores(&[0, 1]);
+        assert_eq!(woken, vec![0], "only listed throttled cores wake");
+        assert!(!r.is_throttled(0));
+        assert!(r.is_throttled(2), "unlisted core keeps its throttle");
+        assert_eq!(r.throttled_mask(), 0b0100);
+        assert_eq!(r.remaining(0).unwrap(), 100, "listed core refilled");
+        assert_eq!(r.remaining(2).unwrap(), 0, "unlisted core not refilled");
+        assert_eq!(r.periods_elapsed(), 1, "one call = one period");
+    }
+
+    #[test]
+    fn sharded_replenish_matches_replenish_all() {
+        // Two regulators driven identically; one replenishes all cores
+        // at once, the other replenishes the same boundary as two
+        // disjoint core-subset calls. End state must be identical
+        // (periods_elapsed differs by design: per-shard clocks each
+        // count every boundary).
+        let mut serial = regulator();
+        let mut sharded = regulator();
+        for r in [&mut serial, &mut sharded] {
+            r.record_requests(1, 250).unwrap();
+            r.record_requests(3, 250).unwrap();
+        }
+        let woken_serial = serial.replenish_all();
+        let mut woken_sharded = sharded.replenish_cores(&[0, 1]);
+        woken_sharded.extend(sharded.replenish_cores(&[2, 3]));
+        assert_eq!(woken_serial, woken_sharded);
+        assert_eq!(serial.throttled_mask(), sharded.throttled_mask());
+        for core in 0..4 {
+            assert_eq!(
+                serial.remaining(core).unwrap(),
+                sharded.remaining(core).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_stats_adds_disjoint_throttle_totals() {
+        // Serial regulator vs two shard clones covering disjoint core
+        // subsets: after identical traffic and one boundary each, the
+        // merged statistics equal the serial ones.
+        let mut serial = regulator();
+        let mut shard_a = regulator();
+        let mut shard_b = regulator();
+        serial.record_requests(1, 250).unwrap();
+        serial.record_requests(3, 250).unwrap();
+        shard_a.record_requests(1, 250).unwrap();
+        shard_b.record_requests(3, 250).unwrap();
+        serial.replenish_all();
+        shard_a.replenish_cores(&[0, 1]);
+        shard_b.replenish_cores(&[2, 3]);
+        let mut merged = shard_a.clone();
+        merged.merge_stats(&shard_b);
+        assert_eq!(merged.total_throttles(), serial.total_throttles());
+        assert_eq!(merged.periods_elapsed(), serial.periods_elapsed());
     }
 
     #[test]

@@ -5,12 +5,14 @@ use std::collections::BinaryHeap;
 use vc2m_model::SimTime;
 
 /// A pending event: fire time, caller-supplied priority key (smaller
-/// fires first among simultaneous events), insertion sequence number,
-/// and the payload.
-#[derive(Debug)]
+/// fires first among simultaneous events), caller-supplied canonical
+/// key (content-derived; orders equal-priority events independently of
+/// insertion history), insertion sequence number, and the payload.
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
     priority: u64,
+    key: u64,
     seq: u64,
     payload: E,
 }
@@ -23,8 +25,8 @@ impl<E> PartialEq for Entry<E> {
 impl<E> Eq for Entry<E> {}
 
 impl<E> Entry<E> {
-    fn cmp_key(&self) -> (SimTime, u64, u64) {
-        (self.time, self.priority, self.seq)
+    fn cmp_key(&self) -> (SimTime, u64, u64, u64) {
+        (self.time, self.priority, self.key, self.seq)
     }
 }
 
@@ -44,12 +46,20 @@ impl<E> Ord for Entry<E> {
 /// A time-ordered event queue with deterministic tie-breaking.
 ///
 /// Events that share a fire time are delivered in ascending `priority`
-/// order, and among equal priorities in insertion order. Popping never
-/// goes backwards in time relative to previously popped events; the
-/// queue tracks the *current time* (time of the last popped event) and
-/// rejects pushes into the past, which would indicate a causality bug
-/// in the caller.
-#[derive(Debug)]
+/// order; among equal priorities in ascending canonical `key` order
+/// (see [`EventQueue::push_keyed`]); and among equal keys in insertion
+/// order. Popping never goes backwards in time relative to previously
+/// popped events; the queue tracks the *current time* (time of the
+/// last popped event) and rejects pushes into the past, which would
+/// indicate a causality bug in the caller.
+///
+/// The canonical key exists for *sharded* simulation: a key derived
+/// from event **content** (e.g. the target core or task index) makes
+/// the delivery order at simultaneous instants reconstructible from
+/// independently-advancing sub-queues, which a history-dependent
+/// insertion sequence number is not. Callers that never shard may use
+/// [`EventQueue::push`] (key 0) and rely on insertion order alone.
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
@@ -82,13 +92,28 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` at `time` with tie-break `priority`
-    /// (smaller fires first among simultaneous events).
+    /// (smaller fires first among simultaneous events) and canonical
+    /// key 0 (simultaneous equal-priority events fire in insertion
+    /// order).
     ///
     /// # Panics
     ///
     /// Panics if `time` is earlier than the queue's current time:
     /// scheduling into the past is always a bug in a causal simulation.
     pub fn push(&mut self, time: SimTime, priority: u64, payload: E) {
+        self.push_keyed(time, priority, 0, payload);
+    }
+
+    /// Schedules `payload` at `time` with tie-break `priority` and a
+    /// content-derived canonical `key`: among simultaneous
+    /// equal-priority events, smaller keys fire first, and equal keys
+    /// fire in insertion order. See the type docs for why sharded
+    /// simulation needs content-based keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the queue's current time.
+    pub fn push_keyed(&mut self, time: SimTime, priority: u64, key: u64, payload: E) {
         assert!(
             time >= self.now,
             "cannot schedule event at {time} before current time {now}",
@@ -99,6 +124,7 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry {
             time,
             priority,
+            key,
             seq,
             payload,
         });
@@ -109,16 +135,34 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.pop_keyed().map(|(time, priority, _, payload)| (time, priority, payload))
+    }
+
+    /// Removes and returns the earliest event as
+    /// `(time, priority, key, payload)`, advancing the queue's current
+    /// time. Sharded simulation uses the key to tag trace records for
+    /// the deterministic cross-group merge.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, u64, E)> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
-        Some((entry.time, entry.priority, entry.payload))
+        Some((entry.time, entry.priority, entry.key, entry.payload))
     }
 
     /// The fire time of the earliest pending event, if any, without
     /// removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// The `(time, priority, key)` ordering prefix of the earliest
+    /// pending event, if any, without removing it. Sharded simulation
+    /// compares this against a barrier bound to decide whether the
+    /// next event fires before or after a merge point.
+    pub fn peek_order(&self) -> Option<(SimTime, u64, u64)> {
+        self.heap.peek().map(|e| (e.time, e.priority, e.key))
     }
 }
 
@@ -185,6 +229,66 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_ms(3.0)));
         assert_eq!(q.len(), 2, "peek must not consume");
+    }
+
+    #[test]
+    fn canonical_key_orders_equal_priority_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        q.push_keyed(t, 2, 9, "key9");
+        q.push_keyed(t, 2, 1, "key1");
+        q.push_keyed(t, 2, 5, "key5");
+        q.push_keyed(t, 1, 7, "prio-wins");
+        assert_eq!(q.pop().unwrap().2, "prio-wins");
+        assert_eq!(q.pop().unwrap().2, "key1");
+        assert_eq!(q.pop().unwrap().2, "key5");
+        assert_eq!(q.pop().unwrap().2, "key9");
+    }
+
+    #[test]
+    fn equal_keys_fall_back_to_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        q.push_keyed(t, 0, 3, "first");
+        q.push_keyed(t, 0, 3, "second");
+        assert_eq!(q.pop().unwrap().2, "first");
+        assert_eq!(q.pop().unwrap().2, "second");
+    }
+
+    #[test]
+    fn unkeyed_push_uses_key_zero() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        q.push_keyed(t, 0, 1, "keyed");
+        q.push(t, 0, "unkeyed-later-insertion");
+        assert_eq!(q.pop().unwrap().2, "unkeyed-later-insertion");
+        assert_eq!(q.pop().unwrap().2, "keyed");
+    }
+
+    #[test]
+    fn peek_order_exposes_ordering_prefix() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_order(), None);
+        q.push_keyed(SimTime::from_ms(2.0), 3, 7, ());
+        q.push_keyed(SimTime::from_ms(1.0), 4, 9, ());
+        assert_eq!(q.peek_order(), Some((SimTime::from_ms(1.0), 4, 9)));
+        assert_eq!(q.len(), 2, "peek must not consume");
+    }
+
+    #[test]
+    fn cloned_queue_pops_identically() {
+        let mut q = EventQueue::new();
+        for i in 0..50u64 {
+            q.push_keyed(SimTime((i * 3) % 7), i % 2, i % 5, i);
+        }
+        let mut c = q.clone();
+        loop {
+            let (a, b) = (q.pop(), c.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]
