@@ -456,6 +456,10 @@ pub struct AdmissionEngine {
     decisions: Vec<AdmissionDecision>,
     stats: AdmissionStats,
     memo: RejectionMemo,
+    /// Armed transient verification faults (fleet fault injection):
+    /// each pending fault makes one `verify_state` call fail with a
+    /// typed injected error before running the verifier.
+    injected_verify_faults: u64,
 }
 
 impl AdmissionEngine {
@@ -479,7 +483,20 @@ impl AdmissionEngine {
             decisions: Vec::new(),
             stats: AdmissionStats::default(),
             memo: RejectionMemo::default(),
+            injected_verify_faults: 0,
         }
+    }
+
+    /// Arms one transient verification failure: the next state
+    /// verification this engine attempts fails with a typed injected
+    /// error *instead of* running the verifier, which forces the
+    /// caller's normal failure fallback (an incremental arrival falls
+    /// back to the full repack, a batch falls back to per-item
+    /// re-admission). The fault is consumed exactly once, is fully
+    /// deterministic, and leaves no trace beyond the changed admission
+    /// path — used by the fleet's `verify-fault` injection.
+    pub fn inject_verify_failure(&mut self) {
+        self.injected_verify_faults += 1;
     }
 
     /// The platform this engine manages.
@@ -956,6 +973,12 @@ impl AdmissionEngine {
     /// Verifies the current state: structure in full plus the `dirty`
     /// cores' schedulability (everything, in reference mode).
     fn verify_state(&mut self, dirty: &DirtyCores) -> Result<(), AllocError> {
+        if self.injected_verify_faults > 0 {
+            self.injected_verify_faults -= 1;
+            return Err(AllocError::InvalidAllocation {
+                detail: "injected verify fault".to_string(),
+            });
+        }
         let state = SystemAllocation::new(
             std::mem::take(&mut self.vcpus),
             std::mem::take(&mut self.cores),

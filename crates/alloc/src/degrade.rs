@@ -17,12 +17,51 @@
 //! **never** returns an allocation it cannot prove schedulable. The
 //! whole loop is deterministic — shedding breaks utilization ties by
 //! first position, and the allocator itself is seeded.
+//!
+//! [`allocate_with_degradation_prioritized`] extends the shed order to
+//! mixed-criticality workloads: LO VMs are sacrificed (heaviest first)
+//! before any HI VM is touched, per [`Criticality`].
 
 use crate::error::AllocError;
 use crate::result::SystemAllocation;
 use crate::solution::Solution;
+use std::fmt;
 use vc2m_analysis::DirtyCores;
 use vc2m_model::{Platform, VmId, VmSpec};
+
+/// Criticality level of a VM (H-MBR-style mixed criticality).
+///
+/// HI VMs keep their guarantees while LO VMs degrade first: both the
+/// degradation controller's shed order
+/// ([`allocate_with_degradation_prioritized`]) and the fleet's
+/// evacuation order are *criticality-major* — every LO VM is
+/// sacrificed before the first HI VM is touched, with ties broken by
+/// the historical utilization-desc/id-asc rule. The default is LO, so
+/// workloads that never mention criticality behave exactly as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Criticality {
+    /// Low criticality: shed and evacuated first.
+    #[default]
+    Lo,
+    /// High criticality: protected — shed only when no LO VM remains.
+    Hi,
+}
+
+impl Criticality {
+    /// Stable upper-case name used in logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criticality::Lo => "LO",
+            Criticality::Hi => "HI",
+        }
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Bounds on the degradation loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +92,12 @@ impl DegradationPolicy {
 pub struct ShedVm {
     /// The shed VM.
     pub vm: VmId,
-    /// Its reference utilization (the shed ordering key).
+    /// Its reference utilization (the shed ordering key within a
+    /// criticality class).
     pub utilization: f64,
+    /// The shed VM's criticality (the major ordering key: LO sheds
+    /// first, HI only when no LO remains).
+    pub criticality: Criticality,
     /// The 1-based attempt whose failure caused the shed.
     pub attempt: usize,
     /// Why the attempt failed (allocator error or unschedulable
@@ -113,7 +156,29 @@ pub fn allocate_with_degradation(
     seed: u64,
     policy: &DegradationPolicy,
 ) -> DegradationOutcome {
+    allocate_with_degradation_prioritized(solution, vms, &[], platform, seed, policy)
+}
+
+/// Criticality-aware variant of [`allocate_with_degradation`]:
+/// `criticalities` is parallel to `vms` (missing entries default to
+/// [`Criticality::Lo`], so the plain entry point is exactly this call
+/// with an empty slice). Shedding is *criticality-major*: the highest
+/// utilization **LO** VM is shed first (ties by first position), and a
+/// HI VM is only ever shed once no LO VM remains in the working set —
+/// so HI guarantees survive as long as there is any LO work left to
+/// sacrifice.
+pub fn allocate_with_degradation_prioritized(
+    solution: Solution,
+    vms: &[VmSpec],
+    criticalities: &[Criticality],
+    platform: &Platform,
+    seed: u64,
+    policy: &DegradationPolicy,
+) -> DegradationOutcome {
     let mut working: Vec<VmSpec> = vms.to_vec();
+    let mut crits: Vec<Criticality> = (0..vms.len())
+        .map(|i| criticalities.get(i).copied().unwrap_or_default())
+        .collect();
     let mut report = DegradationReport::default();
     let mut proven = ProvenCores::default();
 
@@ -148,7 +213,7 @@ pub fn allocate_with_degradation(
             },
             Err(e) => e.to_string(),
         };
-        shed_heaviest(&mut working, report.attempts, failure, &mut report.shed);
+        shed_heaviest(&mut working, &mut crits, report.attempts, failure, &mut report.shed);
     }
 
     DegradationOutcome {
@@ -215,11 +280,27 @@ impl ProvenCores {
     }
 }
 
-/// Removes the highest-utilization VM from `working` (first position
-/// wins ties — deterministic), recording it in `shed`.
-fn shed_heaviest(working: &mut Vec<VmSpec>, attempt: usize, reason: String, shed: &mut Vec<ShedVm>) {
+/// Removes the criticality-major heaviest VM from `working`: the
+/// highest-utilization **LO** VM (first position wins ties —
+/// deterministic), falling back to the HI VMs only when no LO VM
+/// remains. Records the victim in `shed`.
+fn shed_heaviest(
+    working: &mut Vec<VmSpec>,
+    crits: &mut Vec<Criticality>,
+    attempt: usize,
+    reason: String,
+    shed: &mut Vec<ShedVm>,
+) {
+    let class = if crits.contains(&Criticality::Lo) {
+        Criticality::Lo
+    } else {
+        Criticality::Hi
+    };
     let mut heaviest: Option<(usize, f64)> = None;
     for (i, vm) in working.iter().enumerate() {
+        if crits[i] != class {
+            continue;
+        }
         let u = vm.reference_utilization();
         if heaviest.is_none_or(|(_, best)| u > best) {
             heaviest = Some((i, u));
@@ -227,9 +308,11 @@ fn shed_heaviest(working: &mut Vec<VmSpec>, attempt: usize, reason: String, shed
     }
     if let Some((index, utilization)) = heaviest {
         let vm = working.remove(index);
+        crits.remove(index);
         shed.push(ShedVm {
             vm: vm.id(),
             utilization,
+            criticality: class,
             attempt,
             reason,
         });
@@ -403,6 +486,78 @@ mod tests {
         );
         assert_eq!(proven.verify(&c, &platform), c.verify(&platform));
         assert!(proven.verify(&c, &platform).is_err());
+    }
+
+    #[test]
+    fn criticality_major_shed_protects_hi_until_lo_is_gone() {
+        let platform = Platform::platform_a();
+        // The HI VM is light (u=0.4) but the LO VMs are the heavies
+        // (u=8.0, u=4.0): utilization-only shedding would never touch
+        // the HI VM here, so also check the ordering *within* LO.
+        let vms = vec![vm(0, 0, 2.0, 2), vm(1, 100, 8.0, 10), vm(2, 200, 8.0, 5)];
+        let crits = [Criticality::Hi, Criticality::Lo, Criticality::Lo];
+        let outcome = allocate_with_degradation_prioritized(
+            Solution::HeuristicFlattening,
+            &vms,
+            &crits,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        let allocation = outcome.allocation.clone().expect("HI VM is admittable alone");
+        assert!(allocation.verify(&platform).is_ok());
+        let shed_ids: Vec<VmId> = outcome.report.shed.iter().map(|s| s.vm).collect();
+        assert_eq!(shed_ids, vec![VmId(1), VmId(2)]);
+        assert!(outcome.report.shed.iter().all(|s| s.criticality == Criticality::Lo));
+        for pair in outcome.report.shed.windows(2) {
+            assert!(pair[0].utilization >= pair[1].utilization);
+        }
+        assert_eq!(outcome.report.admitted, vec![VmId(0)]);
+    }
+
+    #[test]
+    fn hi_is_shed_only_after_every_lo_is_gone() {
+        let platform = Platform::platform_a();
+        // The HI VM alone exceeds the platform, so even the protected
+        // class is eventually shed — but only after every LO VM.
+        let vms = vec![vm(0, 0, 9.0, 10), vm(1, 100, 2.0, 2)];
+        let crits = [Criticality::Hi, Criticality::Lo];
+        let outcome = allocate_with_degradation_prioritized(
+            Solution::HeuristicFlattening,
+            &vms,
+            &crits,
+            &platform,
+            7,
+            &DegradationPolicy::default(),
+        );
+        assert!(outcome.allocation.is_none());
+        let order: Vec<Criticality> = outcome.report.shed.iter().map(|s| s.criticality).collect();
+        assert_eq!(order, vec![Criticality::Lo, Criticality::Hi]);
+        // The invariant proper: once a HI VM has been shed, no LO shed
+        // may follow (every LO was already gone).
+        let first_hi = order.iter().position(|c| *c == Criticality::Hi);
+        if let Some(i) = first_hi {
+            assert!(order[i..].iter().all(|c| *c == Criticality::Hi));
+        }
+    }
+
+    #[test]
+    fn plain_entry_point_is_the_all_lo_special_case() {
+        let platform = Platform::platform_a();
+        let vms = vec![vm(0, 0, 8.0, 10), vm(1, 100, 8.0, 5), vm(2, 200, 2.0, 2)];
+        let policy = DegradationPolicy::default();
+        let plain =
+            allocate_with_degradation(Solution::HeuristicFlattening, &vms, &platform, 7, &policy);
+        let all_lo = allocate_with_degradation_prioritized(
+            Solution::HeuristicFlattening,
+            &vms,
+            &[Criticality::Lo; 3],
+            &platform,
+            7,
+            &policy,
+        );
+        assert_eq!(plain, all_lo);
+        assert!(plain.report.shed.iter().all(|s| s.criticality == Criticality::Lo));
     }
 
     #[test]

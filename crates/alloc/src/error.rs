@@ -21,6 +21,14 @@ pub enum AllocError {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// A fleet fault scenario failed validation when it was armed
+    /// (out-of-range host, fault targeting an already-dead host, a
+    /// plan that would leave no survivor, or a malformed HI-VM set) —
+    /// mirroring the hypervisor fault plan's validated-at-attach rule.
+    FaultPlan {
+        /// What was wrong with the scenario.
+        detail: String,
+    },
     /// The per-core partition grants sum past the platform totals —
     /// an admission-state invariant breach surfaced by
     /// [`AdmissionEngine`](crate::AdmissionEngine)'s spare-pool
@@ -45,6 +53,9 @@ impl fmt::Display for AllocError {
             AllocError::Model(e) => write!(f, "model error: {e}"),
             AllocError::InvalidAllocation { detail } => {
                 write!(f, "invalid allocation: {detail}")
+            }
+            AllocError::FaultPlan { detail } => {
+                write!(f, "invalid fleet fault scenario: {detail}")
             }
             AllocError::CoreOversubscription {
                 cache_allocated,

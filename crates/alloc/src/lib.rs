@@ -56,6 +56,7 @@ pub mod fleet;
 pub mod hypervisor_level;
 pub mod kmeans;
 pub mod packing;
+pub mod recovery;
 pub mod solution;
 pub mod vm_level;
 
@@ -64,11 +65,15 @@ pub use admission::{
     AdmissionStats, AdmissionVerdict, RequestKind,
 };
 pub use degrade::{
-    allocate_with_degradation, DegradationOutcome, DegradationPolicy, DegradationReport, ShedVm,
+    allocate_with_degradation, allocate_with_degradation_prioritized, Criticality,
+    DegradationOutcome, DegradationPolicy, DegradationReport, ShedVm,
 };
 pub use error::AllocError;
 pub use fleet::{
-    AdmissionFleet, FleetConfig, FleetDecision, FleetRouter, FleetStats, FleetWorkItem,
+    AdmissionFleet, EvacuationExhausted, EvacuationPolicy, FleetConfig, FleetDecision, FleetFault,
+    FleetFaultPlan, FleetFaultSpec, FleetRouter, FleetScenario, FleetStats, FleetWorkItem,
+    ScheduledFleetFault,
 };
+pub use recovery::{DecisionJournal, JournalRecord, RecoveryError};
 pub use result::{AllocationOutcome, CoreAssignment, SystemAllocation};
 pub use solution::Solution;

@@ -198,6 +198,7 @@ fn degrade_full_verify_reference(
             report.shed.push(vc2m_alloc::ShedVm {
                 vm: vm.id(),
                 utilization,
+                criticality: vc2m_alloc::Criticality::Lo,
                 attempt: report.attempts,
                 reason: failure,
             });

@@ -35,6 +35,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use vc2m::admission::{fleet_items, generate as generate_trace, TraceSpec};
 use vc2m::model::{SimDuration, VmSpec};
 use vc2m::prelude::*;
 use vc2m_bench::timing::JsonBuilder;
@@ -44,11 +45,21 @@ use vc2m_bench::write_results;
 /// runs the default).
 const DEFAULT_SCENARIOS: u64 = 96;
 
+/// Default number of fleet chaos scenario seeds.
+const DEFAULT_FLEET_SCENARIOS: u64 = 24;
+
 fn scenario_count() -> u64 {
     std::env::var("VC2M_CHAOS_SCENARIOS")
         .ok()
         .and_then(|raw| raw.parse().ok())
         .unwrap_or(DEFAULT_SCENARIOS)
+}
+
+fn fleet_scenario_count() -> u64 {
+    std::env::var("VC2M_FLEET_CHAOS_SCENARIOS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(DEFAULT_FLEET_SCENARIOS)
 }
 
 fn thread_count() -> usize {
@@ -259,6 +270,131 @@ fn run_scenario(
     outcome_acc
 }
 
+/// Aggregates of the fleet chaos campaign.
+#[derive(Default)]
+struct FleetTotals {
+    faults_injected: u64,
+    host_crashes: u64,
+    host_drains: u64,
+    verify_faults: u64,
+    evacuated_vms: u64,
+    evac_hi: u64,
+    evac_lo: u64,
+    evac_placed: u64,
+    evac_exhausted: u64,
+    sheds: u64,
+    hi_sheds: u64,
+    hi_shed_violations: u64,
+}
+
+/// One fleet chaos scenario: a 4-host trace with HI/LO criticalities
+/// and a generated fault plan, replayed serially and at 2 and 8
+/// threads. Panics on any thread-count divergence — the log, the fleet
+/// counters, and the exhaustion records are all pinned to the serial
+/// run. A paired degradation run asserts the criticality contract: no
+/// HI VM is ever shed while a LO VM remains.
+fn run_fleet_scenario(seed: u64, platform: &Platform, policy: &DegradationPolicy) -> FleetTotals {
+    let mut totals = FleetTotals::default();
+    let hosts = 4;
+    let spec = if seed.is_multiple_of(2) {
+        TraceSpec::new(90, seed).with_hosts(hosts)
+    } else {
+        TraceSpec::rejection_heavy(90, seed, hosts)
+    }
+    .with_hi_fraction(0.3);
+    let trace = generate_trace(&spec);
+    let items = fleet_items(&trace, platform.resources());
+    let plan = FleetFaultPlan::generate(
+        seed ^ 0xf1ee7,
+        hosts,
+        &FleetFaultSpec::new(4, items.len() as u64),
+    );
+    let scenario = FleetScenario::new(plan, trace.hi_vms().to_vec());
+    let config = FleetConfig::new(hosts, seed);
+    let mut serial = AdmissionFleet::new(*platform, config);
+    serial
+        .arm(scenario.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: scenario rejected: {e}"));
+    serial.replay(&items);
+    for threads in [2, 8] {
+        let parallel = AdmissionFleet::replay_parallel_armed(
+            *platform,
+            config,
+            scenario.clone(),
+            &items,
+            threads,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: scenario rejected: {e}"));
+        assert_eq!(
+            parallel.log_text(),
+            serial.log_text(),
+            "seed {seed}: armed fleet log diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.router().stats(),
+            serial.router().stats(),
+            "seed {seed}: fleet counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.evacuation_failures(),
+            serial.evacuation_failures(),
+            "seed {seed}: exhaustion records diverged at {threads} threads"
+        );
+    }
+    let stats = serial.router().stats();
+    totals.faults_injected += stats.faults_injected;
+    totals.host_crashes += stats.host_crashes;
+    totals.host_drains += stats.host_drains;
+    totals.verify_faults += stats.verify_faults;
+    totals.evacuated_vms += stats.evacuated_vms;
+    totals.evac_hi += stats.evac_hi;
+    totals.evac_lo += stats.evac_lo;
+    totals.evac_placed += stats.evac_placed;
+    totals.evac_exhausted += stats.evac_exhausted;
+
+    // Criticality contract under overload: shed order is
+    // criticality-major, so HI work survives while any LO remains.
+    let target_u = 2.0 + (seed % 4) as f64;
+    let config = TasksetConfig::new(target_u, UtilizationDist::Uniform).with_vm_count(4);
+    let mut generator = TasksetGenerator::new(platform.resources(), config, seed);
+    let vms = generator.generate_vms();
+    let crits: Vec<Criticality> = (0..vms.len())
+        .map(|i| {
+            if (seed + i as u64).is_multiple_of(2) {
+                Criticality::Hi
+            } else {
+                Criticality::Lo
+            }
+        })
+        .collect();
+    let outcome = allocate_with_degradation_prioritized(
+        Solution::HeuristicFlattening,
+        &vms,
+        &crits,
+        platform,
+        seed,
+        policy,
+    );
+    let mut lo_remaining = crits.iter().filter(|&&c| c == Criticality::Lo).count();
+    for shed in &outcome.report.shed {
+        totals.sheds += 1;
+        match shed.criticality {
+            Criticality::Hi => {
+                totals.hi_sheds += 1;
+                if lo_remaining > 0 {
+                    totals.hi_shed_violations += 1;
+                }
+            }
+            Criticality::Lo => lo_remaining -= 1,
+        }
+    }
+    assert_eq!(
+        totals.hi_shed_violations, 0,
+        "seed {seed}: a HI VM was shed while LO work remained"
+    );
+    totals
+}
+
 fn main() {
     let scenarios = scenario_count();
     let threads = thread_count().min(scenarios.max(1) as usize);
@@ -353,4 +489,65 @@ fn main() {
         .build();
     let path = write_results("BENCH_chaos.json", &json);
     println!("  wrote {}", path.display());
+
+    // Fleet chaos campaign: host crashes, drains and verify faults
+    // over sharded admission fleets, with the parallel replay pinned
+    // byte-for-byte to the serial one on every seed.
+    let fleet_scenarios = fleet_scenario_count();
+    println!(
+        "fleet chaos: {fleet_scenarios} scenarios, 4 hosts, faults armed, \
+         threads 1/2/8 conformance"
+    );
+    let mut fleet_totals = FleetTotals::default();
+    for seed in 0..fleet_scenarios {
+        let t = run_fleet_scenario(seed, &platform, &policy);
+        fleet_totals.faults_injected += t.faults_injected;
+        fleet_totals.host_crashes += t.host_crashes;
+        fleet_totals.host_drains += t.host_drains;
+        fleet_totals.verify_faults += t.verify_faults;
+        fleet_totals.evacuated_vms += t.evacuated_vms;
+        fleet_totals.evac_hi += t.evac_hi;
+        fleet_totals.evac_lo += t.evac_lo;
+        fleet_totals.evac_placed += t.evac_placed;
+        fleet_totals.evac_exhausted += t.evac_exhausted;
+        fleet_totals.sheds += t.sheds;
+        fleet_totals.hi_sheds += t.hi_sheds;
+        fleet_totals.hi_shed_violations += t.hi_shed_violations;
+    }
+    println!(
+        "  {fleet_scenarios} scenarios | {} faults ({} crashes, {} drains, {} verify) | \
+         {} evacuated ({} hi, {} lo): {} placed, {} exhausted | \
+         {} sheds ({} hi, {} violations)",
+        fleet_totals.faults_injected,
+        fleet_totals.host_crashes,
+        fleet_totals.host_drains,
+        fleet_totals.verify_faults,
+        fleet_totals.evacuated_vms,
+        fleet_totals.evac_hi,
+        fleet_totals.evac_lo,
+        fleet_totals.evac_placed,
+        fleet_totals.evac_exhausted,
+        fleet_totals.sheds,
+        fleet_totals.hi_sheds,
+        fleet_totals.hi_shed_violations,
+    );
+    let fleet_json = JsonBuilder::new()
+        .str("bench", "fleet_chaos")
+        .int("scenarios", fleet_scenarios)
+        .bool("conformant", true)
+        .int("fleet.faults.injected", fleet_totals.faults_injected)
+        .int("fleet.faults.crashes", fleet_totals.host_crashes)
+        .int("fleet.faults.drains", fleet_totals.host_drains)
+        .int("fleet.faults.verify", fleet_totals.verify_faults)
+        .int("fleet.evacuations.vms", fleet_totals.evacuated_vms)
+        .int("fleet.evacuations.hi", fleet_totals.evac_hi)
+        .int("fleet.evacuations.lo", fleet_totals.evac_lo)
+        .int("fleet.evacuations.placed", fleet_totals.evac_placed)
+        .int("fleet.evacuations.exhausted", fleet_totals.evac_exhausted)
+        .int("degradation.sheds", fleet_totals.sheds)
+        .int("degradation.hi_sheds", fleet_totals.hi_sheds)
+        .int("hi_shed_violations", fleet_totals.hi_shed_violations)
+        .build();
+    let fleet_path = write_results("BENCH_fleet_chaos.json", &fleet_json);
+    println!("  wrote {}", fleet_path.display());
 }

@@ -399,8 +399,17 @@ pub fn sweep(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// was. `--threads` replays an N-host fleet in parallel (the merged
 /// log is thread-count invariant); `--no-memo` disables the
 /// saturated-regime rejection memo.
+///
+/// Fault tolerance: `--hi-fraction F` marks a deterministic fraction
+/// of generated VMs criticality-HI; `--fleet-fault-seed S` (with
+/// `--fleet-fault-count N`, default 4) arms a generated, replayable
+/// fleet fault plan — host crashes, drains and verify faults — on the
+/// fleet path; `--journal PATH` writes the engine path's write-ahead
+/// decision journal; `--recover PATH` reconstructs an engine from a
+/// journal instead of replaying a trace, failing loudly on any
+/// divergence from the journaled decisions.
 pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    use vc2m::admission::{generate, replay, AdmissionTrace, TraceSpec};
+    use vc2m::admission::{generate, replay, replay_journaled, AdmissionTrace, TraceSpec};
     let options = Options::parse(argv)?;
     let platform = options.platform()?;
     let seed: u64 = options.parse_or("seed", 42)?;
@@ -428,6 +437,59 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         None => None,
     };
+    if let Some(path) = options.value("recover") {
+        let mut config = AdmissionConfig::new(seed).with_solution(solution);
+        if options.switch("reference") {
+            config = config.reference_mode();
+        }
+        if options.switch("no-memo") {
+            config = config.without_memo();
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+        let journal = DecisionJournal::parse(&text)
+            .map_err(|e| CliError::new(format!("bad journal {path}: {e}")))?;
+        let engine = vc2m::admission::recover(platform, config, &journal)
+            .map_err(|e| CliError::new(format!("recovery failed: {e}")))?;
+        writeln!(
+            out,
+            "recovery: {} decisions reconstructed from {} records, conformant",
+            journal.decisions(),
+            journal.len(),
+        )
+        .map_err(io_error)?;
+        writeln!(
+            out,
+            "final state: {} VMs on {} cores",
+            engine.working_set().len(),
+            engine.allocation().cores_used(),
+        )
+        .map_err(io_error)?;
+        if let Some(path) = options.value("report-out") {
+            std::fs::write(path, engine.log_text())
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "wrote {path}").map_err(io_error)?;
+        }
+        return Ok(());
+    }
+    let hi_fraction: Option<f64> = match options.value("hi-fraction") {
+        Some(raw) => {
+            let f: f64 = raw.parse().map_err(|_| {
+                CliError::new(format!("--hi-fraction must be a number, got {raw}"))
+            })?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(CliError::new("--hi-fraction must be in 0.0..=1.0"));
+            }
+            if options.value("trace-in").is_some() {
+                return Err(CliError::new(
+                    "--hi-fraction applies to generated traces; use a `crit` \
+                     directive in the trace file instead",
+                ));
+            }
+            Some(f)
+        }
+        None => None,
+    };
     let trace = match options.value("trace-in") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -440,11 +502,14 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             if requests == 0 {
                 return Err(CliError::new("--requests must be at least 1"));
             }
-            let spec = if options.switch("rejection-heavy") {
+            let mut spec = if options.switch("rejection-heavy") {
                 TraceSpec::rejection_heavy(requests, seed, explicit_hosts.unwrap_or(1))
             } else {
                 TraceSpec::new(requests, seed).with_hosts(explicit_hosts.unwrap_or(1))
             };
+            if let Some(f) = hi_fraction {
+                spec = spec.with_hi_fraction(f);
+            }
             generate(&spec)
         }
     };
@@ -462,10 +527,31 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         config = config.without_memo();
     }
     if hosts > 1 {
+        if options.value("journal").is_some() {
+            return Err(CliError::new(
+                "--journal records the single-host engine path; use --hosts 1",
+            ));
+        }
         return admit_fleet(&options, platform, config, &trace, hosts, seed, solution, out);
     }
+    if options.value("fleet-fault-seed").is_some() || options.value("fleet-fault-count").is_some() {
+        return Err(CliError::new(
+            "fleet faults need a fleet: pass --hosts N with N > 1",
+        ));
+    }
     let mut engine = AdmissionEngine::new(platform, config);
-    replay(&mut engine, &trace);
+    let journal = match options.value("journal") {
+        Some(path) => {
+            let journal = replay_journaled(&mut engine, &trace);
+            std::fs::write(path, journal.render())
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            Some((path.to_string(), journal.len()))
+        }
+        None => {
+            replay(&mut engine, &trace);
+            None
+        }
+    };
 
     let stats = *engine.stats();
     let allocation = engine.allocation();
@@ -503,6 +589,9 @@ pub fn admit(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         stats.full_verifies,
     )
     .map_err(io_error)?;
+    if let Some((path, records)) = journal {
+        writeln!(out, "wrote {path} ({records} journal records)").map_err(io_error)?;
+    }
     if let Some(path) = options.value("report-out") {
         std::fs::write(path, engine.log_text())
             .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
@@ -542,14 +631,52 @@ fn admit_fleet(
     if threads == 0 {
         return Err(CliError::new("--threads must be at least 1"));
     }
+    let fault_seed: Option<u64> = match options.value("fleet-fault-seed") {
+        Some(raw) => Some(raw.parse().map_err(|_| {
+            CliError::new(format!("--fleet-fault-seed must be a u64, got {raw}"))
+        })?),
+        None => None,
+    };
+    let fault_count: usize = options.parse_or("fleet-fault-count", 4)?;
+    if fault_seed.is_none() && options.value("fleet-fault-count").is_some() {
+        return Err(CliError::new(
+            "--fleet-fault-count needs --fleet-fault-seed to arm a plan",
+        ));
+    }
     let fleet_config = FleetConfig::new(hosts, seed).with_engine(config);
     let items = fleet_items(trace, platform.resources());
-    let fleet = if threads > 1 {
-        AdmissionFleet::replay_parallel(platform, fleet_config, &items, threads)
-    } else {
-        let mut fleet = AdmissionFleet::new(platform, fleet_config);
-        fleet.replay(&items);
-        fleet
+    let scenario = fault_seed.map(|fs| {
+        let spec = FleetFaultSpec::new(fault_count, items.len() as u64);
+        FleetScenario::new(
+            FleetFaultPlan::generate(fs, hosts, &spec),
+            trace.hi_vms().to_vec(),
+        )
+    });
+    let fleet = match scenario {
+        Some(scenario) if threads > 1 => AdmissionFleet::replay_parallel_armed(
+            platform,
+            fleet_config,
+            scenario,
+            &items,
+            threads,
+        )
+        .map_err(|e| CliError::new(format!("fault scenario rejected: {e}")))?,
+        Some(scenario) => {
+            let mut fleet = AdmissionFleet::new(platform, fleet_config);
+            fleet
+                .arm(scenario)
+                .map_err(|e| CliError::new(format!("fault scenario rejected: {e}")))?;
+            fleet.replay(&items);
+            fleet
+        }
+        None if threads > 1 => {
+            AdmissionFleet::replay_parallel(platform, fleet_config, &items, threads)
+        }
+        None => {
+            let mut fleet = AdmissionFleet::new(platform, fleet_config);
+            fleet.replay(&items);
+            fleet
+        }
     };
     let stats = fleet.aggregate_stats();
     let routing = *fleet.router().stats();
@@ -586,10 +713,38 @@ fn admit_fleet(
         stats.memo_inserts,
     )
     .map_err(io_error)?;
+    if fault_seed.is_some() {
+        writeln!(
+            out,
+            "faults: {} injected ({} crashes, {} drains, {} verify)",
+            routing.faults_injected, routing.host_crashes, routing.host_drains,
+            routing.verify_faults,
+        )
+        .map_err(io_error)?;
+        writeln!(
+            out,
+            "evacuations: {} VMs ({} hi, {} lo): {} placed, {} deferred, {} exhausted",
+            routing.evacuated_vms,
+            routing.evac_hi,
+            routing.evac_lo,
+            routing.evac_placed,
+            routing.evac_deferred,
+            routing.evac_exhausted,
+        )
+        .map_err(io_error)?;
+        for failure in fleet.evacuation_failures() {
+            writeln!(
+                out,
+                "  evacuation exhausted: vm={} crit={:?} u={:.3} after {} attempts",
+                failure.vm, failure.criticality, failure.utilization, failure.attempts,
+            )
+            .map_err(io_error)?;
+        }
+    }
     for (host, engine) in fleet.engines().iter().enumerate() {
         writeln!(
             out,
-            "host {host}: {} VMs on {} cores, load {:.3}",
+            "host {host}: {} VMs on {} cores, load {:.3}{}",
             engine.working_set().len(),
             engine.allocation().cores_used(),
             engine
@@ -598,6 +753,11 @@ fn admit_fleet(
                 .map(|vm| vm.reference_utilization())
                 .sum::<f64>()
                 + 0.0, // the empty sum is -0.0
+            if fleet.router().alive()[host] {
+                ""
+            } else {
+                " (down)"
+            },
         )
         .map_err(io_error)?;
     }
@@ -771,5 +931,67 @@ mod tests {
         assert!(admit(&argv(&["--requests", "0"]), &mut buf).is_err());
         assert!(admit(&argv(&["--solution", "all"]), &mut buf).is_err());
         assert!(admit(&argv(&["--trace-in", "/nonexistent.trace"]), &mut buf).is_err());
+        // Fault-tolerance flag misuse fails loudly instead of being
+        // silently ignored.
+        assert!(admit(&argv(&["--fleet-fault-seed", "1"]), &mut buf).is_err());
+        assert!(admit(&argv(&["--hosts", "2", "--fleet-fault-count", "3"]), &mut buf).is_err());
+        assert!(admit(&argv(&["--hosts", "2", "--journal", "/tmp/j"]), &mut buf).is_err());
+        assert!(admit(&argv(&["--hi-fraction", "1.5"]), &mut buf).is_err());
+        assert!(admit(&argv(&["--hi-fraction", "0.5", "--trace-in", "x.trace"]), &mut buf).is_err());
+        assert!(admit(&argv(&["--recover", "/nonexistent.journal"]), &mut buf).is_err());
+    }
+
+    #[test]
+    fn admit_journal_round_trips_through_recover() {
+        let path = std::env::temp_dir().join(format!("vc2m-cli-{}.journal", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        let journaled = run(|w| {
+            admit(
+                &argv(&["--requests", "40", "--seed", "11", "--journal", &path_s]),
+                w,
+            )
+        });
+        let recovered = run(|w| admit(&argv(&["--recover", &path_s, "--seed", "11"]), w));
+        let _ = std::fs::remove_file(&path);
+        assert!(journaled.contains("journal records"), "{journaled}");
+        assert!(
+            recovered.contains("40 decisions reconstructed"),
+            "{recovered}"
+        );
+        assert!(recovered.contains("conformant"), "{recovered}");
+        // The recovered engine landed in the journaling engine's final
+        // state (its summary line is a prefix of the richer one).
+        let state = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("final state:"))
+                .unwrap()
+                .to_string()
+        };
+        assert!(state(&journaled).starts_with(&state(&recovered)));
+    }
+
+    #[test]
+    fn admit_fleet_faults_summarize_and_are_thread_invariant() {
+        let base = [
+            "--hosts",
+            "4",
+            "--requests",
+            "60",
+            "--seed",
+            "5",
+            "--hi-fraction",
+            "0.3",
+            "--fleet-fault-seed",
+            "9",
+            "--fleet-fault-count",
+            "3",
+        ];
+        let serial = run(|w| admit(&argv(&base), w));
+        assert!(serial.contains("faults: 3 injected"), "{serial}");
+        assert!(serial.contains("evacuations:"), "{serial}");
+        let mut threaded = base.to_vec();
+        threaded.extend(["--threads", "4"]);
+        let parallel = run(|w| admit(&argv(&threaded), w));
+        assert_eq!(serial, parallel, "armed fleet summary depends on threads");
     }
 }

@@ -101,6 +101,11 @@ ADMIT OPTIONS:
     --trace-out <path>            Write the (generated) trace text here
     --report-out <path>           Write the byte-stable decision log here
     --metrics-out <path>          Write the admission.* / fleet.* metrics as JSON
+    --hi-fraction <f64>           Mark this fraction of generated VMs criticality-HI
+    --fleet-fault-seed <u64>      Arm a generated fleet fault plan (needs --hosts > 1)
+    --fleet-fault-count <usize>   Faults in the generated plan (default: 4)
+    --journal <path>              Write the write-ahead decision journal (1-host path)
+    --recover <path>              Reconstruct an engine from a journal and verify it
 ";
 
 /// Runs the CLI on the given arguments (without the program name).

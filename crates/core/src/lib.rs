@@ -71,11 +71,13 @@ pub mod prelude {
     pub use crate::admission::{AdmissionTrace, TraceItem, TraceRequest, TraceSpec};
     pub use crate::sweep::{utilization_steps, SweepConfig, SweepResults};
     pub use vc2m_alloc::{
-        allocate_with_degradation, AdmissionConfig, AdmissionDecision, AdmissionEngine,
-        AdmissionFleet, AdmissionPath, AdmissionRequest, AdmissionStats, AdmissionVerdict,
-        AllocationOutcome, DegradationOutcome, DegradationPolicy, DegradationReport, FleetConfig,
-        FleetDecision, FleetRouter, FleetStats, FleetWorkItem, RequestKind, Solution,
-        SystemAllocation,
+        allocate_with_degradation, allocate_with_degradation_prioritized, AdmissionConfig,
+        AdmissionDecision, AdmissionEngine, AdmissionFleet, AdmissionPath, AdmissionRequest,
+        AdmissionStats, AdmissionVerdict, AllocationOutcome, Criticality, DecisionJournal,
+        DegradationOutcome, DegradationPolicy, DegradationReport, EvacuationExhausted,
+        EvacuationPolicy, FleetConfig, FleetDecision, FleetFault, FleetFaultPlan, FleetFaultSpec,
+        FleetRouter, FleetScenario, FleetStats, FleetWorkItem, JournalRecord, RecoveryError,
+        RequestKind, ScheduledFleetFault, Solution, SystemAllocation,
     };
     pub use vc2m_analysis::{AnalysisCache, CacheStats};
     pub use vc2m_hypervisor::{
